@@ -1,0 +1,46 @@
+// Shared presets for the per-figure/per-table bench binaries.
+//
+// Every binary prints the rows/series of one paper table or figure. The
+// absolute numbers come from our simulator + power model, not the authors'
+// testbed — the *shape* (who wins, by roughly what factor) is the
+// reproduction target; EXPERIMENTS.md records paper-vs-measured per item.
+#pragma once
+
+#include <iostream>
+
+#include "driver/simulate.hpp"
+#include "metrics/table_io.hpp"
+
+namespace ownsim::bench {
+
+/// Standard measurement phases for the simulation-backed figures: long
+/// enough for tight averages, short enough that the whole harness runs in
+/// minutes on a laptop.
+inline RunPhases default_phases() {
+  RunPhases phases;
+  phases.warmup = 1500;
+  phases.measure = 4000;
+  phases.drain_limit = 30000;
+  return phases;
+}
+
+/// Baseline experiment at `cores` on `topology`, uniform traffic, a
+/// comfortably sub-saturation load (the Fig 5/6 operating point).
+inline ExperimentConfig base_experiment(TopologyKind topology, int cores) {
+  ExperimentConfig config;
+  config.topology = topology;
+  config.options.num_cores = cores;
+  config.rate = cores <= 256 ? 0.005 : 0.0016;
+  config.phases = default_phases();
+  return config;
+}
+
+/// Offered load clearly beyond saturation for accepted-throughput readings
+/// (Fig 7a / Fig 8a).
+inline double overdrive_rate(int cores) { return cores <= 256 ? 0.012 : 0.004; }
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::cout << "\n=== " << what << "  [" << paper_ref << "] ===\n";
+}
+
+}  // namespace ownsim::bench

@@ -1,0 +1,70 @@
+// Regenerates paper Fig. 4: the CMOS transceiver building blocks.
+//  (a) Colpitts oscillator: PSD around 90 GHz and phase noise at offsets
+//      (paper anchor: ~-86 dBc/Hz at 1 MHz);
+//  (b) class-AB PA: gain vs frequency, Pout vs Pin compression sweep
+//      (anchors: 3.5 dB peak gain, ~20 GHz band at 2 dB, P1dB ~5 dBm,
+//       14 mW DC);
+//  (c) wideband LNA: 10 dB gain around 90 GHz.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+#include "rf/lna.hpp"
+#include "rf/oscillator.hpp"
+#include "rf/pa.hpp"
+
+int main() {
+  using namespace ownsim;
+
+  bench::print_header("Colpitts oscillator", "Fig 4a");
+  const ColpittsOscillator osc;
+  std::cout << "oscillation frequency: "
+            << Table::num(osc.frequency_hz() / 1e9, 2) << " GHz  (C_eff = "
+            << Table::num(osc.effective_capacitance_f() * 1e15, 1)
+            << " fF, DC power " << Table::num(osc.dc_power_w() * 1e3, 1)
+            << " mW)\n";
+  Table phase_noise({"offset", "phase_noise_dBc_Hz"});
+  for (double offset : {1e5, 3e5, 1e6, 3e6, 1e7, 3e7}) {
+    phase_noise.add_row({Table::num(offset / 1e6, 1) + " MHz",
+                         Table::num(osc.phase_noise_dbc_hz(offset), 1)});
+  }
+  phase_noise.print(std::cout);
+  std::cout << "PSD sweep 85-95 GHz (dBc/Hz):\n";
+  Table psd({"freq_GHz", "PSD_dBc_Hz"});
+  for (const auto& [f, dbc] : osc.psd_sweep(85e9, 95e9, 11)) {
+    psd.add_row({Table::num(f / 1e9, 1), Table::num(dbc, 1)});
+  }
+  psd.print(std::cout);
+
+  bench::print_header("class-AB power amplifier", "Fig 4b");
+  const ClassAbPa pa;
+  std::cout << "peak gain " << Table::num(pa.gain_db(90e9), 2)
+            << " dB at 90 GHz, 2-dB bandwidth "
+            << Table::num(pa.bandwidth_hz(2.0) / 1e9, 1)
+            << " GHz, P1dB " << Table::num(pa.p1db_dbm(), 2)
+            << " dBm, DC " << Table::num(pa.params().dc_power_w * 1e3, 1)
+            << " mW\n";
+  Table compression({"Pin_dBm", "Pout_dBm", "gain_dB"});
+  for (double pin = -15.0; pin <= 9.0; pin += 3.0) {
+    const double pout = pa.output_dbm(pin, 90e9);
+    compression.add_row({Table::num(pin, 0), Table::num(pout, 2),
+                         Table::num(pout - pin, 2)});
+  }
+  compression.print(std::cout);
+  Table pa_gain({"freq_GHz", "gain_dB"});
+  for (double f = 78e9; f <= 102e9; f += 4e9) {
+    pa_gain.add_row({Table::num(f / 1e9, 0), Table::num(pa.gain_db(f), 2)});
+  }
+  pa_gain.print(std::cout);
+
+  bench::print_header("wideband LNA", "Fig 4c");
+  const WidebandLna lna;
+  Table lna_gain({"freq_GHz", "gain_dB"});
+  for (double f = 70e9; f <= 110e9; f += 5e9) {
+    lna_gain.add_row({Table::num(f / 1e9, 0), Table::num(lna.gain_db(f), 2)});
+  }
+  lna_gain.print(std::cout);
+  std::cout << "NF " << Table::num(lna.noise_figure_db(), 1) << " dB, DC "
+            << Table::num(lna.dc_power_w() * 1e3, 1) << " mW\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates paper Fig. 6: total power under uniform-random traffic at 256
+// cores, broken into photonic / wireless / electrical / router components,
+// for OWN configurations 1-4 and the four baselines. Paper shape:
+// OptXB < OWN-c4 (~2x OptXB) < wireless-CMESH (~OWN+7%) < CMESH (>= OWN+30%),
+// with p-Clos slightly above OptXB.
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+
+int main() {
+  using namespace ownsim;
+  bench::print_header("256-core power breakdown, uniform random", "Fig 6");
+
+  Table table({"network", "router_W", "electrical_W", "photonic_W",
+               "wireless_W", "total_W", "vs OWN-c4"});
+  double own_c4_total = 0.0;
+
+  auto add = [&](const std::string& label, const ExperimentResult& result) {
+    const PowerBreakdown& p = result.power;
+    if (own_c4_total == 0.0) own_c4_total = p.total_w();
+    table.add_row({label, Table::num(p.router_w(), 3),
+                   Table::num(p.electrical_link_w, 3),
+                   Table::num(p.photonic_w(), 3), Table::num(p.wireless_w(), 3),
+                   Table::num(p.total_w(), 3),
+                   Table::num(p.total_w() / own_c4_total, 2) + "x"});
+  };
+
+  // OWN configurations first (config 4 is the reference).
+  for (OwnConfig config :
+       {OwnConfig::kConfig4, OwnConfig::kConfig1, OwnConfig::kConfig2,
+        OwnConfig::kConfig3}) {
+    ExperimentConfig experiment = bench::base_experiment(TopologyKind::kOwn, 256);
+    experiment.own_config = config;
+    add(std::string("OWN-256 ") + to_string(config), run_experiment(experiment));
+  }
+  for (TopologyKind kind :
+       {TopologyKind::kOptXB, TopologyKind::kPClos,
+        TopologyKind::kWirelessCMesh, TopologyKind::kCMesh}) {
+    add(to_string(kind), run_experiment(bench::base_experiment(kind, 256)));
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper ordering: OptXB least; OWN-c4 ~2x OptXB; p-Clos slightly\n"
+               "above OptXB; wireless-CMESH ~7% above OWN; CMESH >= 30% above OWN\n"
+               "with most of its power in the routers.\n";
+  return 0;
+}

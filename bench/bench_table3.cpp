@@ -1,0 +1,47 @@
+// Regenerates paper Table III: the 16-link wireless band plan for both the
+// ideal (32 GHz channels) and conservative (16 GHz) scenarios — center
+// frequency, technology, bandwidth and energy/bit — plus the photonic
+// component budgets the paper's Section I quotes as the scalability blocker.
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+#include "photonic/ring_budget.hpp"
+#include "wireless/band_plan.hpp"
+
+int main() {
+  using namespace ownsim;
+  for (Scenario scenario : {Scenario::kIdeal, Scenario::kConservative}) {
+    bench::print_header(
+        (std::string("wireless band plan, ") + to_string(scenario)).c_str(),
+        "Table III");
+    const BandPlan plan(scenario);
+    Table table({"link", "center_GHz", "BW_GHz", "tech", "pJ/bit", "role"});
+    for (const BandPlanLink& link : plan.links()) {
+      table.add_row({std::to_string(link.index + 1),
+                     Table::num(link.center_ghz, 0),
+                     Table::num(link.bandwidth_ghz, 0), to_string(link.tech),
+                     Table::num(link.energy_pj_per_bit, 3),
+                     link.reconfiguration ? "reconfig" : "data"});
+    }
+    table.print(std::cout);
+  }
+
+  bench::print_header("photonic component budgets", "Section I / Section V.B");
+  Table budget({"structure", "waveguides", "modulators", "detectors", "rings"});
+  auto row = [&](const char* name, const PhotonicBudget& b) {
+    budget.add_row({name, std::to_string(b.waveguides),
+                    std::to_string(b.modulators), std::to_string(b.detectors),
+                    std::to_string(b.rings())});
+  };
+  row("SWMR crossbar 64x64 (paper: 448/7/28224)", swmr_crossbar_budget(64));
+  row("SWMR crossbar 1024x1024 (paper: 7168/112/7.3M)",
+      swmr_crossbar_budget(1024));
+  row("OptXB MWSR 64 routers x 64 lambda x4 (paper: >1M rings)",
+      mwsr_crossbar_budget(64, 64, 4));
+  row("OWN-256 photonics (4 clusters, 4 lambda)", own_photonic_budget(4, 4));
+  row("OWN-1024 photonics (16 clusters, 4 lambda)", own_photonic_budget(16, 4));
+  budget.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Full command-line front end for the simulator.
+//
+//   ./ownsim_cli topology=own cores=256 pattern=UN rate=0.004
+//                config=4 scenario=ideal warmup=1500 measure=4000
+//                report=json seed=1 packet_flits=4   (one line in practice)
+//
+// Any subset of keys may be given (defaults shown above); `report=csv|json`
+// additionally dumps per-channel utilization to stdout after the summary.
+// Run with `help=1` for the key list.
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "driver/simulate.hpp"
+#include "metrics/report.hpp"
+#include "metrics/table_io.hpp"
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      "ownsim_cli key=value ...\n"
+      "  topology   own | cmesh | wcmesh | optxb | pclos      [own]\n"
+      "  cores      256 | 1024 (others where the topology allows) [256]\n"
+      "  pattern    UN | BR | MT | PS | NBR | tornado | hotspot  [UN]\n"
+      "  rate       offered load, flits/node/cycle             [0.004]\n"
+      "  config     1..4 (Table IV, OWN only)                  [4]\n"
+      "  scenario   ideal | conservative (Table III)           [ideal]\n"
+      "  warmup, measure, drain   phase lengths in cycles      [1500/4000/30000]\n"
+      "  packet_flits, seed                                    [4 / 1]\n"
+      "  report     none | csv | json (channel utilization)    [none]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ownsim;
+  std::ostringstream joined;
+  for (int i = 1; i < argc; ++i) joined << argv[i] << ' ';
+  Config args;
+  try {
+    args = Config::from_string(joined.str());
+  } catch (const std::exception& e) {
+    std::cerr << "bad arguments: " << e.what() << "\n";
+    print_help();
+    return 1;
+  }
+  if (args.get_bool("help", false)) {
+    print_help();
+    return 0;
+  }
+  // `file=path` loads defaults from a config file; command-line keys win.
+  if (args.contains("file")) {
+    try {
+      Config from_file = Config::from_file(args.require_string("file"));
+      from_file.merge(args);
+      args = from_file;
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load config file: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  try {
+    ExperimentConfig config;
+    config.topology = parse_topology(args.get_string("topology", "own"));
+    config.pattern = parse_pattern(args.get_string("pattern", "UN"));
+    config.options.num_cores = static_cast<int>(args.get_int("cores", 256));
+    config.rate = args.get_double("rate", 0.004);
+    config.own_config =
+        static_cast<OwnConfig>(args.get_int("config", 4));
+    config.scenario = args.get_string("scenario", "ideal") == "conservative"
+                          ? Scenario::kConservative
+                          : Scenario::kIdeal;
+    config.phases.warmup = args.get_int("warmup", 1500);
+    config.phases.measure = args.get_int("measure", 4000);
+    config.phases.drain_limit = args.get_int("drain", 30000);
+    config.injector.packet_flits =
+        static_cast<int>(args.get_int("packet_flits", 4));
+    config.injector.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    // Rebuild the network here (rather than via run_experiment) so the
+    // utilization report can inspect it afterwards.
+    Network network(build_topology(config.topology, config.options));
+    TrafficPattern pattern(config.pattern, config.options.num_cores);
+    Injector::Params injector_params = config.injector;
+    injector_params.rate = config.rate;
+    Injector injector(&network, pattern, injector_params);
+    network.engine().add(&injector);
+    const RunResult run = run_load_point(network, injector, config.phases);
+    EnergyModel energy(config.power,
+                       own_channel_energy(config.topology,
+                                          config.options.num_cores,
+                                          config.own_config, config.scenario));
+    const PowerBreakdown power = energy.compute(network);
+
+    Table summary({"metric", "value"});
+    summary.add_row({"network", network.spec().name});
+    summary.add_row({"pattern", to_string(config.pattern)});
+    summary.add_row({"offered (flits/node/cyc)", Table::num(config.rate, 4)});
+    summary.add_row({"throughput", Table::num(run.throughput, 4)});
+    summary.add_row({"avg latency (cyc)", Table::num(run.avg_latency, 1)});
+    summary.add_row({"p99 latency (cyc)", Table::num(run.p99_latency, 1)});
+    summary.add_row({"avg hops", Table::num(run.avg_hops, 2)});
+    summary.add_row({"drained", run.drained ? "yes" : "no"});
+    summary.add_row({"router power (W)", Table::num(power.router_w(), 3)});
+    summary.add_row({"photonic power (W)", Table::num(power.photonic_w(), 3)});
+    summary.add_row({"wireless power (W)", Table::num(power.wireless_w(), 3)});
+    summary.add_row(
+        {"electrical power (W)", Table::num(power.electrical_link_w, 3)});
+    summary.add_row({"total power (W)", Table::num(power.total_w(), 3)});
+    summary.add_row(
+        {"energy/packet (pJ)",
+         Table::num(energy.energy_per_packet_pj(network), 0)});
+    summary.print(std::cout);
+
+    const std::string report = args.get_string("report", "none");
+    if (report != "none") {
+      const NetworkReport network_report(network);
+      std::cout << '\n';
+      if (report == "csv") {
+        network_report.write_channels_csv(std::cout);
+      } else if (report == "json") {
+        network_report.write_json(std::cout);
+      } else {
+        std::cerr << "unknown report format: " << report << "\n";
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

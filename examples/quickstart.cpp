@@ -1,0 +1,47 @@
+// Quickstart: build OWN-256, drive uniform-random traffic at a moderate
+// load, and print latency, throughput and the power breakdown.
+//
+//   ./quickstart [rate=0.004] [cores=256]
+//
+// This is the five-minute tour of the public API: TopologyOptions ->
+// ExperimentConfig -> run_experiment -> {RunResult, PowerBreakdown}.
+#include <cstdlib>
+#include <iostream>
+
+#include "driver/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ownsim;
+
+  ExperimentConfig config;
+  config.topology = TopologyKind::kOwn;
+  config.options.num_cores = 256;
+  config.rate = argc > 1 ? std::atof(argv[1]) : 0.004;
+  if (argc > 2) config.options.num_cores = std::atoi(argv[2]);
+  config.pattern = PatternKind::kUniform;
+  config.own_config = OwnConfig::kConfig4;   // Table IV's best configuration
+  config.scenario = Scenario::kIdeal;        // 32 GHz wireless channels
+
+  std::cout << "Simulating " << config.options.num_cores
+            << "-core OWN at offered load " << config.rate
+            << " flits/node/cycle...\n";
+  const ExperimentResult result = run_experiment(config);
+
+  std::cout << "\n" << result.name << "\n"
+            << "  measured packets    : " << result.run.measured_packets << "\n"
+            << "  avg packet latency  : " << result.run.avg_latency
+            << " cycles (network-only " << result.run.avg_net_latency << ")\n"
+            << "  p99 latency         : " << result.run.p99_latency << " cycles\n"
+            << "  accepted throughput : " << result.run.throughput
+            << " flits/node/cycle\n"
+            << "  avg hops            : " << result.run.avg_hops << "\n"
+            << "  drained cleanly     : " << (result.run.drained ? "yes" : "no")
+            << "\n\nPower breakdown:\n"
+            << "  router        : " << result.power.router_w() << " W\n"
+            << "  photonic      : " << result.power.photonic_w() << " W\n"
+            << "  wireless      : " << result.power.wireless_w() << " W\n"
+            << "  electrical    : " << result.power.electrical_link_w << " W\n"
+            << "  total         : " << result.power.total_w() << " W\n"
+            << "  energy/packet : " << result.energy_per_packet_pj << " pJ\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first: logging defaults to warnings-and-above on
+// stderr and is globally adjustable. Hot paths guard with `Log::enabled()`
+// so disabled levels cost one branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ownsim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Writes one line "[LEVEL] msg" to stderr if `level` is enabled.
+  static void write(LogLevel level, const std::string& msg);
+
+  static void debug(const std::string& msg) { write(LogLevel::kDebug, msg); }
+  static void info(const std::string& msg) { write(LogLevel::kInfo, msg); }
+  static void warn(const std::string& msg) { write(LogLevel::kWarn, msg); }
+  static void error(const std::string& msg) { write(LogLevel::kError, msg); }
+};
+
+}  // namespace ownsim

@@ -1,0 +1,76 @@
+// Fixed-capacity FIFO ring buffer.
+//
+// Used for router VC buffers and injection queues, where the capacity is a
+// hardware parameter fixed at construction and push/pop sit on the hot path.
+// No allocation after construction.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ownsim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity > 0 ? capacity : 1) {}
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t free_slots() const { return slots_.size() - size_; }
+
+  /// Appends `v`; caller must check !full().
+  void push(T v) {
+    assert(!full());
+    slots_[tail_] = std::move(v);
+    tail_ = next(tail_);
+    ++size_;
+  }
+
+  /// Removes and returns the oldest element; caller must check !empty().
+  T pop() {
+    assert(!empty());
+    T v = std::move(slots_[head_]);
+    head_ = next(head_);
+    --size_;
+    return v;
+  }
+
+  /// Oldest element; caller must check !empty().
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 == front).
+  const T& at(std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return (i + 1 == slots_.size()) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ownsim

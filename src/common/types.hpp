@@ -1,0 +1,42 @@
+// Core identifier and scalar types shared across the simulator.
+//
+// The simulator is cycle-driven; `Cycle` is the global time unit. Entities
+// (cores, tiles, routers, ports, virtual channels, wireless channels,
+// waveguides) are identified with small integer ids. We keep these as plain
+// aliases rather than wrapper classes for hot-loop efficiency, but give each
+// a distinct name so signatures document intent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ownsim {
+
+/// Simulation time in router clock cycles.
+using Cycle = std::int64_t;
+
+/// Identifies a processing core (0 .. num_cores-1).
+using NodeId = std::int32_t;
+
+/// Identifies a router (0 .. num_routers-1).
+using RouterId = std::int32_t;
+
+/// Identifies a port on a router (0 .. radix-1).
+using PortId = std::int32_t;
+
+/// Identifies a virtual channel within a port (0 .. num_vcs-1).
+using VcId = std::int32_t;
+
+/// Identifies a packet (unique per simulation run).
+using PacketId = std::int64_t;
+
+/// Identifies a shared medium (photonic waveguide or wireless channel).
+using MediumId = std::int32_t;
+
+/// Sentinel for "no id".
+inline constexpr std::int32_t kInvalidId = -1;
+
+/// Sentinel for "never" / "not yet".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace ownsim

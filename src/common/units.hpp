@@ -1,0 +1,50 @@
+// Physical unit helpers and constants.
+//
+// All analytic models (RF link budget, photonic loss budget, power model)
+// work in SI internally; these helpers make call sites read like the paper
+// ("32_gbps", "60 mm", "0.1 pJ/bit") and centralize dB conversions.
+#pragma once
+
+#include <cmath>
+
+namespace ownsim::units {
+
+// ---- scalar constants ------------------------------------------------------
+inline constexpr double kSpeedOfLight = 2.99792458e8;  // m/s
+inline constexpr double kBoltzmann = 1.380649e-23;     // J/K
+inline constexpr double kRoomTempK = 290.0;            // K (standard noise temp)
+inline constexpr double kPi = 3.14159265358979323846;
+
+// ---- multipliers -----------------------------------------------------------
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+// ---- conversions -----------------------------------------------------------
+
+/// Watts -> dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts / kMilli); }
+
+/// dBm -> Watts.
+inline double dbm_to_watts(double dbm) { return kMilli * std::pow(10.0, dbm / 10.0); }
+
+/// Linear power ratio -> dB.
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// dB -> linear power ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Frequency (Hz) -> free-space wavelength (m).
+inline double wavelength_m(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+/// Energy-per-bit (J/bit) at a given data rate (bit/s) -> average power (W).
+inline double epb_to_power_w(double joules_per_bit, double bits_per_s) {
+  return joules_per_bit * bits_per_s;
+}
+
+}  // namespace ownsim::units

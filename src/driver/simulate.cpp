@@ -1,0 +1,53 @@
+#include "driver/simulate.hpp"
+
+#include <sstream>
+
+namespace ownsim {
+
+std::optional<ChannelEnergyModel> own_channel_energy(TopologyKind topology,
+                                                     int num_cores,
+                                                     OwnConfig config,
+                                                     Scenario scenario) {
+  if (topology != TopologyKind::kOwn) return std::nullopt;
+  return ChannelEnergyModel(config, scenario, num_cores == 1024 ? 16 : 12);
+}
+
+NetworkFactory make_network_factory(TopologyKind topology,
+                                    TopologyOptions options) {
+  return [topology, options] {
+    return std::make_unique<Network>(build_topology(topology, options));
+  };
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Network network(build_topology(config.topology, config.options));
+
+  TrafficPattern pattern(config.pattern, config.options.num_cores);
+  Injector::Params injector_params = config.injector;
+  injector_params.rate = config.rate;
+  Injector injector(&network, pattern, injector_params);
+  network.engine().add(&injector);
+
+  ExperimentResult result;
+  result.run = run_load_point(network, injector, config.phases);
+
+  EnergyModel energy(config.power,
+                     own_channel_energy(config.topology,
+                                        config.options.num_cores,
+                                        config.own_config, config.scenario));
+  result.power = energy.compute(network, config.options.clock_ghz);
+  result.energy_per_packet_pj =
+      energy.energy_per_packet_pj(network, config.options.clock_ghz);
+
+  std::ostringstream name;
+  name << to_string(config.topology) << '-' << config.options.num_cores << '/'
+       << to_string(config.pattern);
+  if (config.topology == TopologyKind::kOwn) {
+    name << '/' << to_string(config.own_config) << '/'
+         << to_string(config.scenario);
+  }
+  result.name = name.str();
+  return result;
+}
+
+}  // namespace ownsim

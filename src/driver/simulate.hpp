@@ -1,0 +1,54 @@
+// High-level experiment driver: one call builds a topology, drives synthetic
+// traffic through the warmup/measure/drain protocol, and reports latency,
+// throughput and the power breakdown. This is the API the examples and the
+// bench harness are written against.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "metrics/runner.hpp"
+#include "metrics/sweep.hpp"
+#include "power/energy_model.hpp"
+#include "topology/registry.hpp"
+#include "traffic/patterns.hpp"
+#include "wireless/configurations.hpp"
+
+namespace ownsim {
+
+struct ExperimentConfig {
+  TopologyKind topology = TopologyKind::kOwn;
+  PatternKind pattern = PatternKind::kUniform;
+  double rate = 0.004;  ///< offered load, flits/node/cycle
+
+  TopologyOptions options;           ///< num_cores etc.
+  OwnConfig own_config = OwnConfig::kConfig4;  ///< Table IV row (OWN only)
+  Scenario scenario = Scenario::kIdeal;        ///< Table III outlook
+
+  RunPhases phases;
+  Injector::Params injector;  ///< .rate overridden by `rate`
+  PowerParams power;
+};
+
+struct ExperimentResult {
+  std::string name;
+  RunResult run;
+  PowerBreakdown power;
+  double energy_per_packet_pj = 0.0;
+};
+
+/// The OWN per-channel energy model for a given size/config/scenario;
+/// nullopt for non-OWN topologies.
+std::optional<ChannelEnergyModel> own_channel_energy(
+    TopologyKind topology, int num_cores, OwnConfig config, Scenario scenario);
+
+/// Factory building fresh networks of this experiment's topology (used by
+/// the sweep machinery; each load point gets clean counters).
+NetworkFactory make_network_factory(TopologyKind topology,
+                                    TopologyOptions options);
+
+/// Runs one load point end to end (build, warm, measure, drain, aggregate).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace ownsim

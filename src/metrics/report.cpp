@@ -1,0 +1,122 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace ownsim {
+
+NetworkReport::NetworkReport(const Network& network) {
+  elapsed_ = network.engine().now();
+  if (elapsed_ <= 0) {
+    throw std::logic_error("NetworkReport: network has not simulated yet");
+  }
+  const double cycles = static_cast<double>(elapsed_);
+
+  channels_.reserve(network.num_network_channels() + network.num_media());
+  for (std::size_t i = 0; i < network.num_network_channels(); ++i) {
+    const Channel& channel = network.network_channel(i);
+    ChannelUtilization util;
+    util.name = channel.name();
+    util.medium = channel.medium();
+    util.shared = false;
+    util.flits = channel.counters().flits;
+    util.utilization = static_cast<double>(util.flits) /
+                       (cycles / channel.cycles_per_flit());
+    channels_.push_back(std::move(util));
+  }
+  for (std::size_t i = 0; i < network.num_media(); ++i) {
+    const SharedMedium& medium = network.medium(i);
+    ChannelUtilization util;
+    util.name = medium.params().name;
+    util.medium = medium.params().medium;
+    util.shared = true;
+    util.flits = medium.counters().flits;
+    util.utilization = static_cast<double>(util.flits) /
+                       (cycles / medium.params().cycles_per_flit);
+    util.token_wait_share =
+        static_cast<double>(medium.counters().token_wait_cycles) / cycles;
+    channels_.push_back(std::move(util));
+  }
+
+  routers_.reserve(static_cast<std::size_t>(network.spec().num_routers()));
+  for (RouterId r = 0; r < network.spec().num_routers(); ++r) {
+    RouterActivity activity;
+    activity.id = r;
+    activity.crossbar_flits = network.router(r).counters().crossbar_flits;
+    activity.crossbar_load =
+        static_cast<double>(activity.crossbar_flits) / cycles;
+    routers_.push_back(activity);
+  }
+}
+
+const ChannelUtilization& NetworkReport::hottest_channel() const {
+  return *std::max_element(channels_.begin(), channels_.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.utilization < b.utilization;
+                           });
+}
+
+const RouterActivity& NetworkReport::hottest_router() const {
+  return *std::max_element(routers_.begin(), routers_.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.crossbar_load < b.crossbar_load;
+                           });
+}
+
+double NetworkReport::mean_utilization(MediumType medium) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& channel : channels_) {
+    if (channel.medium != medium) continue;
+    sum += channel.utilization;
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double NetworkReport::max_utilization(MediumType medium) const {
+  double max = 0.0;
+  for (const auto& channel : channels_) {
+    if (channel.medium == medium) max = std::max(max, channel.utilization);
+  }
+  return max;
+}
+
+void NetworkReport::write_channels_csv(std::ostream& os) const {
+  os << "name,medium,shared,flits,utilization,token_wait_share\n";
+  for (const auto& c : channels_) {
+    os << c.name << ',' << to_string(c.medium) << ',' << (c.shared ? 1 : 0)
+       << ',' << c.flits << ',' << c.utilization << ',' << c.token_wait_share
+       << '\n';
+  }
+}
+
+void NetworkReport::write_routers_csv(std::ostream& os) const {
+  os << "router,crossbar_flits,crossbar_load\n";
+  for (const auto& r : routers_) {
+    os << r.id << ',' << r.crossbar_flits << ',' << r.crossbar_load << '\n';
+  }
+}
+
+void NetworkReport::write_json(std::ostream& os) const {
+  os << "{\n  \"elapsed_cycles\": " << elapsed_ << ",\n  \"channels\": [";
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto& c = channels_[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << c.name
+       << "\", \"medium\": \"" << to_string(c.medium)
+       << "\", \"shared\": " << (c.shared ? "true" : "false")
+       << ", \"flits\": " << c.flits << ", \"utilization\": " << c.utilization
+       << ", \"token_wait_share\": " << c.token_wait_share << "}";
+  }
+  os << "\n  ],\n  \"routers\": [";
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const auto& r = routers_[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"id\": " << r.id
+       << ", \"crossbar_flits\": " << r.crossbar_flits
+       << ", \"crossbar_load\": " << r.crossbar_load << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace ownsim

@@ -1,0 +1,61 @@
+// Post-run reporting: per-link/medium utilization, per-router activity and
+// machine-readable exports (CSV / JSON) for downstream analysis or plotting.
+//
+// Utilization of a channel = flit-slots used / flit-slots available
+// (elapsed / cycles_per_flit), i.e. 1.0 means the serialization budget was
+// fully consumed — the quantity the bisection normalization reasons about.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace ownsim {
+
+struct ChannelUtilization {
+  std::string name;
+  MediumType medium = MediumType::kElectrical;
+  bool shared = false;        ///< SharedMedium vs point-to-point link
+  std::int64_t flits = 0;
+  double utilization = 0.0;   ///< [0, 1]
+  double token_wait_share = 0.0;  ///< shared media: waiting cycles / elapsed
+};
+
+struct RouterActivity {
+  RouterId id = 0;
+  std::int64_t crossbar_flits = 0;
+  double crossbar_load = 0.0;  ///< flits per cycle through the crossbar
+};
+
+class NetworkReport {
+ public:
+  /// Snapshots utilization/activity after (part of) a simulation.
+  explicit NetworkReport(const Network& network);
+
+  const std::vector<ChannelUtilization>& channels() const { return channels_; }
+  const std::vector<RouterActivity>& routers() const { return routers_; }
+
+  /// Most-utilized channel (the bottleneck candidate).
+  const ChannelUtilization& hottest_channel() const;
+  /// Busiest router by crossbar load.
+  const RouterActivity& hottest_router() const;
+
+  /// Mean/max utilization over channels of one medium type.
+  double mean_utilization(MediumType medium) const;
+  double max_utilization(MediumType medium) const;
+
+  /// Exports (one row per channel / router).
+  void write_channels_csv(std::ostream& os) const;
+  void write_routers_csv(std::ostream& os) const;
+  /// Whole report as a JSON object.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Cycle elapsed_ = 0;
+  std::vector<ChannelUtilization> channels_;
+  std::vector<RouterActivity> routers_;
+};
+
+}  // namespace ownsim

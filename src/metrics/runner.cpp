@@ -1,0 +1,75 @@
+#include "metrics/runner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ownsim {
+
+RunResult run_load_point(Network& network, Injector& injector,
+                         const RunPhases& phases) {
+  Engine& engine = network.engine();
+  Nic& nic = network.nic();
+
+  engine.run(phases.warmup);
+
+  const Cycle begin = engine.now();
+  const Cycle end = begin + phases.measure;
+  injector.set_measure_window(begin, end);
+  nic.clear_records();
+  const std::int64_t ejected_before = nic.flits_ejected();
+  // Snapshot BEFORE the window: measured packets ejected inside the window
+  // must count toward drain completion too.
+  const std::int64_t measured_base = nic.measured_ejected();
+
+  engine.run(phases.measure);
+  const std::int64_t ejected_in_window = nic.flits_ejected() - ejected_before;
+  const auto measured_done = [&] {
+    return nic.measured_ejected() - measured_base >=
+           injector.measured_offered();
+  };
+  const bool drained =
+      measured_done() || engine.run_until(measured_done, phases.drain_limit);
+
+  RunResult result;
+  result.offered_rate = injector.params().rate;
+  result.drained = drained;
+  result.throughput =
+      static_cast<double>(ejected_in_window) /
+      (static_cast<double>(network.spec().num_nodes) *
+       static_cast<double>(phases.measure));
+
+  RunningStat total;
+  RunningStat net;
+  RunningStat hops;
+  std::vector<double> latencies;
+  for (const auto& rec : nic.records()) {
+    if (!rec.measured) continue;
+    const auto latency = static_cast<double>(rec.total_latency());
+    total.add(latency);
+    net.add(static_cast<double>(rec.network_latency()));
+    hops.add(static_cast<double>(rec.hops));
+    latencies.push_back(latency);
+    result.latency_histogram.add(latency);
+  }
+  result.measured_packets = total.count();
+  result.avg_latency = total.mean();
+  result.avg_net_latency = net.mean();
+  result.max_latency = total.max();
+  result.avg_hops = hops.mean();
+  if (!latencies.empty()) {
+    const auto p99 = static_cast<std::size_t>(
+        0.99 * static_cast<double>(latencies.size() - 1));
+    std::nth_element(latencies.begin(), latencies.begin() + p99,
+                     latencies.end());
+    result.p99_latency = latencies[p99];
+    const auto p50 = latencies.size() / 2;
+    std::nth_element(latencies.begin(), latencies.begin() + p50,
+                     latencies.end());
+    result.p50_latency = latencies[p50];
+  }
+  return result;
+}
+
+}  // namespace ownsim

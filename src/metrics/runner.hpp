@@ -1,0 +1,49 @@
+// Measurement driver: warmup / measure / drain phases over one network.
+//
+// Methodology (standard open-loop NoC evaluation, matching §V):
+//  1. warm the network at the offered load,
+//  2. tag packets created during the measurement window,
+//  3. keep simulating until every tagged packet ejects (or the drain budget
+//     runs out, which marks the point as saturated/undrained).
+//
+// Latency is reported creation -> tail ejection (includes source queueing,
+// so it diverges sharply at saturation, producing the Fig 7(b,c) knees).
+// Accepted throughput is ejected flits per node per cycle over the window.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "network/network.hpp"
+#include "traffic/injector.hpp"
+
+namespace ownsim {
+
+struct RunPhases {
+  Cycle warmup = 2000;
+  Cycle measure = 5000;
+  Cycle drain_limit = 60000;  ///< extra cycles allowed after the window
+};
+
+struct RunResult {
+  double offered_rate = 0.0;     ///< flits/node/cycle offered
+  double throughput = 0.0;       ///< flits/node/cycle accepted in-window
+  double avg_latency = 0.0;      ///< cycles, creation -> tail ejection
+  double avg_net_latency = 0.0;  ///< cycles, injection -> tail ejection
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;      ///< cycles (from the measured population)
+  double max_latency = 0.0;
+  double avg_hops = 0.0;
+  std::int64_t measured_packets = 0;
+  bool drained = false;  ///< all measured packets ejected in budget
+
+  /// Latency distribution of the measured packets (total latency, cycles).
+  Histogram latency_histogram{0.0, 4096.0, 128};
+};
+
+/// Runs one load point. The injector must already be registered with the
+/// network's engine (exactly once).
+RunResult run_load_point(Network& network, Injector& injector,
+                         const RunPhases& phases);
+
+}  // namespace ownsim

@@ -1,0 +1,59 @@
+#include "metrics/sweep.hpp"
+
+#include <stdexcept>
+
+namespace ownsim {
+namespace {
+
+RunResult run_fresh(const NetworkFactory& factory, PatternKind pattern,
+                    double rate, const RunPhases& phases,
+                    Injector::Params params) {
+  std::unique_ptr<Network> network = factory();
+  params.rate = rate;
+  TrafficPattern traffic(pattern, network->spec().num_nodes);
+  Injector injector(network.get(), traffic, params);
+  network->engine().add(&injector);
+  return run_load_point(*network, injector, phases);
+}
+
+}  // namespace
+
+SweepResult latency_sweep(const NetworkFactory& factory,
+                          const SweepOptions& options) {
+  if (options.rates.empty()) {
+    throw std::invalid_argument("latency_sweep: no rates given");
+  }
+  SweepResult sweep;
+
+  const RunResult zero = run_fresh(factory, options.pattern,
+                                   options.zero_load_rate, options.phases,
+                                   options.injector);
+  sweep.zero_load_latency = zero.avg_latency;
+
+  bool saturated = false;
+  for (const double rate : options.rates) {
+    if (saturated && options.stop_after_saturation) break;
+    const RunResult r =
+        run_fresh(factory, options.pattern, rate, options.phases,
+                  options.injector);
+    sweep.points.push_back({rate, r});
+    const bool is_saturated =
+        !r.drained ||
+        r.avg_latency > options.saturation_factor * sweep.zero_load_latency;
+    if (!is_saturated) {
+      sweep.saturation_rate = rate;
+    } else {
+      saturated = true;
+    }
+  }
+  return sweep;
+}
+
+RunResult saturation_throughput(const NetworkFactory& factory,
+                                PatternKind pattern, double offered,
+                                const RunPhases& phases,
+                                Injector::Params injector) {
+  return run_fresh(factory, pattern, offered, phases, injector);
+}
+
+}  // namespace ownsim

@@ -1,0 +1,57 @@
+// Load sweeps and saturation-point detection (Fig 7b,c methodology).
+//
+// A sweep builds a *fresh* network per load point (clean counters, clean
+// queues), measures each point with `run_load_point`, and locates the
+// saturation load: the first offered rate whose average latency exceeds
+// `saturation_factor` x zero-load latency (or that fails to drain).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "metrics/runner.hpp"
+#include "network/network.hpp"
+#include "traffic/injector.hpp"
+
+namespace ownsim {
+
+/// Builds a fresh network instance for one load point.
+using NetworkFactory = std::function<std::unique_ptr<Network>()>;
+
+struct SweepPoint {
+  double rate = 0.0;
+  RunResult result;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  double zero_load_latency = 0.0;
+  /// Highest swept rate still under the saturation criterion; 0 when even
+  /// the lowest rate saturates.
+  double saturation_rate = 0.0;
+};
+
+struct SweepOptions {
+  std::vector<double> rates;          ///< offered loads to visit, ascending
+  double zero_load_rate = 0.0005;     ///< probe load for zero-load latency
+  double saturation_factor = 3.0;
+  RunPhases phases;
+  Injector::Params injector;          ///< .rate is overridden per point
+  PatternKind pattern = PatternKind::kUniform;
+  bool stop_after_saturation = true;  ///< skip points beyond the first saturated one
+};
+
+/// Runs the sweep. The factory is invoked once per load point plus once for
+/// the zero-load probe.
+SweepResult latency_sweep(const NetworkFactory& factory,
+                          const SweepOptions& options);
+
+/// Accepted throughput at a saturating offered load (Fig 7a / Fig 8a
+/// methodology): drive the network at `offered` and report what it accepts.
+RunResult saturation_throughput(const NetworkFactory& factory,
+                                PatternKind pattern, double offered,
+                                const RunPhases& phases,
+                                Injector::Params injector);
+
+}  // namespace ownsim

@@ -1,0 +1,99 @@
+#include "network/channel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ownsim {
+
+Channel::Channel(MediumType medium, int latency, int cycles_per_flit,
+                 int num_vcs, int buffer_depth, double distance_mm,
+                 const std::vector<VcClassRange>* classes, std::string name)
+    : medium_(medium),
+      latency_(latency),
+      cycles_per_flit_(cycles_per_flit),
+      distance_mm_(distance_mm),
+      classes_(classes),
+      name_(std::move(name)),
+      credits_(static_cast<std::size_t>(num_vcs), buffer_depth),
+      vc_busy_(static_cast<std::size_t>(num_vcs), false),
+      rr_next_(classes != nullptr ? classes->size() : 1, 0) {
+  if (latency < 1) throw std::invalid_argument("Channel: latency must be >= 1");
+  if (cycles_per_flit < 1) {
+    throw std::invalid_argument("Channel: cycles_per_flit must be >= 1");
+  }
+  if (num_vcs < 1 || buffer_depth < 1) {
+    throw std::invalid_argument("Channel: need >=1 VC and >=1 buffer slot");
+  }
+  if (classes_ == nullptr) {
+    throw std::invalid_argument("Channel: classes must not be null");
+  }
+}
+
+VcId Channel::Sender::alloc_vc(int vc_class, Cycle /*now*/) {
+  auto& ch = *channel;
+  const auto& cls = (*ch.classes_).at(static_cast<std::size_t>(vc_class));
+  // Round-robin over the class's VC range for fairness across packets.
+  int& rr = ch.rr_next_[static_cast<std::size_t>(vc_class)];
+  for (int i = 0; i < cls.count; ++i) {
+    const VcId vc = cls.first + (rr + i) % cls.count;
+    if (!ch.vc_busy_[vc]) {
+      ch.vc_busy_[vc] = true;
+      rr = (rr + i + 1) % cls.count;
+      return vc;
+    }
+  }
+  return kInvalidId;
+}
+
+bool Channel::Sender::can_accept(const Flit& flit, Cycle now) const {
+  const auto& ch = *channel;
+  assert(flit.vc >= 0 && flit.vc < ch.num_vcs());
+  return now >= ch.next_free_ && ch.credits_[flit.vc] > 0;
+}
+
+void Channel::Sender::accept(const Flit& flit, Cycle now) {
+  auto& ch = *channel;
+  assert(can_accept(flit, now));
+  ch.staged_flits_.push_back({flit, now + ch.latency_});
+  ch.next_free_ = now + ch.cycles_per_flit_;
+  --ch.credits_[flit.vc];
+  if (flit.tail) ch.vc_busy_[flit.vc] = false;
+  ++ch.counters_.flits;
+  ch.counters_.bits += flit.size_bits;
+}
+
+const Flit* Channel::Receiver::poll(Cycle now) {
+  auto& ch = *channel;
+  if (ch.flit_pipe_.empty() || ch.flit_pipe_.front().arrival > now) {
+    return nullptr;
+  }
+  return &ch.flit_pipe_.front().flit;
+}
+
+void Channel::Receiver::pop(Cycle /*now*/) {
+  assert(!channel->flit_pipe_.empty());
+  channel->flit_pipe_.pop_front();
+}
+
+void Channel::Receiver::push_credit(VcId vc, Cycle now) {
+  channel->staged_credits_.push_back({vc, now + 1});
+}
+
+void Channel::eval(Cycle now) {
+  // Apply credits that have completed their reverse-pipe trip. Doing this in
+  // eval (against last cycle's commits) keeps results order-independent.
+  while (!credit_pipe_.empty() && credit_pipe_.front().arrival <= now) {
+    ++credits_[credit_pipe_.front().vc];
+    credit_pipe_.pop_front();
+  }
+}
+
+void Channel::commit(Cycle /*now*/) {
+  for (auto& t : staged_flits_) flit_pipe_.push_back(std::move(t));
+  staged_flits_.clear();
+  for (auto& c : staged_credits_) credit_pipe_.push_back(c);
+  staged_credits_.clear();
+}
+
+}  // namespace ownsim

@@ -1,0 +1,117 @@
+// Point-to-point link with credit-based flow control.
+//
+// A `Channel` joins one upstream output port to one downstream input port.
+// It bundles:
+//   * a forward flit pipe with `latency` cycles of delay and a serialization
+//     constraint of `cycles_per_flit` (bandwidth normalization — see
+//     topology/bisection.*), and
+//   * a reverse credit pipe (fixed 1-cycle latency) so the sender tracks the
+//     downstream buffer occupancy per VC.
+//
+// The sender side implements `OutputEndpoint` (VC allocation against the
+// downstream input port, credit checks); the receiver side implements
+// `InputEndpoint`. Both latencies are >= 1, so component eval order never
+// affects results.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/endpoints.hpp"
+#include "network/flit.hpp"
+#include "sim/clocked.hpp"
+
+namespace ownsim {
+
+/// Maps a deadlock class to a contiguous range of VC ids.
+struct VcClassRange {
+  VcId first = 0;
+  int count = 1;
+};
+
+/// Traffic counters for energy accounting (read post-run by the power model).
+struct LinkCounters {
+  std::int64_t flits = 0;
+  std::int64_t bits = 0;
+};
+
+class Channel final : public Clocked {
+ public:
+  /// `num_vcs`/`buffer_depth` describe the downstream input port;
+  /// `classes` maps vc_class -> VC range (shared network-wide).
+  Channel(MediumType medium, int latency, int cycles_per_flit, int num_vcs,
+          int buffer_depth, double distance_mm,
+          const std::vector<VcClassRange>* classes, std::string name);
+
+  OutputEndpoint* out() { return &sender_; }
+  InputEndpoint* in() { return &receiver_; }
+
+  void eval(Cycle now) override;
+  void commit(Cycle now) override;
+
+  MediumType medium() const { return medium_; }
+  int latency() const { return latency_; }
+  int cycles_per_flit() const { return cycles_per_flit_; }
+  double distance_mm() const { return distance_mm_; }
+  const std::string& name() const { return name_; }
+  const LinkCounters& counters() const { return counters_; }
+  int num_vcs() const { return static_cast<int>(credits_.size()); }
+
+  /// Sender-visible credits for `vc` (mainly for tests).
+  int credits(VcId vc) const { return credits_[vc]; }
+  bool vc_busy(VcId vc) const { return vc_busy_[vc]; }
+
+ private:
+  struct Sender final : OutputEndpoint {
+    explicit Sender(Channel* ch) : channel(ch) {}
+    VcId alloc_vc(int vc_class, Cycle now) override;
+    bool can_accept(const Flit& flit, Cycle now) const override;
+    void accept(const Flit& flit, Cycle now) override;
+    Channel* channel;
+  };
+
+  struct Receiver final : InputEndpoint {
+    explicit Receiver(Channel* ch) : channel(ch) {}
+    const Flit* poll(Cycle now) override;
+    void pop(Cycle now) override;
+    void push_credit(VcId vc, Cycle now) override;
+    Channel* channel;
+  };
+
+  struct Timed {
+    Flit flit;
+    Cycle arrival;
+  };
+  struct TimedCredit {
+    VcId vc;
+    Cycle arrival;
+  };
+
+  MediumType medium_;
+  int latency_;
+  int cycles_per_flit_;
+  double distance_mm_;
+  const std::vector<VcClassRange>* classes_;
+  std::string name_;
+
+  // Sender state (touched only by the upstream component's eval).
+  std::vector<int> credits_;
+  std::vector<bool> vc_busy_;
+  std::vector<int> rr_next_;  // per-class round-robin VC pointer
+  Cycle next_free_ = 0;
+
+  // Pipes. `staged_*` filled during eval, merged in commit.
+  std::deque<Timed> flit_pipe_;
+  std::vector<Timed> staged_flits_;
+  std::deque<TimedCredit> credit_pipe_;
+  std::vector<TimedCredit> staged_credits_;
+
+  LinkCounters counters_;
+  Sender sender_{this};
+  Receiver receiver_{this};
+};
+
+}  // namespace ownsim

@@ -1,0 +1,14 @@
+#include "network/flit.hpp"
+
+namespace ownsim {
+
+const char* to_string(MediumType medium) {
+  switch (medium) {
+    case MediumType::kElectrical: return "electrical";
+    case MediumType::kPhotonic: return "photonic";
+    case MediumType::kWireless: return "wireless";
+  }
+  return "?";
+}
+
+}  // namespace ownsim

@@ -1,0 +1,61 @@
+// Flit and packet-level types.
+//
+// Packets are wormhole-switched as sequences of flits. The head flit carries
+// routing metadata; every flit carries enough bookkeeping for latency and
+// energy accounting. Flits are passed by value (the struct is small and
+// trivially copyable).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ownsim {
+
+/// Physical medium a link or shared channel is built from. Drives both the
+/// timing normalization (serialization factor) and the energy model category.
+enum class MediumType : std::uint8_t { kElectrical, kPhotonic, kWireless };
+
+const char* to_string(MediumType medium);
+
+struct Flit {
+  PacketId packet = -1;
+  NodeId src = kInvalidId;
+  NodeId dst = kInvalidId;
+  RouterId dst_router = kInvalidId;
+
+  bool head = false;
+  bool tail = false;
+  std::int16_t seq = 0;        ///< flit index within its packet
+  std::int16_t packet_size = 1;///< flits in the packet
+
+  VcId vc = kInvalidId;        ///< VC on the link currently being traversed
+  std::int8_t vc_class = 0;    ///< deadlock class required at the next hop
+
+  Cycle created = 0;           ///< cycle the packet entered its source queue
+  Cycle injected = kNeverCycle;///< cycle the head flit entered the network
+  std::int16_t hops = 0;       ///< router traversals so far
+  bool measured = false;       ///< counts toward measurement-window stats
+
+  std::uint32_t size_bits = 128;  ///< payload bits (for energy accounting)
+};
+
+/// Per-packet record produced at ejection; consumed by the metrics layer.
+struct PacketRecord {
+  PacketId packet = -1;
+  NodeId src = kInvalidId;
+  NodeId dst = kInvalidId;
+  Cycle created = 0;
+  Cycle injected = 0;
+  Cycle ejected = 0;
+  std::int16_t hops = 0;
+  std::int16_t size_flits = 1;
+  bool measured = false;
+
+  /// Queue + network latency, creation to tail ejection.
+  Cycle total_latency() const { return ejected - created; }
+  /// Network-only latency, head injection to tail ejection.
+  Cycle network_latency() const { return ejected - injected; }
+};
+
+}  // namespace ownsim

@@ -1,0 +1,82 @@
+// Network assembler: turns a `NetworkSpec` into live components.
+//
+// Owns the routers, channels, shared media and the NIC; registers everything
+// with an internal `Engine`. Traffic generators (src/traffic) enqueue packets
+// into the NIC and are registered with the same engine by the driver.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/nic.hpp"
+#include "network/router.hpp"
+#include "network/shared_medium.hpp"
+#include "network/spec.hpp"
+#include "sim/engine.hpp"
+
+namespace ownsim {
+
+class Network {
+ public:
+  /// Validates the spec and builds all components. Throws on malformed specs.
+  explicit Network(NetworkSpec spec);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  Nic& nic() { return *nic_; }
+  const Nic& nic() const { return *nic_; }
+  const NetworkSpec& spec() const { return spec_; }
+
+  /// Router id serving node `n`.
+  RouterId router_of(NodeId n) const { return spec_.nodes[n].router; }
+
+  /// Deadlock class for injecting a packet src -> dst (NIC needs this).
+  /// `use_alt` starts the packet on the alternate routing function when the
+  /// topology provides one (O1TURN-style multi-path).
+  int injection_vc_class(NodeId src, NodeId dst, bool use_alt = false) const {
+    return spec_.injection_vc_class(router_of(src), router_of(dst), use_alt);
+  }
+
+  // ---- component access (tests / power model) -------------------------------
+  const Router& router(RouterId r) const { return *routers_.at(r); }
+  /// Channels in spec order (spec_.links[i] <-> network_channel(i)).
+  const Channel& network_channel(std::size_t i) const { return *channels_.at(i); }
+  std::size_t num_network_channels() const { return channels_.size(); }
+  const SharedMedium& medium(std::size_t i) const { return *media_.at(i); }
+  std::size_t num_media() const { return media_.size(); }
+
+  /// True when no packet is anywhere in flight (queues, routers, links).
+  bool drained() const { return nic_->packets_in_flight() == 0; }
+
+ private:
+  /// Route lookups against the spec's tables + node attachments.
+  class SpecOracle final : public RoutingOracle {
+   public:
+    explicit SpecOracle(const Network* network) : network_(network) {}
+    RouteEntry route(RouterId at, const Flit& head) const override;
+
+   private:
+    const Network* network_;
+  };
+
+  NetworkSpec spec_;
+  Engine engine_;
+  SpecOracle oracle_{this};
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Channel>> channels_;       ///< network links
+  std::vector<std::unique_ptr<Channel>> node_channels_;  ///< inject+eject
+  std::vector<std::unique_ptr<SharedMedium>> media_;
+  std::unique_ptr<Nic> nic_;
+
+  /// Per router: attached nodes in attachment order (ejection port order).
+  std::vector<std::vector<NodeId>> attached_;
+  /// Per node: index within its router's attachment list.
+  std::vector<int> local_index_;
+};
+
+}  // namespace ownsim

@@ -1,0 +1,88 @@
+// Network interface controller.
+//
+// One `Nic` instance serves every core: it owns per-node source queues,
+// injects flits through each node's injection channel (respecting VC
+// allocation and credits, exactly like a router output), and drains each
+// node's ejection channel, assembling `PacketRecord`s when tail flits land.
+//
+// Source queues are unbounded so that offered load beyond saturation is
+// measurable (accepted throughput flattens while queues grow) — the standard
+// open-loop methodology for latency/throughput curves (Fig 7b,c).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/endpoints.hpp"
+#include "network/flit.hpp"
+#include "sim/clocked.hpp"
+
+namespace ownsim {
+
+class Nic final : public Clocked {
+ public:
+  explicit Nic(int num_nodes);
+
+  /// Wiring (once per node, before the first cycle).
+  void connect(NodeId node, OutputEndpoint* inject, InputEndpoint* eject);
+
+  /// Queues a `size_flits`-flit packet for injection. `vc_class` is the
+  /// deadlock class of the packet's first hop out of the source router.
+  /// Returns the packet's id (unique per simulation).
+  PacketId enqueue_packet(NodeId src, NodeId dst, RouterId dst_router,
+                          int size_flits, std::uint32_t flit_bits,
+                          int vc_class, Cycle now, bool measured);
+
+  /// Invoked at every tail-flit ejection, after the record is stored.
+  /// Used by closed-loop traffic (request/reply) to react to arrivals.
+  using EjectCallback = std::function<void(const PacketRecord&, Cycle now)>;
+  void set_eject_callback(EjectCallback callback) {
+    on_eject_ = std::move(callback);
+  }
+
+  void eval(Cycle now) override;
+  void commit(Cycle /*now*/) override {}
+
+  /// Packets fully ejected so far (records kept in ejection order).
+  const std::vector<PacketRecord>& records() const { return records_; }
+  /// Drops accumulated records (e.g. after warmup).
+  void clear_records() { records_.clear(); }
+
+  /// Flits waiting in source queues (offered-but-not-injected backlog).
+  std::int64_t queued_flits() const { return queued_flits_; }
+  /// Packets created / injected / ejected since construction.
+  std::int64_t packets_created() const { return packets_created_; }
+  std::int64_t packets_ejected() const { return packets_ejected_; }
+  /// Measured packets fully ejected (drain detection for the runner).
+  std::int64_t measured_ejected() const { return measured_ejected_; }
+  std::int64_t flits_injected() const { return flits_injected_; }
+  std::int64_t flits_ejected() const { return flits_ejected_; }
+  /// Packets in flight (created but not fully ejected).
+  std::int64_t packets_in_flight() const {
+    return packets_created_ - packets_ejected_;
+  }
+
+ private:
+  struct Port {
+    OutputEndpoint* inject = nullptr;
+    InputEndpoint* eject = nullptr;
+    std::deque<Flit> queue;
+    VcId open_vc = kInvalidId;  ///< VC of the packet currently injecting
+  };
+
+  std::vector<Port> ports_;
+  std::vector<PacketRecord> records_;
+  EjectCallback on_eject_;
+  PacketId next_packet_ = 0;
+  std::int64_t queued_flits_ = 0;
+  std::int64_t packets_created_ = 0;
+  std::int64_t packets_ejected_ = 0;
+  std::int64_t measured_ejected_ = 0;
+  std::int64_t flits_injected_ = 0;
+  std::int64_t flits_ejected_ = 0;
+};
+
+}  // namespace ownsim

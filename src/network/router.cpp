@@ -1,0 +1,218 @@
+#include "network/router.hpp"
+
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+
+namespace ownsim {
+
+Router::Router(Params params, const std::vector<VcClassRange>* classes,
+               const RoutingOracle* oracle)
+    : params_(params), classes_(classes), oracle_(oracle) {
+  if (params_.num_inputs < 1 || params_.num_outputs < 1) {
+    throw std::invalid_argument("Router: needs >=1 input and output port");
+  }
+  if (classes_ == nullptr || oracle_ == nullptr) {
+    throw std::invalid_argument("Router: classes and oracle must not be null");
+  }
+  inputs_.resize(static_cast<std::size_t>(params_.num_inputs));
+  for (auto& port : inputs_) {
+    port.vcs.resize(static_cast<std::size_t>(params_.num_vcs));
+    for (auto& vc : port.vcs) {
+      vc.buffer = RingBuffer<Flit>(static_cast<std::size_t>(params_.buffer_depth));
+    }
+  }
+  outputs_.resize(static_cast<std::size_t>(params_.num_outputs));
+  sa_request_.assign(inputs_.size(), -1);
+  sa_winners_.reserve(inputs_.size());
+  grant_key_.assign(outputs_.size(), -1);
+  grant_input_.assign(outputs_.size(), -1);
+  granted_outputs_.reserve(outputs_.size());
+}
+
+void Router::connect_input(PortId port, InputEndpoint* endpoint) {
+  auto& slot = inputs_.at(static_cast<std::size_t>(port)).endpoint;
+  if (slot != nullptr) throw std::logic_error("Router: input port double-wired");
+  slot = endpoint;
+}
+
+void Router::connect_output(PortId port, OutputEndpoint* endpoint) {
+  auto& slot = outputs_.at(static_cast<std::size_t>(port)).endpoint;
+  if (slot != nullptr) throw std::logic_error("Router: output port double-wired");
+  slot = endpoint;
+}
+
+void Router::eval(Cycle now) {
+  // Order implements pipelining: SA consumes last cycle's VCA grants, VCA
+  // consumes last cycle's RC results, and so on. Intake runs first so an
+  // arriving head is detected the same cycle and enters RC the next.
+  stage_intake(now);
+  stage_switch(now);
+  stage_vca(now);
+  stage_rc(now);
+  stage_detect(now);
+}
+
+void Router::stage_intake(Cycle now) {
+  for (auto& port : inputs_) {
+    if (port.endpoint == nullptr) continue;
+    const Flit* flit = port.endpoint->poll(now);
+    if (flit == nullptr) continue;
+    auto& vc = port.vcs.at(static_cast<std::size_t>(flit->vc));
+    assert(!vc.buffer.full() && "credit protocol violated");
+    vc.buffer.push(*flit);
+    port.endpoint->pop(now);
+    ++occupancy_;
+    ++counters_.buffer_writes;
+  }
+}
+
+void Router::stage_switch(Cycle now) {
+  // SA stage 1: each input port nominates one ACTIVE VC with a sendable flit.
+  sa_winners_.clear();
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    auto& port = inputs_[i];
+    sa_request_[i] = -1;
+    const int nvc = static_cast<int>(port.vcs.size());
+    for (int k = 0; k < nvc; ++k) {
+      const int v = (port.rr_vc + k) % nvc;
+      auto& vc = port.vcs[static_cast<std::size_t>(v)];
+      if (vc.state != VcState::kActive || vc.buffer.empty()) continue;
+      Flit flit = vc.buffer.front();
+      flit.vc = vc.out_vc;
+      auto* out = outputs_[static_cast<std::size_t>(vc.route.out_port)].endpoint;
+      if (out != nullptr && out->can_accept(flit, now)) {
+        sa_request_[i] = v;
+        sa_winners_.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+
+  // SA stage 2: each contended output grants the requesting input with the
+  // smallest round-robin distance from its pointer (equivalent to scanning
+  // inputs from rr_input, but O(#requests) instead of O(inputs x outputs)).
+  const int n_in = static_cast<int>(inputs_.size());
+  for (int i : sa_winners_) {
+    const int v = sa_request_[static_cast<std::size_t>(i)];
+    const auto& vc =
+        inputs_[static_cast<std::size_t>(i)].vcs[static_cast<std::size_t>(v)];
+    const auto o = static_cast<std::size_t>(vc.route.out_port);
+    const int key = (i - outputs_[o].rr_input + n_in) % n_in;
+    if (grant_key_[o] < 0) granted_outputs_.push_back(static_cast<int>(o));
+    if (grant_key_[o] < 0 || key < grant_key_[o]) {
+      grant_key_[o] = key;
+      grant_input_[o] = i;
+    }
+  }
+
+  // ST + LT launch for every granted (input, output) pair.
+  for (const int o : granted_outputs_) {
+    auto& out = outputs_[static_cast<std::size_t>(o)];
+    const int i = grant_input_[static_cast<std::size_t>(o)];
+    grant_key_[static_cast<std::size_t>(o)] = -1;
+    auto& port = inputs_[static_cast<std::size_t>(i)];
+    const int v = sa_request_[static_cast<std::size_t>(i)];
+    auto& vc = port.vcs[static_cast<std::size_t>(v)];
+
+    Flit flit = vc.buffer.pop();
+    --occupancy_;
+    const VcId arrived_vc = flit.vc;  // VC on the upstream link (for credit)
+    flit.vc = vc.out_vc;
+    ++flit.hops;
+    out.endpoint->accept(flit, now);
+    port.endpoint->push_credit(arrived_vc, now);
+
+    ++counters_.buffer_reads;
+    ++counters_.crossbar_flits;
+    counters_.crossbar_bits += flit.size_bits;
+    ++counters_.switch_allocations;
+
+    port.rr_vc = (v + 1) % static_cast<int>(port.vcs.size());
+    out.rr_input = (i + 1) % n_in;
+
+    if (flit.tail) {
+      vc.state = VcState::kIdle;
+      vc.out_vc = kInvalidId;
+    }
+  }
+  granted_outputs_.clear();
+}
+
+void Router::stage_vca(Cycle now) {
+  // Separable VCA: walk input VCs starting from a rotating offset; each
+  // requester asks its output endpoint for a downstream VC of the packet's
+  // class. Endpoints grant first-come within a cycle, so the rotation
+  // provides fairness across ports.
+  const int total = static_cast<int>(inputs_.size()) * params_.num_vcs;
+  for (int k = 0; k < total; ++k) {
+    const int idx = (vca_rr_ + k) % total;
+    const int i = idx / params_.num_vcs;
+    const int v = idx % params_.num_vcs;
+    auto& vc = inputs_[static_cast<std::size_t>(i)].vcs[static_cast<std::size_t>(v)];
+    if (vc.state != VcState::kVca) continue;
+    auto* out = outputs_[static_cast<std::size_t>(vc.route.out_port)].endpoint;
+    if (out == nullptr) continue;
+    const VcId granted = out->alloc_vc(vc.route.vc_class, now);
+    if (granted != kInvalidId) {
+      vc.out_vc = granted;
+      vc.state = VcState::kActive;
+      ++counters_.vc_allocations;
+    }
+  }
+  vca_rr_ = (vca_rr_ + params_.num_vcs) % std::max(1, total);
+}
+
+void Router::stage_rc(Cycle now) {
+  (void)now;
+  for (auto& port : inputs_) {
+    for (auto& vc : port.vcs) {
+      if (vc.state != VcState::kRouting) continue;
+      assert(!vc.buffer.empty() && vc.buffer.front().head);
+      Flit& head = vc.buffer.front();
+      vc.route = oracle_->route(params_.id, head);
+      assert(vc.route.out_port >= 0 &&
+             vc.route.out_port < static_cast<PortId>(outputs_.size()));
+      head.vc_class = vc.route.vc_class;
+      vc.state = VcState::kVca;
+      ++counters_.route_computations;
+    }
+  }
+}
+
+void Router::dump_state(std::ostream& os) const {
+  static const char* kStateNames[] = {"IDLE", "ROUTING", "VCA", "ACTIVE"};
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const auto& port = inputs_[i];
+    for (std::size_t v = 0; v < port.vcs.size(); ++v) {
+      const auto& vc = port.vcs[v];
+      if (vc.state == VcState::kIdle && vc.buffer.empty()) continue;
+      os << "router " << params_.id << " in" << i << " vc" << v << " state="
+         << kStateNames[static_cast<int>(vc.state)] << " buffered="
+         << vc.buffer.size();
+      if (!vc.buffer.empty()) {
+        const Flit& f = vc.buffer.front();
+        os << " front={pkt=" << f.packet << " seq=" << f.seq
+           << (f.head ? " H" : "") << (f.tail ? " T" : "") << " src=" << f.src
+           << " dst=" << f.dst << " cls=" << static_cast<int>(f.vc_class)
+           << "}";
+      }
+      os << " route.port=" << vc.route.out_port << " out_vc=" << vc.out_vc
+         << '\n';
+    }
+  }
+}
+
+void Router::stage_detect(Cycle now) {
+  (void)now;
+  for (auto& port : inputs_) {
+    for (auto& vc : port.vcs) {
+      if (vc.state == VcState::kIdle && !vc.buffer.empty()) {
+        assert(vc.buffer.front().head && "body flit at idle VC head");
+        vc.state = VcState::kRouting;
+      }
+    }
+  }
+}
+
+}  // namespace ownsim

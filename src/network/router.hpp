@@ -1,0 +1,133 @@
+// Input-buffered virtual-channel router with the paper's 5-stage pipeline:
+// RC (route computation) -> VCA (virtual-channel allocation) -> SA (switch
+// allocation) -> ST (switch traversal) -> LT (link traversal).
+//
+// Each input VC advances through a per-packet state machine
+// (IDLE -> ROUTING -> VCA -> ACTIVE) one stage per cycle; body flits reuse
+// the packet's allocation and only contend for the switch. Switch allocation
+// is separable input-first with round-robin priority at both stages. Flow
+// control is credit-based wormhole; credits return through the upstream
+// endpoint as buffer slots free.
+//
+// Port counts are asymmetric (e.g. an OWN photonic router reads ONE home
+// waveguide but writes 15), so inputs and outputs are configured separately.
+// Injection/ejection ports are plain ports wired to NIC channels by the
+// Network assembler.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "network/channel.hpp"  // VcClassRange
+#include "network/endpoints.hpp"
+#include "network/flit.hpp"
+#include "sim/clocked.hpp"
+
+namespace ownsim {
+
+/// Next-hop decision for a head flit at some router.
+struct RouteEntry {
+  PortId out_port = kInvalidId;
+  std::int8_t vc_class = 0;
+};
+
+/// Supplies routing decisions. `route` is called once per packet per hop
+/// (during RC); when `at == flit.dst_router` it must return the ejection port.
+class RoutingOracle {
+ public:
+  virtual ~RoutingOracle() = default;
+  virtual RouteEntry route(RouterId at, const Flit& head) const = 0;
+};
+
+/// Activity counters consumed by the power model.
+struct RouterCounters {
+  std::int64_t buffer_writes = 0;   ///< flits written into input VCs
+  std::int64_t buffer_reads = 0;    ///< flits read out at switch traversal
+  std::int64_t crossbar_flits = 0;  ///< flits through the crossbar
+  std::int64_t crossbar_bits = 0;
+  std::int64_t route_computations = 0;
+  std::int64_t vc_allocations = 0;
+  std::int64_t switch_allocations = 0;  ///< granted SA requests
+};
+
+class Router final : public Clocked {
+ public:
+  struct Params {
+    RouterId id = 0;
+    int num_inputs = 0;   ///< total, including injection ports
+    int num_outputs = 0;  ///< total, including ejection ports
+    int num_vcs = 4;
+    int buffer_depth = 8;
+  };
+
+  Router(Params params, const std::vector<VcClassRange>* classes,
+         const RoutingOracle* oracle);
+
+  /// Wiring (done once by the Network assembler before the first cycle).
+  void connect_input(PortId port, InputEndpoint* endpoint);
+  void connect_output(PortId port, OutputEndpoint* endpoint);
+
+  void eval(Cycle now) override;
+  void commit(Cycle /*now*/) override {}
+
+  RouterId id() const { return params_.id; }
+  int num_inputs() const { return params_.num_inputs; }
+  int num_outputs() const { return params_.num_outputs; }
+  int radix() const { return std::max(params_.num_inputs, params_.num_outputs); }
+  const RouterCounters& counters() const { return counters_; }
+
+  /// Total flits currently buffered (used for drain detection).
+  int occupancy() const { return occupancy_; }
+
+  /// Writes a human-readable dump of every non-idle input VC (debug aid).
+  void dump_state(std::ostream& os) const;
+
+ private:
+  enum class VcState : std::uint8_t { kIdle, kRouting, kVca, kActive };
+
+  struct InputVc {
+    VcState state = VcState::kIdle;
+    RingBuffer<Flit> buffer{1};
+    RouteEntry route;
+    VcId out_vc = kInvalidId;
+  };
+
+  struct InputPort {
+    InputEndpoint* endpoint = nullptr;
+    std::vector<InputVc> vcs;
+    int rr_vc = 0;  ///< SA stage-1 round-robin pointer
+  };
+
+  struct OutputPort {
+    OutputEndpoint* endpoint = nullptr;
+    int rr_input = 0;  ///< SA stage-2 round-robin pointer
+  };
+
+  void stage_intake(Cycle now);
+  void stage_switch(Cycle now);  // SA + ST + LT launch
+  void stage_vca(Cycle now);
+  void stage_rc(Cycle now);
+  void stage_detect(Cycle now);
+
+  Params params_;
+  const std::vector<VcClassRange>* classes_;
+  const RoutingOracle* oracle_;
+  std::vector<InputPort> inputs_;
+  std::vector<OutputPort> outputs_;
+  int vca_rr_ = 0;  ///< round-robin start for VCA request order
+  int occupancy_ = 0;
+  RouterCounters counters_;
+
+  // Scratch for SA (persistent to avoid per-cycle allocation).
+  std::vector<int> sa_request_;   ///< per input: winning VC index or -1
+  std::vector<int> sa_winners_;   ///< inputs that nominated a VC this cycle
+  std::vector<int> grant_key_;    ///< per output: RR distance of best request
+  std::vector<int> grant_input_;  ///< per output: input holding best request
+  std::vector<int> granted_outputs_;
+};
+
+}  // namespace ownsim

@@ -1,0 +1,166 @@
+// Token-arbitrated shared medium.
+//
+// Models the two shared-channel structures of the OWN architecture (and of
+// the OptXB baseline):
+//
+//  * Photonic MWSR waveguide — many writers, ONE reader (the "home" tile).
+//    A token circulates among the writers; the holder transmits one whole
+//    packet (wormhole on the bus: the token is held until the tail flit is
+//    launched), then the token moves on, one writer position per cycle.
+//
+//  * Wireless SWMR channel (OWN-1024) — several writers (one per cluster of
+//    the transmitting group) sharing a token, and several readers (every
+//    cluster of the destination group). The signal is *multicast*: only the
+//    intended reader's input port receives the flits, but every listening
+//    reader pays receive energy (`multicast_rx = true`), exactly as §III.B
+//    describes ("the rest will discard it ... receiver power is consumed").
+//
+// Reader-side VC assignment and buffer credits are owned by the medium: the
+// medium is the only writer into its reader ports, so it can account
+// occupancy exactly; routers return credits through the reader endpoint.
+// Writer ports expose `OutputEndpoint` with packet-granular admission (a new
+// head is admitted only once the previous packet fully drained), which models
+// the per-packet token arbitration of the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "network/channel.hpp"  // VcClassRange, LinkCounters
+#include "network/endpoints.hpp"
+#include "network/flit.hpp"
+#include "sim/clocked.hpp"
+
+namespace ownsim {
+
+/// Counters specific to shared media (token behavior, multicast RX cost).
+struct MediumCounters {
+  std::int64_t packets = 0;
+  std::int64_t flits = 0;
+  std::int64_t tx_bits = 0;
+  std::int64_t rx_bits = 0;          ///< includes discarded multicast copies
+  std::int64_t token_wait_cycles = 0;///< cycles a pending head waited for the token
+};
+
+/// How writers are granted the medium.
+///  kTokenRing — the paper's scheme: a token circulates one writer position
+///               per cycle and is held for a whole packet ("token transfer
+///               consumes a few extra cycles").
+///  kIdeal     — zero-cost arbitration: any pending writer may start the
+///               cycle the bus frees (round-robin fairness). Ablation
+///               baseline isolating the token's latency cost.
+enum class ArbitrationKind { kTokenRing, kIdeal };
+
+class SharedMedium final : public Clocked {
+ public:
+  struct Params {
+    MediumType medium = MediumType::kPhotonic;
+    ArbitrationKind arbitration = ArbitrationKind::kTokenRing;
+    int num_writers = 1;
+    int num_readers = 1;
+    int latency = 1;             ///< propagation, cycles
+    int cycles_per_flit = 1;     ///< serialization on the medium
+    int num_vcs = 4;             ///< per reader input port
+    int buffer_depth = 8;        ///< per reader VC
+    int max_packet_flits = 8;    ///< writer staging capacity
+    double distance_mm = 0.0;
+    bool multicast_rx = false;   ///< SWMR: every reader pays RX energy
+    std::string name;
+    /// Given a flit's destination, which reader index receives it.
+    std::function<int(NodeId dst, RouterId dst_router)> select_reader;
+  };
+
+  SharedMedium(Params params, const std::vector<VcClassRange>* classes);
+
+  OutputEndpoint* writer(int index);
+  InputEndpoint* reader(int index);
+
+  void eval(Cycle now) override;
+  void commit(Cycle now) override;
+
+  const MediumCounters& counters() const { return counters_; }
+  const Params& params() const { return params_; }
+  int token_position() const { return token_; }
+  bool transmitting() const { return active_; }
+
+ private:
+  // Writers stage packets per VC class. This is load-bearing for deadlock
+  // freedom: in OWN, pre-wireless (class 0) and post-wireless (class 1)
+  // packets share photonic writer ports, and a single shared staging buffer
+  // would let a blocked class-0 packet stall class-1 behind it, closing a
+  // class-0 -> wireless -> class-1 -> class-0 dependency cycle.
+  struct ClassStaging {
+    RingBuffer<Flit> staging{1};
+    std::vector<Flit> staged_in;  // becomes visible to the medium at commit
+    int staged_count = 0;         // staging.size() + staged_in.size()
+    bool packet_open = false;     // a packet has been VCA'd and not yet fully
+                                  // accepted (head..tail) on this class
+  };
+
+  struct Writer final : OutputEndpoint {
+    VcId alloc_vc(int vc_class, Cycle now) override;
+    bool can_accept(const Flit& flit, Cycle now) const override;
+    void accept(const Flit& flit, Cycle now) override;
+
+    SharedMedium* medium = nullptr;
+    int index = 0;
+    std::vector<ClassStaging> per_class;
+    int rr_class = 0;  ///< round-robin among classes with pending heads
+  };
+
+  struct Reader final : InputEndpoint {
+    const Flit* poll(Cycle now) override;
+    void pop(Cycle now) override;
+    void push_credit(VcId vc, Cycle now) override;
+
+    SharedMedium* medium = nullptr;
+    int index = 0;
+    struct Timed {
+      Flit flit;
+      Cycle arrival;
+    };
+    std::deque<Timed> delivery;
+    struct TimedCredit {
+      VcId vc;
+      Cycle arrival;
+    };
+    std::deque<TimedCredit> credit_pipe;
+    std::vector<TimedCredit> staged_credits;
+    std::vector<int> credits;      // per VC
+    std::vector<bool> vc_busy;     // per VC, owned by the medium
+  };
+
+  /// Attempts to start transmitting a staged head packet of writer `w`
+  /// (round-robin among its per-class stagings).
+  bool try_start(int w, Cycle now);
+
+  Params params_;
+  const std::vector<VcClassRange>* classes_;
+  std::vector<Writer> writers_;
+  std::vector<Reader> readers_;
+  std::vector<int> rr_vc_next_;  // per-class RR pointer for reader VC choice
+
+  int token_ = 0;
+  bool active_ = false;
+  int active_writer_ = 0;
+  int active_class_ = 0;
+  int active_reader_ = 0;
+  VcId active_vc_ = kInvalidId;
+  Cycle next_tx_slot_ = 0;
+
+  // Dirty lists so eval/commit cost scales with activity, not endpoint count
+  // (an OptXB-1024 waveguide has 255 writers; scanning them per cycle would
+  // dominate runtime).
+  std::vector<int> dirty_writers_;
+  std::vector<int> dirty_readers_;
+  int nonempty_stagings_ = 0;  ///< writers with flits staged (token-wait stat)
+
+  MediumCounters counters_;
+};
+
+}  // namespace ownsim

@@ -1,0 +1,42 @@
+#include "photonic/loss_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace ownsim {
+
+LossBudget::LossBudget(OpticalLossParams params) : params_(params) {
+  if (params_.laser_wallplug_efficiency <= 0 ||
+      params_.laser_wallplug_efficiency > 1) {
+    throw std::invalid_argument("LossBudget: bad wall-plug efficiency");
+  }
+}
+
+double LossBudget::path_loss_db(double length_cm, int rings_passed,
+                                int splitter_stages) const {
+  if (length_cm < 0 || rings_passed < 0 || splitter_stages < 0) {
+    throw std::invalid_argument("LossBudget: negative path element");
+  }
+  return params_.coupler_db +
+         params_.splitter_db_per_stage * splitter_stages +
+         params_.waveguide_db_per_cm * length_cm +
+         params_.ring_through_db * rings_passed + params_.drop_db;
+}
+
+double LossBudget::laser_power_per_lambda_w(double length_cm, int rings_passed,
+                                            int splitter_stages) const {
+  const double required_dbm =
+      params_.receiver_sensitivity_dbm +
+      path_loss_db(length_cm, rings_passed, splitter_stages);
+  return units::dbm_to_watts(required_dbm);
+}
+
+double LossBudget::laser_wallplug_w(double length_cm, int rings_passed,
+                                    int splitter_stages, int lambdas) const {
+  return laser_power_per_lambda_w(length_cm, rings_passed, splitter_stages) *
+         lambdas / params_.laser_wallplug_efficiency;
+}
+
+}  // namespace ownsim

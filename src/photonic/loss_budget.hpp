@@ -1,0 +1,48 @@
+// Optical loss budget and off-chip laser power (paper §III.A / [12]).
+//
+// The off-chip laser pumps a power waveguide; a star splitter distributes it
+// to the home waveguides; each data waveguide accumulates coupler, splitter,
+// propagation, ring-through and drop losses. The laser must deliver the
+// receiver sensitivity after the worst-case loss, divided by the wall-plug
+// efficiency — this static power is what makes photonic links' energy/bit
+// effectively distance-independent but never zero.
+#pragma once
+
+namespace ownsim {
+
+struct OpticalLossParams {
+  double coupler_db = 1.0;          ///< fiber-to-chip coupling
+  double splitter_db_per_stage = 0.5;
+  double waveguide_db_per_cm = 0.5;
+  double ring_through_db = 0.01;    ///< per ring passed while off-resonance
+  double drop_db = 0.5;             ///< resonant drop into the detector
+  double receiver_sensitivity_dbm = -17.0;
+  double laser_wallplug_efficiency = 0.3;
+};
+
+class LossBudget {
+ public:
+  LossBudget() : LossBudget(OpticalLossParams{}) {}
+  explicit LossBudget(OpticalLossParams params);
+
+  /// Worst-case path loss for a waveguide of `length_cm` passing
+  /// `rings_passed` off-resonance rings, fed through a `splitter_stages`-deep
+  /// star splitter, dB.
+  double path_loss_db(double length_cm, int rings_passed,
+                      int splitter_stages) const;
+
+  /// Required laser output per wavelength for that path, W.
+  double laser_power_per_lambda_w(double length_cm, int rings_passed,
+                                  int splitter_stages) const;
+
+  /// Wall-plug laser power for a full waveguide bundle, W.
+  double laser_wallplug_w(double length_cm, int rings_passed,
+                          int splitter_stages, int lambdas) const;
+
+  const OpticalLossParams& params() const { return params_; }
+
+ private:
+  OpticalLossParams params_;
+};
+
+}  // namespace ownsim

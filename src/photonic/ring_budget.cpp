@@ -1,0 +1,44 @@
+#include "photonic/ring_budget.hpp"
+
+#include <stdexcept>
+
+namespace ownsim {
+
+PhotonicBudget swmr_crossbar_budget(int nodes) {
+  if (nodes < 2) throw std::invalid_argument("swmr_crossbar_budget: nodes < 2");
+  PhotonicBudget budget;
+  // Paper rule: 7 modulator banks per node (64-lambda bundles covering the
+  // other nodes), one detector bank per (writer, reader) pair.
+  budget.modulators = 7LL * nodes;
+  budget.waveguides = budget.modulators / 64;
+  budget.detectors = budget.modulators * (nodes - 1);
+  return budget;
+}
+
+PhotonicBudget mwsr_crossbar_budget(int nodes, int lambdas_per_waveguide,
+                                    int bundle_width) {
+  if (nodes < 2 || lambdas_per_waveguide < 1 || bundle_width < 1) {
+    throw std::invalid_argument("mwsr_crossbar_budget: bad arguments");
+  }
+  PhotonicBudget budget;
+  budget.waveguides = static_cast<std::int64_t>(nodes) * bundle_width;
+  // Every writer modulates every other home bundle; the home router detects
+  // all lambdas of its own bundle.
+  budget.modulators = static_cast<std::int64_t>(nodes) * (nodes - 1) *
+                      lambdas_per_waveguide * bundle_width;
+  budget.detectors = static_cast<std::int64_t>(nodes) *
+                     lambdas_per_waveguide * bundle_width;
+  return budget;
+}
+
+PhotonicBudget own_photonic_budget(int clusters, int lambdas_per_waveguide) {
+  if (clusters < 1) throw std::invalid_argument("own_photonic_budget");
+  const PhotonicBudget cluster = mwsr_crossbar_budget(16, lambdas_per_waveguide);
+  PhotonicBudget budget;
+  budget.waveguides = cluster.waveguides * clusters;
+  budget.modulators = cluster.modulators * clusters;
+  budget.detectors = cluster.detectors * clusters;
+  return budget;
+}
+
+}  // namespace ownsim

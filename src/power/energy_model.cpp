@@ -1,0 +1,159 @@
+#include "power/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace ownsim {
+namespace {
+
+/// Wavelengths needed to sustain a channel of `cycles_per_flit` serialization
+/// given the flit/clock parameters (32 Gb/s at cpf 8 -> 4 lambdas at 8 Gb/s).
+int lambdas_for(int cycles_per_flit, double lambda_rate_gbps,
+                double clock_ghz, int flit_bits) {
+  const double rate_gbps = flit_bits * clock_ghz / cycles_per_flit;
+  return std::max(1, static_cast<int>(std::lround(rate_gbps / lambda_rate_gbps)));
+}
+
+}  // namespace
+
+EnergyModel::EnergyModel(PowerParams params,
+                         std::optional<ChannelEnergyModel> own_channels)
+    : params_(params), own_channels_(std::move(own_channels)) {}
+
+PowerBreakdown EnergyModel::compute(const Network& network,
+                                    double clock_ghz) const {
+  const Cycle elapsed = network.engine().now();
+  if (elapsed <= 0) {
+    throw std::logic_error("EnergyModel: network has not simulated yet");
+  }
+  const double seconds = static_cast<double>(elapsed) / (clock_ghz * 1e9);
+  const NetworkSpec& spec = network.spec();
+  const int flit_bits = 128;  // energy scales with counted bits anyway
+
+  PowerBreakdown breakdown;
+
+  // ---- routers ---------------------------------------------------------------
+  for (RouterId r = 0; r < spec.num_routers(); ++r) {
+    const Router& router = network.router(r);
+    const RouterCounters& c = router.counters();
+    const double radix = router.radix();
+    double dynamic_pj = 0.0;
+    dynamic_pj += params_.buffer_write_pj_per_bit *
+                  static_cast<double>(c.buffer_writes) * flit_bits;
+    dynamic_pj += params_.buffer_read_pj_per_bit *
+                  static_cast<double>(c.buffer_reads) * flit_bits;
+    dynamic_pj += (params_.xbar_base_pj_per_bit +
+                   params_.xbar_radix_slope_pj_per_bit * radix) *
+                  static_cast<double>(c.crossbar_bits);
+    dynamic_pj += params_.alloc_pj_per_op *
+                  static_cast<double>(c.vc_allocations + c.switch_allocations);
+    breakdown.router_dynamic_w += dynamic_pj * units::kPico / seconds;
+
+    breakdown.router_static_w +=
+        (params_.leak_mw_per_input_port * router.num_inputs() +
+         params_.leak_mw_per_output_port * router.num_outputs()) *
+            units::kMilli +
+        params_.leak_uw_per_crosspoint * router.num_inputs() *
+            router.num_outputs() * units::kMicro;
+  }
+
+  // ---- point-to-point links ----------------------------------------------------
+  for (std::size_t i = 0; i < network.num_network_channels(); ++i) {
+    const Channel& channel = network.network_channel(i);
+    const LinkSpec& link = spec.links[i];
+    const double bits = static_cast<double>(channel.counters().bits);
+    switch (channel.medium()) {
+      case MediumType::kElectrical:
+        breakdown.electrical_link_w += bits * params_.wire_pj_per_bit_mm *
+                                       channel.distance_mm() * units::kPico /
+                                       seconds;
+        break;
+      case MediumType::kPhotonic: {
+        breakdown.photonic_link_w +=
+            bits * params_.photonic_dynamic_pj_per_bit * units::kPico / seconds;
+        const int lambdas =
+            lambdas_for(channel.cycles_per_flit(), params_.lambda_rate_gbps,
+                        clock_ghz, flit_bits);
+        breakdown.photonic_laser_w += loss_budget_.laser_wallplug_w(
+            channel.distance_mm() / 10.0, lambdas, 3, lambdas);
+        breakdown.photonic_laser_w +=
+            params_.ring_tuning_uw * 2.0 * lambdas * units::kMicro;
+        break;
+      }
+      case MediumType::kWireless: {
+        double tx_epb;
+        double rx_epb;
+        if (link.wireless_channel >= 0 && own_channels_.has_value()) {
+          tx_epb = own_channels_->tx_epb_pj(link.wireless_channel);
+          rx_epb = own_channels_->rx_epb_pj(link.wireless_channel);
+        } else {
+          tx_epb = kTxEnergyShare * params_.legacy_wireless_pj_per_bit;
+          rx_epb = (1.0 - kTxEnergyShare) * params_.legacy_wireless_pj_per_bit;
+        }
+        breakdown.wireless_link_w +=
+            bits * (tx_epb + rx_epb) * units::kPico / seconds;
+        breakdown.wireless_static_w +=
+            params_.wireless_static_mw_per_channel * units::kMilli;
+        break;
+      }
+    }
+  }
+
+  // ---- shared media --------------------------------------------------------------
+  for (std::size_t i = 0; i < network.num_media(); ++i) {
+    const SharedMedium& medium = network.medium(i);
+    const MediumSpec& ms = spec.media[i];
+    const MediumCounters& c = medium.counters();
+    if (ms.medium == MediumType::kPhotonic) {
+      // Modulation charged on TX bits, detection on RX bits.
+      breakdown.photonic_link_w +=
+          (static_cast<double>(c.tx_bits) + static_cast<double>(c.rx_bits)) *
+          0.5 * params_.photonic_dynamic_pj_per_bit * units::kPico / seconds;
+      const int lambdas =
+          lambdas_for(ms.cycles_per_flit, params_.lambda_rate_gbps, clock_ghz,
+                      flit_bits);
+      const int rings_passed =
+          static_cast<int>(ms.writers.size()) * lambdas;  // off-resonance
+      breakdown.photonic_laser_w += loss_budget_.laser_wallplug_w(
+          ms.distance_mm / 10.0, rings_passed,
+          /*splitter_stages=*/4, lambdas);
+      breakdown.photonic_laser_w += params_.ring_tuning_uw *
+                                    (rings_passed + lambdas) * units::kMicro;
+    } else if (ms.medium == MediumType::kWireless) {
+      double tx_epb;
+      double rx_epb;
+      if (ms.wireless_channel >= 0 && own_channels_.has_value()) {
+        tx_epb = own_channels_->tx_epb_pj(ms.wireless_channel);
+        rx_epb = own_channels_->rx_epb_pj(ms.wireless_channel);
+      } else {
+        tx_epb = kTxEnergyShare * params_.legacy_wireless_pj_per_bit;
+        rx_epb = (1.0 - kTxEnergyShare) * params_.legacy_wireless_pj_per_bit;
+      }
+      // rx_bits already includes every listening cluster's copy (SWMR).
+      breakdown.wireless_link_w +=
+          (static_cast<double>(c.tx_bits) * tx_epb +
+           static_cast<double>(c.rx_bits) * rx_epb) *
+          units::kPico / seconds;
+      breakdown.wireless_static_w +=
+          params_.wireless_static_mw_per_channel * units::kMilli;
+    }
+  }
+
+  return breakdown;
+}
+
+double EnergyModel::energy_per_packet_pj(const Network& network,
+                                         double clock_ghz) const {
+  const PowerBreakdown breakdown = compute(network, clock_ghz);
+  const double seconds =
+      static_cast<double>(network.engine().now()) / (clock_ghz * 1e9);
+  const double packets =
+      static_cast<double>(network.nic().packets_ejected());
+  if (packets <= 0) return 0.0;
+  return breakdown.total_w() * seconds / packets / units::kPico;
+}
+
+}  // namespace ownsim

@@ -1,0 +1,61 @@
+// Post-run power aggregation (Figs. 5, 6, 8b).
+//
+// Reads the activity counters accumulated by routers, channels and shared
+// media during a simulation, applies the PowerParams per-event energies plus
+// static components (router leakage, photonic laser, ring tuning, wireless
+// bias), and reports average power over the elapsed cycles, broken down into
+// the paper's four categories: router microarchitecture, electrical links,
+// photonic links and wireless links.
+#pragma once
+
+#include <optional>
+
+#include "network/network.hpp"
+#include "photonic/loss_budget.hpp"
+#include "power/params.hpp"
+#include "wireless/configurations.hpp"
+
+namespace ownsim {
+
+struct PowerBreakdown {
+  double router_dynamic_w = 0.0;
+  double router_static_w = 0.0;
+  double electrical_link_w = 0.0;
+  double photonic_link_w = 0.0;   ///< dynamic modulation/detection
+  double photonic_laser_w = 0.0;  ///< static laser + ring tuning
+  double wireless_link_w = 0.0;   ///< TX + RX (incl. multicast listeners)
+  double wireless_static_w = 0.0;
+
+  double router_w() const { return router_dynamic_w + router_static_w; }
+  double photonic_w() const { return photonic_link_w + photonic_laser_w; }
+  double wireless_w() const { return wireless_link_w + wireless_static_w; }
+  double total_w() const {
+    return router_w() + electrical_link_w + photonic_w() + wireless_w();
+  }
+};
+
+class EnergyModel {
+ public:
+  /// `own_channels` supplies per-channel pJ/bit for wireless links tagged
+  /// with a band-plan channel (OWN); untagged wireless links fall back to
+  /// the legacy transceiver figure (wireless-CMESH).
+  EnergyModel(PowerParams params,
+              std::optional<ChannelEnergyModel> own_channels = std::nullopt);
+
+  /// Average power over everything the network has simulated so far
+  /// (elapsed = network.engine().now() cycles at `clock_ghz`).
+  PowerBreakdown compute(const Network& network, double clock_ghz = 2.0) const;
+
+  /// Average energy per ejected packet, in pJ (Fig 8b metric).
+  double energy_per_packet_pj(const Network& network,
+                              double clock_ghz = 2.0) const;
+
+  const PowerParams& params() const { return params_; }
+
+ private:
+  PowerParams params_;
+  std::optional<ChannelEnergyModel> own_channels_;
+  LossBudget loss_budget_;
+};
+
+}  // namespace ownsim

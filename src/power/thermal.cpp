@@ -1,0 +1,196 @@
+#include "power/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace ownsim {
+
+std::vector<double> per_router_power(const Network& network,
+                                     const PowerParams& params,
+                                     const ChannelEnergyModel* own_channels,
+                                     double clock_ghz) {
+  const Cycle elapsed = network.engine().now();
+  if (elapsed <= 0) {
+    throw std::logic_error("per_router_power: network has not simulated yet");
+  }
+  const double seconds = static_cast<double>(elapsed) / (clock_ghz * 1e9);
+  const NetworkSpec& spec = network.spec();
+  const int flit_bits = 128;
+  std::vector<double> power(static_cast<std::size_t>(spec.num_routers()), 0.0);
+
+  // Router-local dynamic + leakage (same formulas as EnergyModel::compute).
+  for (RouterId r = 0; r < spec.num_routers(); ++r) {
+    const Router& router = network.router(r);
+    const RouterCounters& c = router.counters();
+    double dynamic_pj = 0.0;
+    dynamic_pj += params.buffer_write_pj_per_bit *
+                  static_cast<double>(c.buffer_writes) * flit_bits;
+    dynamic_pj += params.buffer_read_pj_per_bit *
+                  static_cast<double>(c.buffer_reads) * flit_bits;
+    dynamic_pj += (params.xbar_base_pj_per_bit +
+                   params.xbar_radix_slope_pj_per_bit * router.radix()) *
+                  static_cast<double>(c.crossbar_bits);
+    dynamic_pj += params.alloc_pj_per_op *
+                  static_cast<double>(c.vc_allocations + c.switch_allocations);
+    power[r] += dynamic_pj * units::kPico / seconds;
+    power[r] +=
+        (params.leak_mw_per_input_port * router.num_inputs() +
+         params.leak_mw_per_output_port * router.num_outputs()) *
+            units::kMilli +
+        params.leak_uw_per_crosspoint * router.num_inputs() *
+            router.num_outputs() * units::kMicro;
+  }
+
+  // Link energy lands at the endpoints: TX at the source, RX at the sink;
+  // electrical wire dissipation split evenly.
+  for (std::size_t i = 0; i < network.num_network_channels(); ++i) {
+    const Channel& channel = network.network_channel(i);
+    const LinkSpec& link = spec.links[i];
+    const double bits = static_cast<double>(channel.counters().bits);
+    if (channel.medium() == MediumType::kElectrical) {
+      const double w = bits * params.wire_pj_per_bit_mm *
+                       channel.distance_mm() * units::kPico / seconds;
+      power[link.src_router] += w / 2;
+      power[link.dst_router] += w / 2;
+    } else if (channel.medium() == MediumType::kPhotonic) {
+      const double w = bits * params.photonic_dynamic_pj_per_bit *
+                       units::kPico / seconds;
+      power[link.src_router] += w / 2;  // modulator side
+      power[link.dst_router] += w / 2;  // detector side
+    } else {
+      double tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
+      double rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
+      if (link.wireless_channel >= 0 && own_channels != nullptr) {
+        tx_epb = own_channels->tx_epb_pj(link.wireless_channel);
+        rx_epb = own_channels->rx_epb_pj(link.wireless_channel);
+      }
+      const double half_static =
+          params.wireless_static_mw_per_channel * units::kMilli / 2.0;
+      power[link.src_router] += bits * tx_epb * units::kPico / seconds +
+                                half_static;
+      power[link.dst_router] += bits * rx_epb * units::kPico / seconds +
+                                half_static;
+    }
+  }
+
+  // Shared media: modulation at the writers (weighted by what they sent is
+  // unavailable per-writer, so split evenly), detection/RX at the readers.
+  for (std::size_t i = 0; i < network.num_media(); ++i) {
+    const SharedMedium& medium = network.medium(i);
+    const MediumSpec& ms = spec.media[i];
+    const MediumCounters& c = medium.counters();
+    if (ms.medium == MediumType::kPhotonic) {
+      const double tx_w = static_cast<double>(c.tx_bits) * 0.5 *
+                          params.photonic_dynamic_pj_per_bit * units::kPico /
+                          seconds;
+      const double rx_w = static_cast<double>(c.rx_bits) * 0.5 *
+                          params.photonic_dynamic_pj_per_bit * units::kPico /
+                          seconds;
+      for (const auto& [wr, wp] : ms.writers) {
+        power[wr] += tx_w / static_cast<double>(ms.writers.size());
+      }
+      for (const auto& [rr, rp] : ms.readers) {
+        power[rr] += rx_w / static_cast<double>(ms.readers.size());
+      }
+    } else {
+      double tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
+      double rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
+      if (ms.wireless_channel >= 0 && own_channels != nullptr) {
+        tx_epb = own_channels->tx_epb_pj(ms.wireless_channel);
+        rx_epb = own_channels->rx_epb_pj(ms.wireless_channel);
+      }
+      const double tx_w =
+          static_cast<double>(c.tx_bits) * tx_epb * units::kPico / seconds +
+          params.wireless_static_mw_per_channel * units::kMilli / 2.0;
+      const double rx_w =
+          static_cast<double>(c.rx_bits) * rx_epb * units::kPico / seconds +
+          params.wireless_static_mw_per_channel * units::kMilli / 2.0;
+      for (const auto& [wr, wp] : ms.writers) {
+        power[wr] += tx_w / static_cast<double>(ms.writers.size());
+      }
+      for (const auto& [rr, rp] : ms.readers) {
+        power[rr] += rx_w / static_cast<double>(ms.readers.size());
+      }
+    }
+  }
+  return power;
+}
+
+ThermalMap::ThermalMap(Params params) : params_(params) {
+  if (params_.grid < 2 || params_.die_mm <= 0 || params_.iterations < 1 ||
+      params_.k_lateral <= 0 || params_.sink_leak <= 0 ||
+      4.0 * params_.k_lateral + params_.sink_leak >= 1.0 ||
+      params_.source_gain_c_per_w <= 0) {
+    throw std::invalid_argument("ThermalMap: bad parameters");
+  }
+  source_w_.assign(static_cast<std::size_t>(params_.grid) * params_.grid, 0.0);
+}
+
+void ThermalMap::deposit(const NetworkSpec& spec,
+                         const std::vector<double>& power_w) {
+  if (spec.router_xy_mm.empty()) {
+    throw std::invalid_argument("ThermalMap: spec has no floorplan");
+  }
+  if (power_w.size() != spec.router_xy_mm.size()) {
+    throw std::invalid_argument("ThermalMap: power/floorplan size mismatch");
+  }
+  const double cell = params_.die_mm / params_.grid;
+  for (std::size_t r = 0; r < power_w.size(); ++r) {
+    const auto [x, y] = spec.router_xy_mm[r];
+    const int cx = std::clamp(static_cast<int>(x / cell), 0, params_.grid - 1);
+    const int cy = std::clamp(static_cast<int>(y / cell), 0, params_.grid - 1);
+    source_w_[static_cast<std::size_t>(cy) * params_.grid + cx] += power_w[r];
+  }
+}
+
+std::vector<double> ThermalMap::field() const {
+  const int n = params_.grid;
+  std::vector<double> temp(source_w_.size(), 0.0);
+  std::vector<double> next(source_w_.size(), 0.0);
+  const double k = params_.k_lateral;
+  for (int it = 0; it < params_.iterations; ++it) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(y) * n + x;
+        // Neighbors at ambient (0) beyond the die edge.
+        const double up = y > 0 ? temp[idx - n] : 0.0;
+        const double down = y + 1 < n ? temp[idx + n] : 0.0;
+        const double left = x > 0 ? temp[idx - 1] : 0.0;
+        const double right = x + 1 < n ? temp[idx + 1] : 0.0;
+        next[idx] = (1.0 - 4.0 * k - params_.sink_leak) * temp[idx] +
+                    k * (up + down + left + right) +
+                    params_.source_gain_c_per_w * source_w_[idx];
+      }
+    }
+    temp.swap(next);
+  }
+  return temp;
+}
+
+ThermalStats ThermalMap::solve() const {
+  const std::vector<double> temp = field();
+  ThermalStats stats;
+  const int n = params_.grid;
+  double sum = 0.0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const double t = temp[static_cast<std::size_t>(y) * n + x];
+      sum += t;
+      if (t > stats.peak_c) {
+        stats.peak_c = t;
+        stats.peak_x_mm = (x + 0.5) * params_.die_mm / n;
+        stats.peak_y_mm = (y + 0.5) * params_.die_mm / n;
+      }
+    }
+  }
+  stats.mean_c = sum / static_cast<double>(temp.size());
+  double var = 0.0;
+  for (double t : temp) var += (t - stats.mean_c) * (t - stats.mean_c);
+  stats.stddev_c = std::sqrt(var / static_cast<double>(temp.size()));
+  return stats;
+}
+
+}  // namespace ownsim

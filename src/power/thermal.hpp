@@ -1,0 +1,75 @@
+// Spatial power / thermal-proxy model (§III.A).
+//
+// The paper justifies the corner placement of OWN's wireless transceivers by
+// load and *thermal* balance: concentrating the transceivers at the cluster
+// center would pull all inter-cluster traffic — and its dissipation — into
+// one spot. This module quantifies that argument:
+//
+//  1. `per_router_power` attributes the simulated power to individual
+//     routers: router dynamic + leakage at the router itself, wireless TX at
+//     the transmitting router and RX at each listening router, photonic
+//     modulation/detection split across a medium's participants (laser power
+//     is off-chip and excluded).
+//  2. `ThermalMap` deposits those sources on a die grid (positions from
+//     NetworkSpec::router_xy_mm) and relaxes a discrete steady-state heat
+//     equation with an ambient boundary, yielding a temperature-rise proxy.
+//     It is a lumped-RC style estimate, not a calibrated thermal solver —
+//     adequate for *comparing placements*, which is all §III.A needs.
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "power/energy_model.hpp"
+#include "power/params.hpp"
+#include "wireless/configurations.hpp"
+
+namespace ownsim {
+
+/// Watts attributed to each router (same model/params as EnergyModel).
+std::vector<double> per_router_power(const Network& network,
+                                     const PowerParams& params,
+                                     const ChannelEnergyModel* own_channels,
+                                     double clock_ghz = 2.0);
+
+struct ThermalStats {
+  double peak_c = 0.0;    ///< hottest cell, degC above ambient
+  double mean_c = 0.0;
+  double stddev_c = 0.0;  ///< spatial imbalance
+  double peak_x_mm = 0.0;
+  double peak_y_mm = 0.0;
+};
+
+class ThermalMap {
+ public:
+  struct Params {
+    double die_mm = 50.0;     ///< square die edge
+    int grid = 32;            ///< cells per edge
+    double k_lateral = 0.20;  ///< inter-cell conduction weight
+    double sink_leak = 0.05;  ///< per-step fraction lost to the heat sink
+    double source_gain_c_per_w = 200.0;  ///< degC injected per W per step
+    int iterations = 2000;    ///< Jacobi relaxation steps
+  };
+
+  ThermalMap() : ThermalMap(Params{}) {}
+  explicit ThermalMap(Params params);
+
+  /// Deposits `power_w[r]` at the position of router r. The spec must carry
+  /// a floorplan (`router_xy_mm`), else std::invalid_argument.
+  void deposit(const NetworkSpec& spec, const std::vector<double>& power_w);
+
+  /// Relaxes to steady state and returns the temperature-rise field
+  /// statistics.
+  ThermalStats solve() const;
+
+  /// Raw temperature field after solve (row-major, grid x grid), for dumps.
+  std::vector<double> field() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::vector<double> source_w_;  // per cell
+};
+
+}  // namespace ownsim

@@ -1,0 +1,32 @@
+// Bit-error-rate analysis for the OOK links (§IV.A).
+//
+// Non-coherent OOK with an envelope detector: for a received SNR (ratio of
+// average signal power to noise power in the detection bandwidth), the
+// error probability is approximated by the standard Q-function expression
+//
+//   BER = Q(sqrt(SNR))            (equal-probable marks/spaces, optimal
+//                                  threshold; SNR = average-power based)
+//
+// The inverse problem — the SNR required for a target BER — is what the
+// link budget's `snr_required_db` encodes; `required_snr_db(1e-12)` ~= 17 dB
+// reproduces the constant used there.
+#pragma once
+
+namespace ownsim {
+
+/// Gaussian tail probability Q(x) = P(N(0,1) > x). Uses the complementary
+/// error function; accurate over the range relevant to BER work (x in 0..10).
+double q_function(double x);
+
+/// OOK bit-error rate at `snr_db` (average-power SNR, dB).
+double ook_ber(double snr_db);
+
+/// Smallest SNR (dB) achieving `target_ber` (bisection on the monotone BER
+/// curve). Throws std::invalid_argument for target_ber outside (0, 0.5).
+double required_snr_db(double target_ber);
+
+/// BER of a link budget operating point: margin over sensitivity translates
+/// into SNR above the required minimum.
+double ber_at_margin(double snr_required_db, double margin_db);
+
+}  // namespace ownsim

@@ -1,0 +1,53 @@
+#include "rf/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace ownsim {
+
+LinkBudget::LinkBudget(Params params) : params_(params) {
+  if (params_.freq_hz <= 0 || params_.data_rate_bps <= 0) {
+    throw std::invalid_argument("LinkBudget: bad frequency/data rate");
+  }
+}
+
+double LinkBudget::fspl_db(double distance_m) const {
+  if (distance_m <= 0) {
+    throw std::invalid_argument("LinkBudget: distance must be > 0");
+  }
+  const double ratio =
+      4.0 * units::kPi * distance_m * params_.freq_hz / units::kSpeedOfLight;
+  return 20.0 * std::log10(ratio);
+}
+
+double LinkBudget::sensitivity_dbm() const {
+  // Thermal noise floor kTB expressed per Hz is -174 dBm/Hz at 290 K.
+  const double noise_floor_dbm =
+      -174.0 + 10.0 * std::log10(params_.data_rate_bps);
+  return noise_floor_dbm + params_.noise_figure_db + params_.snr_required_db;
+}
+
+double LinkBudget::required_tx_dbm(double distance_m, double tx_directivity_dbi,
+                                   double rx_directivity_dbi) const {
+  return sensitivity_dbm() + fspl_db(distance_m) - tx_directivity_dbi -
+         rx_directivity_dbi + params_.margin_db;
+}
+
+double LinkBudget::received_dbm(double tx_dbm, double distance_m,
+                                double tx_directivity_dbi,
+                                double rx_directivity_dbi) const {
+  return tx_dbm + tx_directivity_dbi + rx_directivity_dbi -
+         fspl_db(distance_m) - params_.margin_db;
+}
+
+double LinkBudget::margin_db(double tx_dbm, double distance_m,
+                             double tx_directivity_dbi,
+                             double rx_directivity_dbi) const {
+  return received_dbm(tx_dbm, distance_m, tx_directivity_dbi,
+                      rx_directivity_dbi) -
+         sensitivity_dbm();
+}
+
+}  // namespace ownsim

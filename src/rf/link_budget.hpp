@@ -1,0 +1,56 @@
+// Wireless link-budget model (paper Fig. 3).
+//
+// Free-space Friis path loss between on-chip antennas plus an OOK receiver
+// sensitivity model:
+//
+//   sensitivity(dBm) = -174 dBm/Hz + 10 log10(data_rate) + NF + SNR_req
+//   required_tx(dBm) = sensitivity + FSPL(d) - G_tx - G_rx + margin
+//
+// With the defaults (NF 8 dB, OOK SNR 17 dB for BER 1e-12, 2.5 dB
+// implementation margin) this reproduces the paper's anchor: a 32 Gb/s link
+// at 90 GHz over 50 mm with isotropic antennas needs >= 4 dBm of transmit
+// power (§IV.A).
+#pragma once
+
+namespace ownsim {
+
+class LinkBudget {
+ public:
+  struct Params {
+    double freq_hz = 90e9;
+    double data_rate_bps = 32e9;
+    double noise_figure_db = 8.0;
+    double snr_required_db = 17.0;  ///< OOK at BER 1e-12 (Q ~= 7)
+    double margin_db = 2.5;         ///< implementation losses
+  };
+
+  LinkBudget() : LinkBudget(Params{}) {}
+  explicit LinkBudget(Params params);
+
+  /// Free-space path loss over `distance_m`, dB.
+  double fspl_db(double distance_m) const;
+
+  /// Receiver sensitivity, dBm.
+  double sensitivity_dbm() const;
+
+  /// Transmit power required to close the link, dBm. Directivities in dBi.
+  double required_tx_dbm(double distance_m, double tx_directivity_dbi = 0.0,
+                         double rx_directivity_dbi = 0.0) const;
+
+  /// Received power for a given transmit power, dBm.
+  double received_dbm(double tx_dbm, double distance_m,
+                      double tx_directivity_dbi = 0.0,
+                      double rx_directivity_dbi = 0.0) const;
+
+  /// Link margin (received - sensitivity), dB.
+  double margin_db(double tx_dbm, double distance_m,
+                   double tx_directivity_dbi = 0.0,
+                   double rx_directivity_dbi = 0.0) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace ownsim

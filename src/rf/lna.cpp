@@ -1,0 +1,21 @@
+#include "rf/lna.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ownsim {
+
+WidebandLna::WidebandLna(Params params) : params_(params) {
+  if (params_.center_freq_hz <= 0 || params_.gain_bw_hz <= 0) {
+    throw std::invalid_argument("WidebandLna: bad parameters");
+  }
+}
+
+double WidebandLna::gain_db(double freq_hz) const {
+  // Parabolic band-pass calibrated for -3 dB at +-BW/2.
+  const double x =
+      (freq_hz - params_.center_freq_hz) / (params_.gain_bw_hz / 2.0);
+  return params_.peak_gain_db - 3.0 * x * x;
+}
+
+}  // namespace ownsim

@@ -1,0 +1,39 @@
+// Behavioral wideband LNA model (paper Fig. 4c).
+//
+// The paper's receiver front-end is a common-source-degenerated
+// cascade-cascode LNA with ~10 dB of gain around 90 GHz, enough for 50 mm
+// operation. Modeled as a band-pass gain curve plus a noise figure used by
+// the link budget.
+#pragma once
+
+namespace ownsim {
+
+class WidebandLna {
+ public:
+  struct Params {
+    double center_freq_hz = 90e9;
+    double peak_gain_db = 10.0;
+    double gain_bw_hz = 30e9;      ///< 3-dB bandwidth
+    double noise_figure_db = 6.0;
+    double dc_power_w = 9e-3;
+  };
+
+  WidebandLna() : WidebandLna(Params{}) {}
+  explicit WidebandLna(Params params);
+
+  /// Gain at `freq_hz`, dB (second-order band-pass).
+  double gain_db(double freq_hz) const;
+
+  double noise_figure_db() const { return params_.noise_figure_db; }
+  double dc_power_w() const { return params_.dc_power_w; }
+
+  /// Width of the band where gain >= peak - 3 dB, Hz.
+  double bandwidth_3db_hz() const { return params_.gain_bw_hz; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace ownsim

@@ -1,0 +1,60 @@
+// Behavioral Colpitts oscillator model (paper Fig. 4a).
+//
+// The paper's 65-nm carrier source is a Colpitts oscillator whose external
+// capacitors are replaced by the gate-source / gate-drain capacitances of
+// M1; those resonate in series with the tank inductor:
+//
+//   C_eff = Cgs * Cgd / (Cgs + Cgd),   f_osc = 1 / (2 pi sqrt(L * C_eff))
+//
+// Phase noise follows Leeson's model around the carrier and is used to
+// synthesize the PSD plot. Defaults are tuned to the published anchors:
+// 90 GHz oscillation at 1 V and about -86 dBc/Hz at 1 MHz offset.
+#pragma once
+
+#include <vector>
+
+namespace ownsim {
+
+class ColpittsOscillator {
+ public:
+  struct Params {
+    double inductance_h = 100e-12;  ///< tank inductor L
+    double cgs_f = 75e-15;          ///< gate-source capacitance of M1
+    double cgd_f = 53.5e-15;        ///< gate-drain capacitance of M1
+    double loaded_q = 3.5;          ///< on-chip LC tank quality factor
+    double noise_factor = 2.0;      ///< Leeson excess-noise factor F
+    double signal_power_w = 1e-3;   ///< carrier power at 1 V supply
+    double supply_v = 1.0;
+    double bias_current_a = 4e-3;
+  };
+
+  ColpittsOscillator() : ColpittsOscillator(Params{}) {}
+  explicit ColpittsOscillator(Params params);
+
+  /// Effective series tank capacitance (F).
+  double effective_capacitance_f() const;
+
+  /// Oscillation frequency (Hz).
+  double frequency_hz() const;
+
+  /// Leeson phase noise at `offset_hz` from the carrier, dBc/Hz.
+  double phase_noise_dbc_hz(double offset_hz) const;
+
+  /// DC power drawn from the supply (W).
+  double dc_power_w() const;
+
+  /// One PSD sample at absolute frequency `freq_hz`, dBc/Hz relative to the
+  /// carrier (carrier modeled as a narrow Lorentzian line).
+  double psd_dbc_hz(double freq_hz) const;
+
+  /// PSD sweep across [f_lo, f_hi] with `points` samples (for Fig 4a).
+  std::vector<std::pair<double, double>> psd_sweep(double f_lo, double f_hi,
+                                                   int points) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace ownsim

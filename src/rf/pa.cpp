@@ -1,0 +1,54 @@
+#include "rf/pa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace ownsim {
+
+ClassAbPa::ClassAbPa(Params params) : params_(params) {
+  if (params_.center_freq_hz <= 0 || params_.gain_bw_hz <= 0 ||
+      params_.rapp_p <= 0 || params_.dc_power_w <= 0) {
+    throw std::invalid_argument("ClassAbPa: bad parameters");
+  }
+}
+
+double ClassAbPa::gain_db(double freq_hz) const {
+  // Parabolic roll-off calibrated so gain is (peak - 2 dB) at +-BW/2.
+  const double x = (freq_hz - params_.center_freq_hz) / (params_.gain_bw_hz / 2.0);
+  return params_.peak_gain_db - 2.0 * x * x;
+}
+
+double ClassAbPa::output_dbm(double input_dbm, double freq_hz) const {
+  const double gain = units::db_to_ratio(gain_db(freq_hz));
+  const double pin_w = units::dbm_to_watts(input_dbm);
+  const double psat_w = units::dbm_to_watts(params_.psat_dbm);
+  const double linear_w = gain * pin_w;
+  const double p = params_.rapp_p;
+  const double out_w =
+      linear_w / std::pow(1.0 + std::pow(linear_w / psat_w, 2.0 * p),
+                          1.0 / (2.0 * p));
+  return units::watts_to_dbm(out_w);
+}
+
+double ClassAbPa::p1db_dbm() const {
+  // Scan input power for the point where gain has dropped by exactly 1 dB.
+  const double f0 = params_.center_freq_hz;
+  for (double pin = -30.0; pin < 30.0; pin += 0.01) {
+    const double pout = output_dbm(pin, f0);
+    if ((pin + gain_db(f0)) - pout >= 1.0) return pout;
+  }
+  return params_.psat_dbm;
+}
+
+double ClassAbPa::efficiency(double output_dbm_value) const {
+  return units::dbm_to_watts(output_dbm_value) / params_.dc_power_w;
+}
+
+double ClassAbPa::bandwidth_hz(double drop_db) const {
+  // gain_db drops by `drop_db` at x = sqrt(drop/2) band-halves.
+  return params_.gain_bw_hz * std::sqrt(drop_db / 2.0);
+}
+
+}  // namespace ownsim

@@ -1,0 +1,52 @@
+// Behavioral class-AB power-amplifier model (paper Fig. 4b).
+//
+// Frequency response: a second-order band-pass around 90 GHz whose width is
+// set so the gain stays within 2 dB of the 3.5 dB peak over about 20 GHz
+// (the paper's published bandwidth). Compression: Rapp's soft-limiter
+//
+//   P_out = G * P_in / (1 + (G * P_in / P_sat)^(2p))^(1/p)      (linear W)
+//
+// anchored so the output 1-dB compression point lands at ~5 dBm and the
+// saturated output can deliver the >= 4 mW (7 dBm P_RF) the link budget
+// requires, at 14 mW DC dissipation from a 1 V supply.
+#pragma once
+
+namespace ownsim {
+
+class ClassAbPa {
+ public:
+  struct Params {
+    double center_freq_hz = 90e9;
+    double peak_gain_db = 3.5;
+    double gain_bw_hz = 20e9;    ///< width of the 2-dB-down band
+    double psat_dbm = 6.5;       ///< saturated output power (>= 4 mW target)
+    double rapp_p = 2.0;         ///< Rapp knee sharpness
+    double dc_power_w = 14e-3;   ///< class-AB bias at 1 V
+  };
+
+  ClassAbPa() : ClassAbPa(Params{}) {}
+  explicit ClassAbPa(Params params);
+
+  /// Small-signal gain at `freq_hz`, dB.
+  double gain_db(double freq_hz) const;
+
+  /// Output power for `input_dbm` at `freq_hz`, dBm (Rapp compression).
+  double output_dbm(double input_dbm, double freq_hz) const;
+
+  /// Output-referred 1-dB compression point at the center frequency, dBm
+  /// (found numerically).
+  double p1db_dbm() const;
+
+  /// Drain efficiency when delivering `output_dbm` of RF power.
+  double efficiency(double output_dbm) const;
+
+  /// Width of the band where gain >= peak - `drop_db`, Hz.
+  double bandwidth_hz(double drop_db) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace ownsim

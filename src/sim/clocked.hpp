@@ -1,0 +1,25 @@
+// Two-phase clocked component interface.
+//
+// Every hardware entity (router, channel, shared medium, NIC) advances in two
+// phases per cycle:
+//   eval(now)   — compute next state; may *stage* writes into other
+//                 components' mailboxes but must not make them visible.
+//   commit(now) — latch staged state; staged writes become visible for
+//                 cycle now+1.
+//
+// All cross-component communication goes through latency >= 1 pipes, so the
+// relative eval order of components never changes results.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ownsim {
+
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void eval(Cycle now) = 0;
+  virtual void commit(Cycle now) = 0;
+};
+
+}  // namespace ownsim

@@ -1,0 +1,31 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace ownsim {
+
+void Engine::add(Clocked* component) {
+  if (component == nullptr) throw std::invalid_argument("Engine::add: null");
+  components_.push_back(component);
+}
+
+void Engine::step() {
+  for (Clocked* c : components_) c->eval(now_);
+  for (Clocked* c : components_) c->commit(now_);
+  ++now_;
+}
+
+void Engine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+bool Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  while (now_ < deadline) {
+    step();
+    if (done()) return true;
+  }
+  return false;
+}
+
+}  // namespace ownsim

@@ -1,0 +1,41 @@
+// Cycle-driven simulation kernel.
+//
+// Holds a registry of non-owning `Clocked*` components and advances them in
+// lockstep: eval all, then commit all, then now()+1. Components are owned by
+// whoever built them (normally `Network`).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/clocked.hpp"
+
+namespace ownsim {
+
+class Engine {
+ public:
+  /// Registers a component. Must not be null; pointer must outlive the engine.
+  void add(Clocked* component);
+
+  /// Current cycle (number of completed steps).
+  Cycle now() const { return now_; }
+
+  /// Advances exactly one cycle.
+  void step();
+
+  /// Advances `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// Steps until `done()` returns true (checked after each cycle) or
+  /// `max_cycles` elapse. Returns true if `done()` fired.
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  std::size_t num_components() const { return components_.size(); }
+
+ private:
+  std::vector<Clocked*> components_;
+  Cycle now_ = 0;
+};
+
+}  // namespace ownsim

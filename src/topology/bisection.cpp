@@ -1,0 +1,29 @@
+#include "topology/bisection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ownsim {
+
+double bisection_target_gbps() { return 256.0; }
+
+int cycles_per_flit_for_bisection(double crossing_channels,
+                                  const TopologyOptions& options) {
+  if (crossing_channels <= 0.0) {
+    throw std::invalid_argument("bisection: crossing_channels must be > 0");
+  }
+  const double channel_gbps = bisection_target_gbps() / crossing_channels;
+  const double full_rate_gbps =
+      static_cast<double>(options.flit_bits) * options.clock_ghz;
+  const double cpf = full_rate_gbps / channel_gbps;
+  return static_cast<int>(std::clamp(std::lround(cpf), 1L, 128L));
+}
+
+int resolve_cpf(int override_cpf, double crossing_channels,
+                const TopologyOptions& options) {
+  if (override_cpf > 0) return override_cpf;
+  return cycles_per_flit_for_bisection(crossing_channels, options);
+}
+
+}  // namespace ownsim

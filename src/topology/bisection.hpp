@@ -1,0 +1,42 @@
+// Equal-bisection-bandwidth normalization (§V.A: "we have kept the bisection
+// bandwidth same for all the architectures by adding appropriate delay into
+// the network").
+//
+// Reference point: OWN's wireless bisection. Cutting the 2x2 cluster (or
+// group) array in half crosses 8 unidirectional wireless channels of
+// 32 Gb/s = 256 Gb/s. Every other topology's bisection-crossing channels are
+// then serialized (cycles/flit) so its bisection bandwidth matches:
+//
+//   channel_rate = target / effective_crossing_channels
+//   cycles_per_flit = flit_bits * clock / channel_rate   (clamped to [1,64])
+//
+// "Effective" counts shared MWSR waveguides at half weight: a waveguide with
+// its home on one side only carries cut-crossing traffic from the writers on
+// the far side (about half of its writers under uniform traffic).
+//
+// The derived per-technology rates are physically coherent with the paper:
+//   wireless channel          32 Gb/s  (Table III ideal scenario)
+//   OWN intra-cluster wavegd. 32 Gb/s  (64 lambda split over 16 homes, 8 Gb/s/lambda)
+//   OptXB / p-Clos photonics  ~8 Gb/s  (1 lambda per home of the same laser budget)
+//   CMesh mesh link           16 Gb/s at 256 cores, 8 Gb/s at 1024
+#pragma once
+
+#include "network/flit.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+/// Target bisection bandwidth in Gb/s (OWN's wireless bisection).
+double bisection_target_gbps();
+
+/// Serialization (cycles/flit) so `crossing_channels` channels of one type
+/// jointly present `bisection_target_gbps()` across the cut.
+/// `crossing_channels` may be fractional (effective counts).
+int cycles_per_flit_for_bisection(double crossing_channels,
+                                  const TopologyOptions& options);
+
+/// Convenience: resolves an explicit override (>0) or derives from the rule.
+int resolve_cpf(int override_cpf, double crossing_channels,
+                const TopologyOptions& options);
+
+}  // namespace ownsim

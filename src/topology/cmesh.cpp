@@ -1,0 +1,137 @@
+#include "topology/cmesh.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "topology/bisection.hpp"
+
+namespace ownsim {
+namespace {
+
+enum Direction { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+}  // namespace
+
+NetworkSpec build_cmesh(const TopologyOptions& options) {
+  const int num_routers = options.num_cores / options.concentration;
+  const int k = static_cast<int>(std::lround(std::sqrt(num_routers)));
+  if (k * k != num_routers || options.num_cores % options.concentration != 0) {
+    throw std::invalid_argument("build_cmesh: cores/concentration not square");
+  }
+
+  NetworkSpec spec;
+  spec.name = "cmesh-" + std::to_string(options.num_cores) +
+              (options.cmesh_o1turn ? "-o1turn" : "");
+  spec.num_nodes = options.num_cores;
+  spec.num_vcs = options.num_vcs;
+  spec.buffer_depth = options.buffer_depth;
+  if (options.cmesh_o1turn) {
+    if (options.num_vcs < 2) {
+      throw std::invalid_argument("build_cmesh: O1TURN needs >= 2 VCs");
+    }
+    // O1TURN deadlock freedom: XY packets in the lower VC half, YX in the
+    // upper half (Seo et al.).
+    const int half = options.num_vcs / 2;
+    spec.vc_classes = {{0, half}, {half, options.num_vcs - half}};
+  } else {
+    spec.vc_classes = {{0, options.num_vcs}};  // XY DOR needs one class
+  }
+
+  spec.nodes.resize(options.num_cores);
+  for (NodeId n = 0; n < options.num_cores; ++n) {
+    spec.nodes[n].router = n / options.concentration;
+  }
+
+  // Border routers have fewer ports; assign a compact port id per existing
+  // direction (same index on the input and output sides).
+  auto router_at = [&](int x, int y) { return y * k + x; };
+  std::vector<std::array<PortId, 4>> dir_port(
+      static_cast<std::size_t>(num_routers), {-1, -1, -1, -1});
+  spec.routers.assign(num_routers, {0, 0});
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      const RouterId r = router_at(x, y);
+      PortId next = 0;
+      if (x + 1 < k) dir_port[r][kEast] = next++;
+      if (x > 0) dir_port[r][kWest] = next++;
+      if (y > 0) dir_port[r][kNorth] = next++;
+      if (y + 1 < k) dir_port[r][kSouth] = next++;
+      spec.routers[r] = {next, next};
+    }
+  }
+
+  // Bisection: a vertical cut crosses k links per direction = 2k channels.
+  const int cpf = resolve_cpf(options.electrical_cpf, 2.0 * k, options);
+  // 50 mm die at 256 cores, 100 mm MCM at 1024; hop length = edge / k.
+  const double edge_mm = options.num_cores <= 256 ? 50.0 : 100.0;
+  const double hop_mm = edge_mm / k;
+
+  auto add_link = [&](RouterId src, Direction sd, RouterId dst, Direction dd) {
+    LinkSpec link;
+    link.src_router = src;
+    link.src_port = dir_port[src][sd];
+    link.dst_router = dst;
+    link.dst_port = dir_port[dst][dd];
+    link.medium = MediumType::kElectrical;
+    link.latency = 1;
+    link.cycles_per_flit = cpf;
+    link.distance_mm = hop_mm;
+    link.name = "mesh" + std::to_string(src) + "-" + std::to_string(dst);
+    spec.links.push_back(link);
+  };
+
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      const RouterId r = router_at(x, y);
+      if (x + 1 < k) {
+        add_link(r, kEast, router_at(x + 1, y), kWest);
+        add_link(router_at(x + 1, y), kWest, r, kEast);
+      }
+      if (y + 1 < k) {
+        add_link(r, kSouth, router_at(x, y + 1), kNorth);
+        add_link(router_at(x, y + 1), kNorth, r, kSouth);
+      }
+    }
+  }
+
+  // Floorplan: routers at grid-cell centers.
+  spec.router_xy_mm.resize(static_cast<std::size_t>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    spec.router_xy_mm[r] = {(r % k + 0.5) * hop_mm, (r / k + 0.5) * hop_mm};
+  }
+
+  // Dimension-order routing tables. Primary: XY. With O1TURN enabled a
+  // second YX table carries the packets of the upper VC class.
+  auto fill_dor = [&](std::vector<std::vector<RouteEntry>>& table,
+                      bool x_first, std::int8_t vc_class) {
+    table.assign(num_routers, std::vector<RouteEntry>(num_routers));
+    for (int r = 0; r < num_routers; ++r) {
+      const int rx = r % k;
+      const int ry = r / k;
+      for (int d = 0; d < num_routers; ++d) {
+        if (d == r) continue;
+        const int dx = d % k;
+        const int dy = d / k;
+        Direction dir;
+        const bool need_x = dx != rx;
+        const bool need_y = dy != ry;
+        if ((x_first && need_x) || (!need_y && need_x)) {
+          dir = dx > rx ? kEast : kWest;
+        } else {
+          dir = dy > ry ? kSouth : kNorth;
+        }
+        table[r][d] = {dir_port[r][dir], vc_class};
+      }
+    }
+  };
+  fill_dor(spec.route_table, /*x_first=*/true, 0);
+  if (options.cmesh_o1turn) {
+    fill_dor(spec.route_table_alt, /*x_first=*/false, 1);
+    spec.alt_min_class = 1;
+  }
+  return spec;
+}
+
+}  // namespace ownsim

@@ -1,0 +1,17 @@
+// Concentrated Mesh baseline (§V.A).
+//
+// cores/4 routers on a sqrt(R) x sqrt(R) grid, 4 cores per router, XY
+// dimension-order routing (deadlock-free with a single VC class), radix 8
+// (4 mesh ports + 4 cores). Maximum diameter 2(sqrt(R)-1) hops.
+#pragma once
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+/// Builds the CMesh NetworkSpec. `num_cores / concentration` must be a
+/// perfect square (64 routers at 256 cores, 256 at 1024).
+NetworkSpec build_cmesh(const TopologyOptions& options);
+
+}  // namespace ownsim

@@ -1,0 +1,76 @@
+#include "topology/optxb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "topology/bisection.hpp"
+
+namespace ownsim {
+
+NetworkSpec build_optxb(const TopologyOptions& options) {
+  if (options.num_cores % options.concentration != 0) {
+    throw std::invalid_argument("build_optxb: cores % concentration != 0");
+  }
+  const int num_routers = options.num_cores / options.concentration;
+
+  NetworkSpec spec;
+  spec.name = "optxb-" + std::to_string(options.num_cores);
+  spec.num_nodes = options.num_cores;
+  spec.num_vcs = options.num_vcs;
+  spec.buffer_depth = options.buffer_depth;
+  spec.vc_classes = {{0, options.num_vcs}};  // single hop: acyclic
+
+  // Each router: 1 home-waveguide reader in, R-1 writers out.
+  spec.routers.assign(num_routers, {1, num_routers - 1});
+  spec.nodes.resize(options.num_cores);
+  for (NodeId n = 0; n < options.num_cores; ++n) {
+    spec.nodes[n].router = n / options.concentration;
+  }
+
+  // Effective bisection crossing: all R waveguides at half weight (only the
+  // far-side writers of a waveguide carry cut-crossing traffic).
+  const int cpf =
+      resolve_cpf(options.photonic_cpf, 0.5 * num_routers, options);
+  const double snake_mm = options.num_cores <= 256 ? 50.0 : 100.0;
+
+  spec.media.reserve(static_cast<std::size_t>(num_routers));
+  for (RouterId home = 0; home < num_routers; ++home) {
+    MediumSpec wg;
+    wg.medium = MediumType::kPhotonic;
+    wg.arbitration = options.ideal_arbitration ? ArbitrationKind::kIdeal
+                                               : ArbitrationKind::kTokenRing;
+    for (RouterId w = 0; w < num_routers; ++w) {
+      if (w == home) continue;
+      wg.writers.push_back({w, optxb_writer_port(w, home)});
+    }
+    wg.readers = {{home, 0}};
+    wg.latency = 2;  // ~50 mm snake at ~15 ps/mm, plus O/E conversion
+    wg.cycles_per_flit = cpf;
+    wg.max_packet_flits = options.max_packet_flits;
+    wg.distance_mm = snake_mm;
+    wg.name = "optxb-wg" + std::to_string(home);
+    spec.media.push_back(std::move(wg));
+  }
+
+  // Floorplan: concentrated routers on a square grid under the snake.
+  {
+    const int k = static_cast<int>(std::lround(std::sqrt(num_routers)));
+    const double cell = snake_mm / std::max(1, k);
+    spec.router_xy_mm.resize(static_cast<std::size_t>(num_routers));
+    for (int r = 0; r < num_routers; ++r) {
+      spec.router_xy_mm[r] = {(r % k + 0.5) * cell, (r / k + 0.5) * cell};
+    }
+  }
+
+  spec.route_table.assign(num_routers, std::vector<RouteEntry>(num_routers));
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (RouterId d = 0; d < num_routers; ++d) {
+      if (d == r) continue;
+      spec.route_table[r][d] = {optxb_writer_port(r, d), 0};
+    }
+  }
+  return spec;
+}
+
+}  // namespace ownsim

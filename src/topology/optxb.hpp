@@ -1,0 +1,22 @@
+// All-photonic optical crossbar baseline (Corona-style, §V: "OptXB").
+//
+// cores/4 concentrated routers on one chip-spanning MWSR crossbar: every
+// router owns a "home" waveguide it reads, and writes the other R-1 homes
+// through token arbitration. Network diameter is a single hop; the cost is
+// O(R^2) writer endpoints and, physically, the millions of ring resonators
+// the paper calls out as unbuildable (see photonic/ring_budget.*).
+#pragma once
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+NetworkSpec build_optxb(const TopologyOptions& options);
+
+/// Output-port index on router `src` for the waveguide whose home is `dst`.
+inline PortId optxb_writer_port(RouterId src, RouterId dst) {
+  return dst < src ? dst : dst - 1;
+}
+
+}  // namespace ownsim

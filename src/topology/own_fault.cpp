@@ -1,0 +1,184 @@
+#include "topology/own_fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "topology/bisection.hpp"
+#include "topology/own.hpp"
+#include "wireless/channel_alloc.hpp"
+
+namespace ownsim {
+namespace {
+
+constexpr PortId kPhotonicIn = 0;
+constexpr PortId kWirelessIn = 1;
+constexpr PortId kWirelessOut = 15;
+
+// Degraded-mode VC classes (see header).
+constexpr std::int8_t kClsPre = 0;       // photonic toward a rerouted flow's
+                                         // first gateway
+constexpr std::int8_t kClsMid = 1;       // photonic toward the final gateway
+constexpr std::int8_t kClsPost = 2;      // photonic last hop
+constexpr std::int8_t kClsWireless1 = 3; // first wireless hop of a reroute
+constexpr std::int8_t kClsWireless2 = 4; // final wireless hop
+
+}  // namespace
+
+FaultSet::FaultSet(std::vector<std::pair<int, int>> failed)
+    : failed_(std::move(failed)) {
+  for (const auto& [src, dst] : failed_) {
+    if (src < 0 || src > 3 || dst < 0 || dst > 3 || src == dst) {
+      throw std::invalid_argument("FaultSet: bad cluster pair");
+    }
+  }
+}
+
+void FaultSet::fail(int src_cluster, int dst_cluster) {
+  if (src_cluster < 0 || src_cluster > 3 || dst_cluster < 0 ||
+      dst_cluster > 3 || src_cluster == dst_cluster) {
+    throw std::invalid_argument("FaultSet::fail: bad cluster pair");
+  }
+  if (!is_failed(src_cluster, dst_cluster)) {
+    failed_.emplace_back(src_cluster, dst_cluster);
+  }
+}
+
+bool FaultSet::is_failed(int src_cluster, int dst_cluster) const {
+  return std::find(failed_.begin(), failed_.end(),
+                   std::make_pair(src_cluster, dst_cluster)) != failed_.end();
+}
+
+int FaultSet::transit_for(int src_cluster, int dst_cluster) const {
+  for (int via = 0; via < 4; ++via) {
+    if (via == src_cluster || via == dst_cluster) continue;
+    if (!is_failed(src_cluster, via) && !is_failed(via, dst_cluster)) {
+      return via;
+    }
+  }
+  return -1;
+}
+
+NetworkSpec build_own256_faulted(const TopologyOptions& options,
+                                 const FaultSet& faults) {
+  if (options.num_cores != 256 || options.concentration != 4) {
+    throw std::invalid_argument("build_own256_faulted: needs 256 cores");
+  }
+  if (options.num_vcs < 5) {
+    throw std::invalid_argument(
+        "build_own256_faulted: degraded mode needs >= 5 VCs");
+  }
+  // Every failed pair must have a transit.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b || !faults.is_failed(a, b)) continue;
+      if (faults.transit_for(a, b) < 0) {
+        throw std::invalid_argument(
+            "build_own256_faulted: cluster pair " + std::to_string(a) + "->" +
+            std::to_string(b) + " is unrecoverable");
+      }
+    }
+  }
+
+  NetworkSpec spec;
+  spec.name = "own-256-fault" + std::to_string(faults.size());
+  spec.num_nodes = options.num_cores;
+  spec.num_vcs = options.num_vcs;
+  spec.buffer_depth = options.buffer_depth;
+  spec.vc_classes = {{0, 1}, {1, 1}, {2, 1}, {3, 1},
+                     {4, options.num_vcs - 4}};
+
+  const int num_routers = 64;
+  spec.routers.assign(num_routers, {1, 15});
+  spec.nodes.resize(options.num_cores);
+  for (NodeId n = 0; n < options.num_cores; ++n) {
+    spec.nodes[n].router = n / options.concentration;
+  }
+
+  // Gateway ports exist only for alive channel directions.
+  for (const OwnChannel& ch : own256_channels()) {
+    if (faults.is_failed(ch.src_cluster, ch.dst_cluster)) continue;
+    auto& src = spec.routers[own_router(
+        0, ch.src_cluster, antenna_tile(ch.src_antenna))];
+    src.num_net_out = 16;
+    auto& dst = spec.routers[own_router(
+        0, ch.dst_cluster, antenna_tile(ch.dst_antenna))];
+    dst.num_net_in = 2;
+  }
+
+  const int photonic_cpf = options.photonic_cpf > 0 ? options.photonic_cpf : 4;
+  for (int c = 0; c < kOwnClustersPerGroup; ++c) {
+    for (int home = 0; home < kOwnTilesPerCluster; ++home) {
+      MediumSpec wg;
+      wg.medium = MediumType::kPhotonic;
+      for (int t = 0; t < kOwnTilesPerCluster; ++t) {
+        if (t == home) continue;
+        wg.writers.push_back({own_router(0, c, t), own_writer_port(t, home)});
+      }
+      wg.readers = {{own_router(0, c, home), kPhotonicIn}};
+      wg.latency = 2;
+      wg.cycles_per_flit = photonic_cpf;
+      wg.max_packet_flits = options.max_packet_flits;
+      wg.distance_mm = 25.0;
+      wg.name = "wg-c" + std::to_string(c) + "t" + std::to_string(home);
+      spec.media.push_back(std::move(wg));
+    }
+  }
+
+  const int wireless_cpf = resolve_cpf(options.wireless_cpf, 8.0, options);
+  for (const OwnChannel& ch : own256_channels()) {
+    if (faults.is_failed(ch.src_cluster, ch.dst_cluster)) continue;
+    LinkSpec link;
+    link.src_router =
+        own_router(0, ch.src_cluster, antenna_tile(ch.src_antenna));
+    link.src_port = kWirelessOut;
+    link.dst_router =
+        own_router(0, ch.dst_cluster, antenna_tile(ch.dst_antenna));
+    link.dst_port = kWirelessIn;
+    link.medium = MediumType::kWireless;
+    link.latency = 2;
+    link.cycles_per_flit = wireless_cpf;
+    link.distance_mm = distance_mm(ch.distance);
+    link.wireless_channel = ch.id;
+    link.name = "wl" + std::to_string(ch.id);
+    spec.links.push_back(link);
+  }
+
+  // Routing. For destination cluster dc from cluster rc:
+  //   alive (rc,dc): photonic kClsMid toward the direct gateway, wireless
+  //                  kClsWireless2 — transit clusters fall into this case
+  //                  automatically for the second leg.
+  //   failed (rc,dc): photonic kClsPre toward the gateway of (rc, via),
+  //                  wireless kClsWireless1.
+  spec.route_table.assign(num_routers, std::vector<RouteEntry>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    const int rc = r / kOwnTilesPerCluster;
+    const int rt = r % kOwnTilesPerCluster;
+    for (int d = 0; d < num_routers; ++d) {
+      if (d == r) continue;
+      const int dc = d / kOwnTilesPerCluster;
+      const int dt = d % kOwnTilesPerCluster;
+      RouteEntry entry;
+      if (dc == rc) {
+        entry.out_port = own_writer_port(rt, dt);
+        entry.vc_class =
+            own256_is_gateway_tile(rt) ? kClsPost : kClsMid;
+      } else {
+        const bool direct = !faults.is_failed(rc, dc);
+        const int toward = direct ? dc : faults.transit_for(rc, dc);
+        const int gate = antenna_tile(own256_channel(rc, toward).src_antenna);
+        if (rt == gate) {
+          entry.out_port = kWirelessOut;
+          entry.vc_class = direct ? kClsWireless2 : kClsWireless1;
+        } else {
+          entry.out_port = own_writer_port(rt, gate);
+          entry.vc_class = direct ? kClsMid : kClsPre;
+        }
+      }
+      spec.route_table[r][d] = entry;
+    }
+  }
+  return spec;
+}
+
+}  // namespace ownsim

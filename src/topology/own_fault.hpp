@@ -1,0 +1,56 @@
+// OWN-256 wireless-channel fault tolerance.
+//
+// The paper positions OWN in a line of work on reconfigurable/fault-tolerant
+// photonic NoCs ([12]) but does not evaluate failures. This extension models
+// the natural recovery: when the direct channel c -> c' is down, traffic is
+// rerouted through a transit cluster c'' whose channels c -> c'' and
+// c'' -> c' are alive, giving a 2-wireless-hop degraded path
+// (photonic -> wireless -> photonic -> wireless -> photonic, 5 hops).
+//
+// Deadlock freedom needs one more class level than the healthy network; the
+// degraded build uses five classes over >= 5 VCs:
+//   VC0  photonic toward the FIRST gateway of a rerouted flow
+//   VC1  photonic toward the LAST-hop gateway (healthy flows start here too)
+//   VC2  photonic last hop (out of a receiving gateway)
+//   VC3  wireless hop 1 of rerouted flows
+//   VC4+ wireless final hop (all healthy traffic and hop 2 of rerouted)
+// Class digraph 0 -> w3 -> 1 -> w4 -> 2 -> ejection: acyclic. The scheme is
+// uniform per (router, destination): routers in cluster c route toward a
+// destination cluster c' in "one-more-wireless-hop" classes iff (c, c') is
+// failed, which is exactly the transit position of rerouted packets.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+/// Set of failed unidirectional inter-cluster channels.
+class FaultSet {
+ public:
+  FaultSet() = default;
+  explicit FaultSet(std::vector<std::pair<int, int>> failed);
+
+  void fail(int src_cluster, int dst_cluster);
+  bool is_failed(int src_cluster, int dst_cluster) const;
+  std::size_t size() const { return failed_.size(); }
+
+  /// Transit cluster for a failed pair (lowest-id cluster with both legs
+  /// alive), or -1 when the pair cannot be recovered.
+  int transit_for(int src_cluster, int dst_cluster) const;
+
+ private:
+  std::vector<std::pair<int, int>> failed_;
+};
+
+/// OWN-256 with `faults` applied: failed channels are removed from the
+/// floorplan (their gateway ports disappear) and affected traffic takes the
+/// degraded 2-wireless-hop path. Requires options.num_vcs >= 5. Throws
+/// std::invalid_argument when some pair has no alive transit.
+NetworkSpec build_own256_faulted(const TopologyOptions& options,
+                                 const FaultSet& faults);
+
+}  // namespace ownsim

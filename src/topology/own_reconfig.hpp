@@ -1,0 +1,53 @@
+// OWN-256 reconfiguration channels (paper §IV Table III: "links 13-16 are
+// reserved for reconfiguration channels that could adaptively be utilized to
+// improve performance"; §III.A: "The antennas (D0-D3) will be used for
+// intra-cluster communication" — we use them, per Table III's note, as
+// adaptive extra inter-cluster capacity).
+//
+// A `ReconfigPlan` assigns the four spare band-plan links to the four
+// most-loaded directed cluster pairs of a traffic pattern (profiled
+// analytically from the pattern's permutation). The reconfigured network
+// adds a second wireless channel between those pairs, terminated on the D
+// corners; tiles in the bottom half of a cluster (rows 2-3, nearest the D
+// corner) route through the new channel, splitting the pair's load across
+// two gateways. Everything else — VC classes, deadlock argument, energy
+// accounting (channels 12-15 of the band plan) — is unchanged.
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+#include "traffic/patterns.hpp"
+#include "wireless/channel_alloc.hpp"
+
+namespace ownsim {
+
+struct ReconfigPlan {
+  /// Directed cluster pairs receiving a second (D-antenna) channel.
+  std::array<std::pair<int, int>, 4> pairs;
+};
+
+/// Profiles `pattern` analytically (deterministic permutations exactly,
+/// stochastic patterns by their destination distribution) and picks the four
+/// directed cluster pairs carrying the most traffic.
+ReconfigPlan plan_reconfig(PatternKind pattern, int num_cores = 256);
+
+/// Distance class of a reconfiguration channel serving `pair`.
+DistanceClass reconfig_distance(const std::pair<int, int>& pair);
+
+/// OWN-256 with the plan's four extra channels. Only defined for
+/// options.num_cores == 256.
+NetworkSpec build_own256_reconfig(const TopologyOptions& options,
+                                  const ReconfigPlan& plan);
+
+/// Per-channel distance classes for the 16-channel energy model of a
+/// reconfigured OWN-256 (channels 0-11 = Table I, 12-15 = the plan).
+std::vector<DistanceClass> reconfig_channel_distances(const ReconfigPlan& plan);
+
+/// SDM reuse sets matching `reconfig_channel_distances` (the reconfiguration
+/// channels get their own frequencies — conservatively no reuse).
+std::vector<int> reconfig_sdm_groups();
+
+}  // namespace ownsim

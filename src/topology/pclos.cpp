@@ -1,0 +1,90 @@
+#include "topology/pclos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "topology/bisection.hpp"
+
+namespace ownsim {
+
+NetworkSpec build_pclos(const TopologyOptions& options) {
+  const int num_routers = options.num_cores / options.concentration;
+  const int s = static_cast<int>(std::lround(std::sqrt(num_routers)));
+  if (options.num_cores % options.concentration != 0 || s * s != num_routers) {
+    throw std::invalid_argument("build_pclos: cores/concentration not square");
+  }
+  // s leaves (ids 0..s-1) + s middles (ids s..2s-1).
+  const int cores_per_leaf = options.num_cores / s;
+
+  NetworkSpec spec;
+  spec.name = "pclos-" + std::to_string(options.num_cores);
+  spec.num_nodes = options.num_cores;
+  spec.num_vcs = options.num_vcs;
+  spec.buffer_depth = options.buffer_depth;
+  spec.vc_classes = {{0, options.num_vcs}};  // leaf->middle->leaf: acyclic
+
+  spec.routers.assign(2 * s, {s, s});
+  spec.nodes.resize(options.num_cores);
+  for (NodeId n = 0; n < options.num_cores; ++n) {
+    spec.nodes[n].router = n / cores_per_leaf;
+  }
+
+  // Effective bisection crossing ~ s^2/2 photonic stage links (half of all
+  // leaf<->middle pairs straddle the cut).
+  const int cpf = resolve_cpf(options.photonic_cpf,
+                              0.5 * static_cast<double>(s) * s, options);
+  const double stage_mm = options.num_cores <= 256 ? 30.0 : 60.0;
+
+  auto add_link = [&](RouterId src, PortId sp, RouterId dst, PortId dp,
+                      const char* tag) {
+    LinkSpec link;
+    link.src_router = src;
+    link.src_port = sp;
+    link.dst_router = dst;
+    link.dst_port = dp;
+    link.medium = MediumType::kPhotonic;
+    link.latency = 2;
+    link.cycles_per_flit = cpf;
+    link.distance_mm = stage_mm;
+    link.name = std::string(tag) + std::to_string(src) + "-" +
+                std::to_string(dst);
+    spec.links.push_back(link);
+  };
+
+  for (int leaf = 0; leaf < s; ++leaf) {
+    for (int mid = 0; mid < s; ++mid) {
+      add_link(leaf, mid, s + mid, leaf, "up");    // leaf out port = middle id
+      add_link(s + mid, leaf, leaf, mid, "down");  // middle out port = leaf id
+    }
+  }
+
+  // Floorplan: leaves along the die bottom, middle switches along the top.
+  {
+    const double die = options.num_cores <= 256 ? 50.0 : 100.0;
+    spec.router_xy_mm.resize(static_cast<std::size_t>(2 * s));
+    for (int i = 0; i < s; ++i) {
+      spec.router_xy_mm[i] = {(i + 0.5) * die / s, die * 0.25};
+      spec.router_xy_mm[s + i] = {(i + 0.5) * die / s, die * 0.75};
+    }
+  }
+
+  spec.route_table.assign(2 * s, std::vector<RouteEntry>(2 * s));
+  for (int r = 0; r < 2 * s; ++r) {
+    for (int d = 0; d < 2 * s; ++d) {
+      if (d == r) continue;
+      RouteEntry entry{0, 0};
+      if (r < s && d < s) {
+        entry.out_port = (r + d) % s;  // deterministic middle choice
+      } else if (r >= s && d < s) {
+        entry.out_port = d;  // middle: straight down to the leaf
+      }
+      // Routes toward middle ids are structurally valid but never used
+      // (nodes attach to leaves only); they keep port 0.
+      spec.route_table[r][d] = entry;
+    }
+  }
+  return spec;
+}
+
+}  // namespace ownsim

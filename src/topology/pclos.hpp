@@ -1,0 +1,18 @@
+// Photonic Clos baseline (Joshi et al. [22], §V: "p-Clos").
+//
+// Folded 2-stage realization: `s` leaf switches each serving cores/s cores,
+// `s` middle switches, point-to-point photonic links leaf->middle and
+// middle->leaf. Every packet takes leaf -> middle -> leaf ("all concentrated
+// nodes are connected to one level of switches before they are connected
+// back", max 2 link hops); the middle is chosen deterministically as
+// (src_leaf + dst_leaf) mod s, which balances load for symmetric patterns.
+#pragma once
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+NetworkSpec build_pclos(const TopologyOptions& options);
+
+}  // namespace ownsim

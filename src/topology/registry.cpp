@@ -1,0 +1,56 @@
+#include "topology/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "topology/cmesh.hpp"
+#include "topology/optxb.hpp"
+#include "topology/own.hpp"
+#include "topology/pclos.hpp"
+#include "topology/wireless_cmesh.hpp"
+
+namespace ownsim {
+
+TopologyKind parse_topology(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "cmesh" || s == "mesh") return TopologyKind::kCMesh;
+  if (s == "wcmesh" || s == "wireless-cmesh" || s == "wirelesscmesh") {
+    return TopologyKind::kWirelessCMesh;
+  }
+  if (s == "optxb" || s == "crossbar") return TopologyKind::kOptXB;
+  if (s == "pclos" || s == "p-clos" || s == "clos") return TopologyKind::kPClos;
+  if (s == "own") return TopologyKind::kOwn;
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kCMesh: return "CMESH";
+    case TopologyKind::kWirelessCMesh: return "wireless-CMESH";
+    case TopologyKind::kOptXB: return "OptXB";
+    case TopologyKind::kPClos: return "p-Clos";
+    case TopologyKind::kOwn: return "OWN";
+  }
+  return "?";
+}
+
+std::vector<TopologyKind> paper_topologies() {
+  return {TopologyKind::kCMesh, TopologyKind::kOwn, TopologyKind::kOptXB,
+          TopologyKind::kPClos, TopologyKind::kWirelessCMesh};
+}
+
+NetworkSpec build_topology(TopologyKind kind, const TopologyOptions& options) {
+  switch (kind) {
+    case TopologyKind::kCMesh: return build_cmesh(options);
+    case TopologyKind::kWirelessCMesh: return build_wireless_cmesh(options);
+    case TopologyKind::kOptXB: return build_optxb(options);
+    case TopologyKind::kPClos: return build_pclos(options);
+    case TopologyKind::kOwn: return build_own(options);
+  }
+  throw std::invalid_argument("build_topology: bad kind");
+}
+
+}  // namespace ownsim

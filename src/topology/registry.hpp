@@ -1,0 +1,32 @@
+// Name-based topology registry used by the driver, examples and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+enum class TopologyKind {
+  kCMesh,
+  kWirelessCMesh,
+  kOptXB,
+  kPClos,
+  kOwn,
+};
+
+/// "cmesh", "wcmesh"/"wireless-cmesh", "optxb", "pclos"/"p-clos", "own".
+/// Throws std::invalid_argument on unknown names.
+TopologyKind parse_topology(const std::string& name);
+
+const char* to_string(TopologyKind kind);
+
+/// All topologies compared in the paper's §V, in figure order.
+std::vector<TopologyKind> paper_topologies();
+
+/// Dispatches to the matching build_* function.
+NetworkSpec build_topology(TopologyKind kind, const TopologyOptions& options);
+
+}  // namespace ownsim

@@ -1,0 +1,165 @@
+#include "topology/wireless_cmesh.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "topology/bisection.hpp"
+
+namespace ownsim {
+namespace {
+
+constexpr int kClusterSize = 4;
+// Local electrical crossbar: port index on router `lr` toward local `ld`.
+PortId xbar_port(int lr, int ld) { return ld < lr ? ld : ld - 1; }
+
+enum Direction { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+}  // namespace
+
+NetworkSpec build_wireless_cmesh(const TopologyOptions& options) {
+  const int num_routers = options.num_cores / options.concentration;
+  const int num_clusters = num_routers / kClusterSize;
+  const int kw = static_cast<int>(std::lround(std::sqrt(num_clusters)));
+  if (options.num_cores % options.concentration != 0 ||
+      num_routers % kClusterSize != 0 || kw * kw != num_clusters) {
+    throw std::invalid_argument("build_wireless_cmesh: bad core count");
+  }
+
+  NetworkSpec spec;
+  spec.name = "wcmesh-" + std::to_string(options.num_cores);
+  spec.num_nodes = options.num_cores;
+  spec.num_vcs = options.num_vcs;
+  spec.buffer_depth = options.buffer_depth;
+  spec.vc_classes = {{0, options.num_vcs}};  // XY DOR over clusters: acyclic
+
+  spec.routers.assign(num_routers, {3, 3});
+  spec.nodes.resize(options.num_cores);
+  for (NodeId n = 0; n < options.num_cores; ++n) {
+    spec.nodes[n].router = n / options.concentration;
+  }
+
+  // Wireless heads: the 3 electrical ports plus one port per grid neighbor.
+  auto head = [&](int cx, int cy) { return (cy * kw + cx) * kClusterSize; };
+  std::vector<std::array<PortId, 4>> dir_port(
+      static_cast<std::size_t>(num_routers), {-1, -1, -1, -1});
+  for (int cy = 0; cy < kw; ++cy) {
+    for (int cx = 0; cx < kw; ++cx) {
+      const RouterId r = head(cx, cy);
+      PortId next = 3;
+      if (cx + 1 < kw) dir_port[r][kEast] = next++;
+      if (cx > 0) dir_port[r][kWest] = next++;
+      if (cy > 0) dir_port[r][kNorth] = next++;
+      if (cy + 1 < kw) dir_port[r][kSouth] = next++;
+      spec.routers[r] = {next, next};
+    }
+  }
+
+  // Local links don't cross the global bisection; 4 cycles/flit ~ 64 Gb/s
+  // short wires, comparable to OWN's intra-cluster service rate.
+  const int e_cpf = options.electrical_cpf > 0 ? options.electrical_cpf : 4;
+  // A vertical cut crosses kw wireless rows in each direction.
+  const int w_cpf = resolve_cpf(options.wireless_cpf, 2.0 * kw, options);
+  const double edge_mm = options.num_cores <= 256 ? 50.0 : 100.0;
+  const double whop_mm = edge_mm / kw;
+
+  auto add_link = [&](RouterId src, PortId sp, RouterId dst, PortId dp,
+                      MediumType medium, int cpf, double mm, int latency) {
+    LinkSpec link;
+    link.src_router = src;
+    link.src_port = sp;
+    link.dst_router = dst;
+    link.dst_port = dp;
+    link.medium = medium;
+    link.latency = latency;
+    link.cycles_per_flit = cpf;
+    link.distance_mm = mm;
+    link.name = (medium == MediumType::kWireless ? "wl" : "el") +
+                std::to_string(src) + "-" + std::to_string(dst);
+    spec.links.push_back(link);
+  };
+
+  // Intra-cluster full crossbar.
+  for (int c = 0; c < num_clusters; ++c) {
+    for (int a = 0; a < kClusterSize; ++a) {
+      for (int b = 0; b < kClusterSize; ++b) {
+        if (a == b) continue;
+        add_link(c * kClusterSize + a, xbar_port(a, b), c * kClusterSize + b,
+                 xbar_port(b, a), MediumType::kElectrical, e_cpf, 6.0, 1);
+      }
+    }
+  }
+
+  // Wireless XY grid between cluster heads.
+  for (int cy = 0; cy < kw; ++cy) {
+    for (int cx = 0; cx < kw; ++cx) {
+      const RouterId r = head(cx, cy);
+      if (cx + 1 < kw) {
+        const RouterId e = head(cx + 1, cy);
+        add_link(r, dir_port[r][kEast], e, dir_port[e][kWest],
+                 MediumType::kWireless, w_cpf, whop_mm, 2);
+        add_link(e, dir_port[e][kWest], r, dir_port[r][kEast],
+                 MediumType::kWireless, w_cpf, whop_mm, 2);
+      }
+      if (cy + 1 < kw) {
+        const RouterId s = head(cx, cy + 1);
+        add_link(r, dir_port[r][kSouth], s, dir_port[s][kNorth],
+                 MediumType::kWireless, w_cpf, whop_mm, 2);
+        add_link(s, dir_port[s][kNorth], r, dir_port[r][kSouth],
+                 MediumType::kWireless, w_cpf, whop_mm, 2);
+      }
+    }
+  }
+
+  // Floorplan: clusters on a kw x kw grid, the 4 routers of a cluster on a
+  // small 2x2 inside their cell.
+  spec.router_xy_mm.resize(static_cast<std::size_t>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    const int cluster = r / kClusterSize;
+    const int local = r % kClusterSize;
+    const double base_x = (cluster % kw) * whop_mm;
+    const double base_y = (cluster / kw) * whop_mm;
+    spec.router_xy_mm[r] = {base_x + (local % 2 + 0.5) * whop_mm / 2.0,
+                            base_y + (local / 2 + 0.5) * whop_mm / 2.0};
+  }
+
+  // Routing: intra-cluster direct; otherwise local head -> wireless XY DOR ->
+  // remote head -> local crossbar.
+  spec.route_table.assign(num_routers, std::vector<RouteEntry>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    const int rc = r / kClusterSize;
+    const int rl = r % kClusterSize;
+    const int rcx = rc % kw;
+    const int rcy = rc / kw;
+    for (int d = 0; d < num_routers; ++d) {
+      if (d == r) continue;
+      const int dc = d / kClusterSize;
+      const int dl = d % kClusterSize;
+      RouteEntry entry{0, 0};
+      if (dc == rc) {
+        entry.out_port = xbar_port(rl, dl);
+      } else if (rl != 0) {
+        entry.out_port = xbar_port(rl, 0);  // go to the cluster head
+      } else {
+        const int dcx = dc % kw;
+        const int dcy = dc / kw;
+        Direction dir;
+        if (dcx > rcx) {
+          dir = kEast;
+        } else if (dcx < rcx) {
+          dir = kWest;
+        } else if (dcy > rcy) {
+          dir = kSouth;
+        } else {
+          dir = kNorth;
+        }
+        entry.out_port = dir_port[r][dir];
+      }
+      spec.route_table[r][d] = entry;
+    }
+  }
+  return spec;
+}
+
+}  // namespace ownsim

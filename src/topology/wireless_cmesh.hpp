@@ -1,0 +1,17 @@
+// Wireless-CMesh baseline (WCube-style, §V.A).
+//
+// Routers are grouped 4-per-cluster and joined by a full electrical crossbar
+// (3 ports each); the first router of each cluster additionally carries a
+// wireless transceiver with four directional channels (E/W/N/S), forming a
+// sqrt(clusters) x sqrt(clusters) wireless grid routed with XY DOR. Radix:
+// 3 electrical + 4 wireless + 4 cores = 11 for wireless routers (paper §V.A).
+#pragma once
+
+#include "network/spec.hpp"
+#include "topology/options.hpp"
+
+namespace ownsim {
+
+NetworkSpec build_wireless_cmesh(const TopologyOptions& options);
+
+}  // namespace ownsim

@@ -1,0 +1,44 @@
+#include "traffic/injector.hpp"
+
+#include <stdexcept>
+
+namespace ownsim {
+
+Injector::Injector(Network* network, TrafficPattern pattern, Params params)
+    : network_(network), pattern_(pattern), params_(params) {
+  if (network_ == nullptr) throw std::invalid_argument("Injector: null network");
+  if (params_.rate < 0.0 || params_.packet_flits < 1) {
+    throw std::invalid_argument("Injector: bad rate/packet size");
+  }
+  if (pattern_.num_nodes() != network_->spec().num_nodes) {
+    throw std::invalid_argument("Injector: pattern/network size mismatch");
+  }
+  rngs_.reserve(static_cast<std::size_t>(network_->spec().num_nodes));
+  for (NodeId n = 0; n < network_->spec().num_nodes; ++n) {
+    rngs_.emplace_back(params_.seed, static_cast<std::uint64_t>(n));
+  }
+}
+
+void Injector::eval(Cycle now) {
+  if (!enabled_) return;
+  const double p = params_.rate / params_.packet_flits;
+  const int num_nodes = network_->spec().num_nodes;
+  const bool measured = now >= measure_begin_ && now < measure_end_;
+  const bool multipath = network_->spec().has_alt_routing();
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    Rng& rng = rngs_[static_cast<std::size_t>(src)];
+    if (!rng.chance(p)) continue;
+    const NodeId dst = pattern_.dest(src, rng);
+    // O1TURN-style topologies balance load by flipping a fair coin between
+    // the two routing functions per packet.
+    const bool use_alt = multipath && rng.chance(0.5);
+    network_->nic().enqueue_packet(
+        src, dst, network_->router_of(dst), params_.packet_flits,
+        params_.flit_bits, network_->injection_vc_class(src, dst, use_alt),
+        now, measured);
+    ++packets_offered_;
+    if (measured) ++measured_offered_;
+  }
+}
+
+}  // namespace ownsim

@@ -1,0 +1,112 @@
+#include "traffic/patterns.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+
+namespace ownsim {
+namespace {
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+NodeId reverse_bits(NodeId x, int bits) {
+  NodeId out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((x >> i) & 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+PatternKind parse_pattern(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "uniform" || s == "un" || s == "random") return PatternKind::kUniform;
+  if (s == "bitrev" || s == "br" || s == "bit-reversal" || s == "bitreversal") {
+    return PatternKind::kBitReversal;
+  }
+  if (s == "transpose" || s == "mt") return PatternKind::kTranspose;
+  if (s == "shuffle" || s == "ps") return PatternKind::kShuffle;
+  if (s == "neighbor" || s == "nbr") return PatternKind::kNeighbor;
+  if (s == "complement" || s == "bc") return PatternKind::kBitComplement;
+  if (s == "tornado") return PatternKind::kTornado;
+  if (s == "hotspot") return PatternKind::kHotspot;
+  throw std::invalid_argument("unknown traffic pattern: " + name);
+}
+
+const char* to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kUniform: return "UN";
+    case PatternKind::kBitReversal: return "BR";
+    case PatternKind::kTranspose: return "MT";
+    case PatternKind::kShuffle: return "PS";
+    case PatternKind::kNeighbor: return "NBR";
+    case PatternKind::kBitComplement: return "BC";
+    case PatternKind::kTornado: return "TOR";
+    case PatternKind::kHotspot: return "HOT";
+  }
+  return "?";
+}
+
+std::vector<PatternKind> paper_patterns() {
+  return {PatternKind::kUniform, PatternKind::kBitReversal,
+          PatternKind::kTranspose, PatternKind::kShuffle,
+          PatternKind::kNeighbor};
+}
+
+TrafficPattern::TrafficPattern(PatternKind kind, int num_nodes)
+    : kind_(kind), num_nodes_(num_nodes) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("TrafficPattern: need >= 2 nodes");
+  }
+  addr_bits_ = std::bit_width(static_cast<unsigned>(num_nodes)) - 1;
+  const bool needs_pow2 = kind == PatternKind::kBitReversal ||
+                          kind == PatternKind::kTranspose ||
+                          kind == PatternKind::kShuffle ||
+                          kind == PatternKind::kBitComplement;
+  if (needs_pow2 && !is_pow2(num_nodes)) {
+    throw std::invalid_argument(
+        "TrafficPattern: bit-permutation patterns need power-of-two nodes");
+  }
+}
+
+bool TrafficPattern::deterministic() const {
+  return kind_ != PatternKind::kUniform && kind_ != PatternKind::kHotspot;
+}
+
+NodeId TrafficPattern::dest(NodeId src, Rng& rng) const {
+  const int n = num_nodes_;
+  switch (kind_) {
+    case PatternKind::kUniform:
+      return static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    case PatternKind::kBitReversal:
+      return reverse_bits(src, addr_bits_);
+    case PatternKind::kTranspose: {
+      // Swap the address halves: (row, col) -> (col, row).
+      const int half = addr_bits_ / 2;
+      const int high_bits = addr_bits_ - half;
+      const NodeId low = src & ((1 << half) - 1);
+      const NodeId high = src >> half;
+      return (low << high_bits) | high;
+    }
+    case PatternKind::kShuffle: {
+      const NodeId msb = (src >> (addr_bits_ - 1)) & 1;
+      return ((src << 1) | msb) & (n - 1);
+    }
+    case PatternKind::kNeighbor:
+      return (src + 1) % n;
+    case PatternKind::kBitComplement:
+      return (~src) & (n - 1);
+    case PatternKind::kTornado:
+      return (src + n / 2 - 1 + n) % n;
+    case PatternKind::kHotspot:
+      if (rng.chance(0.2)) return 0;
+      return static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  throw std::logic_error("TrafficPattern: unreachable");
+}
+
+}  // namespace ownsim

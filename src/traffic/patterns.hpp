@@ -1,0 +1,62 @@
+// Synthetic traffic patterns (§V: uniform, bit-reversal, matrix transpose,
+// perfect shuffle, neighbor) plus the usual extensions used for ablations
+// (bit complement, tornado, hotspot).
+//
+// Permutation patterns operate on the node id's bit representation and
+// require power-of-two node counts, matching the paper's 256/1024-core
+// evaluations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ownsim {
+
+enum class PatternKind {
+  kUniform,        ///< UN: independent uniform-random destination
+  kBitReversal,    ///< BR: address bits reversed
+  kTranspose,      ///< MT: matrix transpose (halves of the address swapped)
+  kShuffle,        ///< PS: perfect shuffle (rotate address left by one)
+  kNeighbor,       ///< NBR: fixed offset to the next node
+  kBitComplement,  ///< extension: all address bits inverted
+  kTornado,        ///< extension: half-way around offset
+  kHotspot,        ///< extension: 20% of traffic to node 0, rest uniform
+};
+
+/// Parses "uniform"/"UN", "bitrev"/"BR", "transpose"/"MT", "shuffle"/"PS",
+/// "neighbor"/"NBR", "complement", "tornado", "hotspot".
+/// Throws std::invalid_argument on unknown names.
+PatternKind parse_pattern(const std::string& name);
+
+const char* to_string(PatternKind kind);
+
+/// All patterns evaluated in the paper's Fig 7(a).
+std::vector<PatternKind> paper_patterns();
+
+/// Destination generator for a fixed pattern over `num_nodes` nodes.
+class TrafficPattern {
+ public:
+  /// Throws std::invalid_argument when a bit-permutation pattern is asked
+  /// for a non-power-of-two node count.
+  TrafficPattern(PatternKind kind, int num_nodes);
+
+  PatternKind kind() const { return kind_; }
+  int num_nodes() const { return num_nodes_; }
+
+  /// Destination for a packet from `src`. `rng` is only consulted by the
+  /// stochastic patterns (uniform, hotspot).
+  NodeId dest(NodeId src, Rng& rng) const;
+
+  /// True when dest() ignores the RNG (fixed permutation).
+  bool deterministic() const;
+
+ private:
+  PatternKind kind_;
+  int num_nodes_;
+  int addr_bits_;
+};
+
+}  // namespace ownsim

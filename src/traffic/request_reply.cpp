@@ -1,0 +1,68 @@
+#include "traffic/request_reply.hpp"
+
+#include <stdexcept>
+
+namespace ownsim {
+
+RequestReplyTraffic::RequestReplyTraffic(Network* network,
+                                         TrafficPattern pattern, Params params)
+    : network_(network), pattern_(pattern), params_(params) {
+  if (network_ == nullptr) {
+    throw std::invalid_argument("RequestReplyTraffic: null network");
+  }
+  if (pattern_.num_nodes() != network_->spec().num_nodes) {
+    throw std::invalid_argument("RequestReplyTraffic: size mismatch");
+  }
+  if (params_.request_rate < 0 || params_.request_flits < 1 ||
+      params_.reply_flits < 1) {
+    throw std::invalid_argument("RequestReplyTraffic: bad parameters");
+  }
+  rngs_.reserve(static_cast<std::size_t>(network_->spec().num_nodes));
+  for (NodeId n = 0; n < network_->spec().num_nodes; ++n) {
+    rngs_.emplace_back(params_.seed, static_cast<std::uint64_t>(n) + 7919);
+  }
+  network_->nic().set_eject_callback(
+      [this](const PacketRecord& record, Cycle now) { on_eject(record, now); });
+}
+
+void RequestReplyTraffic::eval(Cycle now) {
+  if (!enabled_) return;
+  for (NodeId src = 0; src < network_->spec().num_nodes; ++src) {
+    Rng& rng = rngs_[static_cast<std::size_t>(src)];
+    if (!rng.chance(params_.request_rate)) continue;
+    const NodeId dst = pattern_.dest(src, rng);
+    const PacketId id = network_->nic().enqueue_packet(
+        src, dst, network_->router_of(dst), params_.request_flits,
+        params_.flit_bits, network_->injection_vc_class(src, dst), now,
+        /*measured=*/false);
+    pending_requests_.emplace(id, now);
+    ++requests_issued_;
+  }
+}
+
+void RequestReplyTraffic::on_eject(const PacketRecord& record, Cycle now) {
+  if (auto request = pending_requests_.find(record.packet);
+      request != pending_requests_.end()) {
+    // A request arrived: the target answers with a data reply. The NIC
+    // callback fires inside its own eval, so enqueueing here is safe (the
+    // reply is picked up starting next cycle).
+    const Cycle created = request->second;
+    pending_requests_.erase(request);
+    const NodeId replier = record.dst;
+    const NodeId requester = record.src;
+    const PacketId reply_id = network_->nic().enqueue_packet(
+        replier, requester, network_->router_of(requester),
+        params_.reply_flits, params_.flit_bits,
+        network_->injection_vc_class(replier, requester), now,
+        /*measured=*/false);
+    pending_replies_.emplace(reply_id, created);
+    ++replies_issued_;
+  } else if (auto reply = pending_replies_.find(record.packet);
+             reply != pending_replies_.end()) {
+    round_trip_.add(static_cast<double>(now - reply->second));
+    pending_replies_.erase(reply);
+    ++transactions_completed_;
+  }
+}
+
+}  // namespace ownsim

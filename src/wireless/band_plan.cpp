@@ -1,0 +1,52 @@
+#include "wireless/band_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ownsim {
+
+BandPlan::BandPlan(Scenario scenario) : scenario_(scenario) {
+  const double bw = channel_bandwidth_ghz(scenario);
+  const double spacing = bw + guard_band_ghz(scenario);
+  links_.reserve(kNumLinks);
+  for (int i = 0; i < kNumLinks; ++i) {
+    BandPlanLink link;
+    link.index = i;
+    link.center_ghz = 100.0 + spacing * i;
+    link.bandwidth_ghz = bw;
+    // Technology feasibility: 4 CMOS channels at the bottom of the plan,
+    // SiGe-HBT-only above ~300 GHz, BiCMOS between.
+    if (i < 4) {
+      link.tech = WirelessTech::kCmos;
+    } else if (link.center_ghz <= 300.0) {
+      link.tech = WirelessTech::kBiCmos;
+    } else {
+      link.tech = WirelessTech::kSiGeHbt;
+    }
+    link.energy_pj_per_bit =
+        energy_per_bit_pj(link.tech, scenario, link.center_ghz);
+    link.reconfiguration = i >= kNumDataLinks;
+    links_.push_back(link);
+  }
+}
+
+std::vector<int> BandPlan::links_of(WirelessTech tech) const {
+  std::vector<int> out;
+  for (const auto& link : links_) {
+    if (link.tech == tech) out.push_back(link.index);
+  }
+  return out;
+}
+
+const BandPlanLink& BandPlan::nth_link_of(WirelessTech tech, int nth) const {
+  std::vector<int> indices = links_of(tech);
+  if (indices.empty()) {
+    throw std::logic_error("BandPlan: no links of requested technology");
+  }
+  if (tech == WirelessTech::kSiGeHbt) {
+    std::reverse(indices.begin(), indices.end());
+  }
+  return links_[indices[static_cast<std::size_t>(nth) % indices.size()]];
+}
+
+}  // namespace ownsim

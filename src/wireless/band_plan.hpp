@@ -1,0 +1,55 @@
+// Table III band-plan generator.
+//
+// Sixteen frequency-division-multiplexed links. Channel spacing is
+// BW + guard (40 GHz ideal / 20 GHz conservative), starting at 100 GHz, so
+// the plans span 100-700 GHz (ideal) and 100-400 GHz (conservative).
+// Technology per link follows §IV.B:
+//   - only the four lowest bands are CMOS-feasible,
+//   - SiGe-HBT-only above ~300 GHz,
+//   - BiCMOS in between.
+// Links 0-11 serve the OWN inter-cluster channels; links 12-15 are reserved
+// reconfiguration channels (Table III note).
+#pragma once
+
+#include <vector>
+
+#include "wireless/technology.hpp"
+
+namespace ownsim {
+
+struct BandPlanLink {
+  int index = 0;           ///< 0..15 (paper rows 1..16)
+  double center_ghz = 0.0;
+  double bandwidth_ghz = 0.0;
+  WirelessTech tech = WirelessTech::kCmos;
+  double energy_pj_per_bit = 0.0;  ///< E(f) at this link's center frequency
+  bool reconfiguration = false;    ///< links 13-16 in the paper's numbering
+};
+
+class BandPlan {
+ public:
+  explicit BandPlan(Scenario scenario);
+
+  Scenario scenario() const { return scenario_; }
+  const std::vector<BandPlanLink>& links() const { return links_; }
+  const BandPlanLink& link(int index) const { return links_.at(index); }
+
+  /// Indices of the links built from `tech`, ascending frequency.
+  std::vector<int> links_of(WirelessTech tech) const;
+
+  /// `nth` allocation choice within a technology, wrapping when more
+  /// channels are requested than exist (further SDM/TDM reuse, §V.B).
+  /// CMOS/BiCMOS allocate from their lowest band upward (cheapest first);
+  /// SiGe-HBT allocates from the top of the plan downward, keeping the
+  /// lower-frequency bands free for the power-efficient technologies.
+  const BandPlanLink& nth_link_of(WirelessTech tech, int nth) const;
+
+  static constexpr int kNumLinks = 16;
+  static constexpr int kNumDataLinks = 12;  ///< rest are reconfiguration
+
+ private:
+  Scenario scenario_;
+  std::vector<BandPlanLink> links_;
+};
+
+}  // namespace ownsim

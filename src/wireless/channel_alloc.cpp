@@ -1,0 +1,186 @@
+#include "wireless/channel_alloc.hpp"
+
+#include <stdexcept>
+
+namespace ownsim {
+namespace {
+
+// Cluster/group 2x2 layout: 0=NW, 1=NE, 2=SE, 3=SW. XOR of two indices
+// classifies the pair: ^1 = edge neighbors, ^2 = diagonal, ^3 = short side.
+DistanceClass pair_distance(int a, int b) {
+  switch (a ^ b) {
+    case 1: return DistanceClass::kE2E;
+    case 2: return DistanceClass::kC2C;
+    case 3: return DistanceClass::kSR;
+    default: throw std::invalid_argument("pair_distance: a == b");
+  }
+}
+
+std::vector<OwnChannel> make_own256() {
+  using A = Antenna;
+  // Canonical order from Table I: diagonals, edges, then short-range.
+  const struct {
+    int src, dst;
+    A sa, da;
+  } rows[] = {
+      {0, 2, A::kA, A::kB}, {2, 0, A::kB, A::kA},  // A0->B2, B2->A0
+      {3, 1, A::kA, A::kB}, {1, 3, A::kB, A::kA},  // A3->B1, B1->A3
+      {1, 0, A::kA, A::kB}, {0, 1, A::kB, A::kA},  // A1->B0, B0->A1
+      {2, 3, A::kA, A::kB}, {3, 2, A::kB, A::kA},  // A2->B3, B3->A2
+      {0, 3, A::kC, A::kC}, {3, 0, A::kC, A::kC},  // C0->C3, C3->C0
+      {1, 2, A::kC, A::kC}, {2, 1, A::kC, A::kC},  // C1->C2, C2->C1
+  };
+  std::vector<OwnChannel> channels;
+  int id = 0;
+  for (const auto& row : rows) {
+    OwnChannel ch;
+    ch.id = id++;
+    ch.src_cluster = row.src;
+    ch.dst_cluster = row.dst;
+    ch.src_antenna = row.sa;
+    ch.dst_antenna = row.da;
+    ch.distance = pair_distance(row.src, row.dst);
+    channels.push_back(ch);
+  }
+  return channels;
+}
+
+std::vector<OwnGroupChannel> make_own1024() {
+  std::vector<OwnGroupChannel> channels;
+  int id = 0;
+  for (int g = 0; g < 4; ++g) {
+    for (int gd = 0; gd < 4; ++gd) {
+      if (g == gd) continue;
+      OwnGroupChannel ch;
+      ch.id = id++;
+      ch.src_group = g;
+      ch.dst_group = gd;
+      ch.distance = pair_distance(g, gd);
+      switch (g ^ gd) {
+        case 1: ch.antenna = Antenna::kA; break;  // edge pairs
+        case 2: ch.antenna = Antenna::kB; break;  // diagonal pairs
+        default: ch.antenna = Antenna::kC; break; // short pairs
+      }
+      channels.push_back(ch);
+    }
+  }
+  for (int g = 0; g < 4; ++g) {
+    OwnGroupChannel ch;
+    ch.id = id++;
+    ch.src_group = g;
+    ch.dst_group = g;
+    ch.antenna = Antenna::kD;
+    // 3D-stacked groups keep intra-group transceiver spacing short (§III.B).
+    ch.distance = DistanceClass::kSR;
+    channels.push_back(ch);
+  }
+  return channels;
+}
+
+}  // namespace
+
+const char* to_string(DistanceClass distance) {
+  switch (distance) {
+    case DistanceClass::kC2C: return "C2C";
+    case DistanceClass::kE2E: return "E2E";
+    case DistanceClass::kSR: return "SR";
+  }
+  return "?";
+}
+
+double ld_factor(DistanceClass distance) {
+  switch (distance) {
+    case DistanceClass::kC2C: return 1.0;
+    case DistanceClass::kE2E: return 0.5;
+    case DistanceClass::kSR: return 0.15;
+  }
+  return 1.0;
+}
+
+double distance_mm(DistanceClass distance) {
+  switch (distance) {
+    case DistanceClass::kC2C: return 60.0;
+    case DistanceClass::kE2E: return 30.0;
+    case DistanceClass::kSR: return 10.0;
+  }
+  return 0.0;
+}
+
+int antenna_tile(Antenna antenna) {
+  switch (antenna) {
+    case Antenna::kA: return 0;
+    case Antenna::kB: return 3;
+    case Antenna::kC: return 12;
+    case Antenna::kD: return 15;
+  }
+  throw std::invalid_argument("antenna_tile: bad antenna");
+}
+
+const std::vector<OwnChannel>& own256_channels() {
+  static const std::vector<OwnChannel> channels = make_own256();
+  return channels;
+}
+
+const OwnChannel& own256_channel(int src_cluster, int dst_cluster) {
+  for (const auto& ch : own256_channels()) {
+    if (ch.src_cluster == src_cluster && ch.dst_cluster == dst_cluster) {
+      return ch;
+    }
+  }
+  throw std::invalid_argument("own256_channel: no such pair");
+}
+
+const std::vector<OwnGroupChannel>& own1024_channels() {
+  static const std::vector<OwnGroupChannel> channels = make_own1024();
+  return channels;
+}
+
+const OwnGroupChannel& own1024_channel(int src_group, int dst_group) {
+  for (const auto& ch : own1024_channels()) {
+    if (ch.src_group == src_group && ch.dst_group == dst_group) return ch;
+  }
+  throw std::invalid_argument("own1024_channel: no such pair");
+}
+
+std::vector<int> own256_sdm_groups() {
+  // §V.B: edge channels on opposite sides of the die may share a frequency,
+  // as may the two short-range sides; diagonals cross the die center and
+  // cannot be reused. 12 channels -> 8 frequency needs.
+  std::vector<int> groups(12);
+  groups[0] = 0;   // A0->B2 (diag)
+  groups[1] = 1;   // B2->A0
+  groups[2] = 2;   // A3->B1
+  groups[3] = 3;   // B1->A3
+  groups[4] = 4;   // A1->B0 shares with A2->B3
+  groups[5] = 5;   // B0->A1 shares with B3->A2
+  groups[6] = 4;
+  groups[7] = 5;
+  groups[8] = 6;   // C0->C3 shares with C1->C2
+  groups[9] = 7;   // C3->C0 shares with C2->C1
+  groups[10] = 6;
+  groups[11] = 7;
+  return groups;
+}
+
+std::vector<int> own1024_sdm_groups() {
+  // Channel ids follow own1024_channels() order: ordered inter-group pairs
+  // (0,1)(0,2)(0,3)(1,0)(1,2)(1,3)(2,0)(2,1)(2,3)(3,0)(3,1)(3,2) = 0..11,
+  // intra-group 12..15.
+  std::vector<int> groups(16);
+  groups[0] = 0;   // 0->1 shares with 2->3
+  groups[8] = 0;
+  groups[3] = 1;   // 1->0 shares with 3->2
+  groups[11] = 1;
+  groups[2] = 2;   // 0->3 shares with 1->2
+  groups[4] = 2;
+  groups[9] = 3;   // 3->0 shares with 2->1
+  groups[7] = 3;
+  groups[1] = 4;   // diagonals cross the package center: no reuse
+  groups[6] = 5;
+  groups[5] = 6;
+  groups[10] = 7;
+  for (int g = 0; g < 4; ++g) groups[12 + g] = 8;  // intra-group quadrants
+  return groups;
+}
+
+}  // namespace ownsim

@@ -1,0 +1,130 @@
+#include "wireless/configurations.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace ownsim {
+
+const char* to_string(OwnConfig config) {
+  switch (config) {
+    case OwnConfig::kConfig1: return "config1";
+    case OwnConfig::kConfig2: return "config2";
+    case OwnConfig::kConfig3: return "config3";
+    case OwnConfig::kConfig4: return "config4";
+  }
+  return "?";
+}
+
+std::vector<OwnConfig> all_configs() {
+  return {OwnConfig::kConfig1, OwnConfig::kConfig2, OwnConfig::kConfig3,
+          OwnConfig::kConfig4};
+}
+
+WirelessTech config_tech(OwnConfig config, DistanceClass distance) {
+  switch (config) {
+    case OwnConfig::kConfig1:
+      switch (distance) {
+        case DistanceClass::kC2C: return WirelessTech::kSiGeHbt;
+        case DistanceClass::kE2E: return WirelessTech::kCmos;
+        case DistanceClass::kSR: return WirelessTech::kCmos;
+      }
+      break;
+    case OwnConfig::kConfig2:
+      switch (distance) {
+        case DistanceClass::kC2C: return WirelessTech::kCmos;
+        case DistanceClass::kE2E: return WirelessTech::kBiCmos;
+        case DistanceClass::kSR: return WirelessTech::kSiGeHbt;
+      }
+      break;
+    case OwnConfig::kConfig3:
+      switch (distance) {
+        case DistanceClass::kC2C: return WirelessTech::kSiGeHbt;
+        case DistanceClass::kE2E: return WirelessTech::kBiCmos;
+        case DistanceClass::kSR: return WirelessTech::kCmos;
+      }
+      break;
+    case OwnConfig::kConfig4:
+      switch (distance) {
+        case DistanceClass::kC2C: return WirelessTech::kCmos;
+        case DistanceClass::kE2E: return WirelessTech::kCmos;
+        case DistanceClass::kSR: return WirelessTech::kBiCmos;
+      }
+      break;
+  }
+  throw std::invalid_argument("config_tech: bad config/distance");
+}
+
+namespace {
+
+std::vector<DistanceClass> default_distances(int num_channels) {
+  if (num_channels != 12 && num_channels != 16) {
+    throw std::invalid_argument(
+        "ChannelEnergyModel: OWN uses 12 (256-core) or 16 (1024) channels");
+  }
+  std::vector<DistanceClass> distance(num_channels);
+  if (num_channels == 12) {
+    for (const OwnChannel& ch : own256_channels()) {
+      distance[ch.id] = ch.distance;
+    }
+  } else {
+    for (const OwnGroupChannel& ch : own1024_channels()) {
+      distance[ch.id] = ch.distance;
+    }
+  }
+  return distance;
+}
+
+}  // namespace
+
+ChannelEnergyModel::ChannelEnergyModel(OwnConfig config, Scenario scenario,
+                                       int num_channels)
+    : ChannelEnergyModel(config, scenario, default_distances(num_channels),
+                         num_channels == 12 ? own256_sdm_groups()
+                                            : own1024_sdm_groups()) {}
+
+ChannelEnergyModel::ChannelEnergyModel(OwnConfig config, Scenario scenario,
+                                       std::vector<DistanceClass> distance,
+                                       std::vector<int> sdm)
+    : config_(config), scenario_(scenario), plan_(scenario) {
+  if (distance.empty() || distance.size() != sdm.size()) {
+    throw std::invalid_argument(
+        "ChannelEnergyModel: distances/sdm size mismatch");
+  }
+  const int num_channels = static_cast<int>(distance.size());
+
+  // Greedy frequency assignment: channels in one SDM set share one band-plan
+  // link; otherwise take the lowest unused frequency of the required
+  // technology (wrapping = additional spatial reuse, §V.B).
+  std::map<int, int> set_link;                 // SDM set -> band link index
+  std::map<WirelessTech, int> used_of_tech;    // links consumed per tech
+
+  assignments_.reserve(static_cast<std::size_t>(num_channels));
+  for (int id = 0; id < num_channels; ++id) {
+    const DistanceClass dc = distance[id];
+    const WirelessTech tech = config_tech(config, dc);
+    int band_index;
+    const int set = sdm[id];
+    auto it = set_link.find(set);
+    if (it != set_link.end() &&
+        plan_.link(it->second).tech == tech) {
+      band_index = it->second;
+    } else {
+      band_index = plan_.nth_link_of(tech, used_of_tech[tech]++).index;
+      set_link[set] = band_index;
+    }
+    const BandPlanLink& link = plan_.link(band_index);
+
+    Assignment a;
+    a.channel_id = id;
+    a.distance = dc;
+    a.tech = tech;
+    a.band_link = band_index;
+    a.freq_ghz = link.center_ghz;
+    a.tech_epb_pj = link.energy_pj_per_bit;
+    a.tx_epb_pj = kTxEnergyShare * a.tech_epb_pj * ld_factor(dc);
+    a.rx_epb_pj = (1.0 - kTxEnergyShare) * a.tech_epb_pj;
+    assignments_.push_back(a);
+  }
+}
+
+}  // namespace ownsim

@@ -1,0 +1,92 @@
+// Table IV architecture configurations and the per-channel energy model
+// behind Figs. 5 and 6.
+//
+// A configuration maps each wireless distance class (Table I) to the device
+// technology implementing its transceivers:
+//
+//   Config 1: SiGe long (C2C), CMOS medium (E2E), CMOS  short (SR)
+//   Config 2: CMOS long,       BiCMOS medium,    SiGe   short
+//   Config 3: SiGe long,       BiCMOS medium,    CMOS   short
+//   Config 4: CMOS long,       CMOS medium,      BiCMOS short
+//
+// Given a configuration and a Table III scenario, each OWN channel is
+// assigned the lowest-frequency band-plan link of the required technology;
+// channels in the same SDM reuse set share one frequency (§V.B), and when a
+// configuration needs more channels of a technology than the plan provides
+// (config 4's eight CMOS channels vs. four CMOS bands) frequencies are
+// reused across non-intersecting paths exactly as the paper proposes.
+//
+// Energy accounting: the technology energy/bit E(f) covers the transceiver
+// pair at full C2C radiated power. The link-distance factor (LD: 1.0 / 0.5 /
+// 0.15) scales only the transmit-side share (the PA dominates, ~60%); the
+// receive share is distance-independent and is also what multicast listeners
+// pay per discarded copy in OWN-1024.
+#pragma once
+
+#include <vector>
+
+#include "wireless/band_plan.hpp"
+#include "wireless/channel_alloc.hpp"
+#include "wireless/technology.hpp"
+
+namespace ownsim {
+
+/// Table IV rows.
+enum class OwnConfig : int { kConfig1 = 1, kConfig2 = 2, kConfig3 = 3, kConfig4 = 4 };
+
+const char* to_string(OwnConfig config);
+std::vector<OwnConfig> all_configs();
+
+/// Technology serving `distance` under `config` (Table IV).
+WirelessTech config_tech(OwnConfig config, DistanceClass distance);
+
+/// Fraction of a link's energy/bit spent on the transmit side (PA et al.,
+/// which dominates an OOK transceiver); the remainder is receive-side and
+/// distance-independent. The transmit share scales with the LD factor.
+inline constexpr double kTxEnergyShare = 0.8;
+
+/// Resolved per-channel energy figures for one (config, scenario) point.
+class ChannelEnergyModel {
+ public:
+  struct Assignment {
+    int channel_id = 0;          ///< OWN channel (256: 0..11, 1024: 0..15)
+    DistanceClass distance = DistanceClass::kC2C;
+    WirelessTech tech = WirelessTech::kCmos;
+    int band_link = 0;           ///< Table III link index used
+    double freq_ghz = 0.0;
+    double tech_epb_pj = 0.0;    ///< E(f) before distance scaling
+    double tx_epb_pj = 0.0;      ///< transmit share x LD factor
+    double rx_epb_pj = 0.0;      ///< per-listener receive share
+  };
+
+  /// `num_channels`: 12 for OWN-256, 16 for OWN-1024 (the four extra
+  /// intra-group channels take the reconfiguration links 12-15).
+  ChannelEnergyModel(OwnConfig config, Scenario scenario, int num_channels = 12);
+
+  /// Explicit layout (e.g. OWN-256 + reconfiguration channels): one distance
+  /// class per channel and the SDM reuse-set id per channel.
+  ChannelEnergyModel(OwnConfig config, Scenario scenario,
+                     std::vector<DistanceClass> distances,
+                     std::vector<int> sdm_groups);
+
+  OwnConfig config() const { return config_; }
+  Scenario scenario() const { return scenario_; }
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+  const Assignment& channel(int id) const { return assignments_.at(id); }
+
+  /// Total energy to move one bit over channel `id`, pJ (TX + one RX).
+  double epb_pj(int id) const {
+    const Assignment& a = assignments_.at(id);
+    return a.tx_epb_pj + a.rx_epb_pj;
+  }
+  double tx_epb_pj(int id) const { return assignments_.at(id).tx_epb_pj; }
+  double rx_epb_pj(int id) const { return assignments_.at(id).rx_epb_pj; }
+
+ private:
+  OwnConfig config_;
+  Scenario scenario_;
+  BandPlan plan_;
+  std::vector<Assignment> assignments_;
+};
+
+}  // namespace ownsim

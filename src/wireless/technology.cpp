@@ -1,0 +1,79 @@
+#include "wireless/technology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace ownsim {
+
+const char* to_string(WirelessTech tech) {
+  switch (tech) {
+    case WirelessTech::kCmos: return "CMOS";
+    case WirelessTech::kBiCmos: return "BiCMOS";
+    case WirelessTech::kSiGeHbt: return "SiGe";
+  }
+  return "?";
+}
+
+const char* to_string(Scenario scenario) {
+  return scenario == Scenario::kIdeal ? "ideal" : "conservative";
+}
+
+WirelessTech parse_tech(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "cmos") return WirelessTech::kCmos;
+  if (s == "bicmos") return WirelessTech::kBiCmos;
+  if (s == "sige" || s == "hbt" || s == "sigehbt" || s == "sige-hbt") {
+    return WirelessTech::kSiGeHbt;
+  }
+  throw std::invalid_argument("unknown wireless technology: " + name);
+}
+
+double base_efficiency_pj(WirelessTech tech) {
+  switch (tech) {
+    case WirelessTech::kCmos: return 0.1;
+    case WirelessTech::kBiCmos: return 0.3;
+    case WirelessTech::kSiGeHbt: return 0.5;
+  }
+  return 0.0;
+}
+
+double efficiency_ramp_pj(WirelessTech tech, Scenario scenario) {
+  if (scenario == Scenario::kIdeal) {
+    switch (tech) {
+      case WirelessTech::kCmos: return 0.05;
+      case WirelessTech::kBiCmos: return 0.07;
+      case WirelessTech::kSiGeHbt: return 0.10;
+    }
+  } else {
+    switch (tech) {
+      case WirelessTech::kCmos: return 0.05;
+      case WirelessTech::kBiCmos: return 0.06;
+      case WirelessTech::kSiGeHbt: return 0.07;
+    }
+  }
+  return 0.0;
+}
+
+double energy_per_bit_pj(WirelessTech tech, Scenario scenario,
+                         double freq_ghz) {
+  const double above_anchor_100ghz = std::max(0.0, freq_ghz - 100.0) / 100.0;
+  return base_efficiency_pj(tech) +
+         efficiency_ramp_pj(tech, scenario) * above_anchor_100ghz;
+}
+
+double channel_bandwidth_ghz(Scenario scenario) {
+  return scenario == Scenario::kIdeal ? 32.0 : 16.0;
+}
+
+double guard_band_ghz(Scenario scenario) {
+  return scenario == Scenario::kIdeal ? 8.0 : 4.0;
+}
+
+double channel_rate_gbps(Scenario scenario) {
+  return channel_bandwidth_ghz(scenario);  // 1 bit/s/Hz OOK
+}
+
+}  // namespace ownsim

@@ -1,0 +1,80 @@
+// Shared test utilities: tiny hand-built NetworkSpecs and traffic helpers.
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "network/spec.hpp"
+
+namespace ownsim::testing {
+
+/// Two routers, one node each, joined by a pair of opposing links.
+///   node0 - R0 <-> R1 - node1
+inline NetworkSpec two_router_spec(int num_vcs = 4, int buffer_depth = 8,
+                                   int latency = 1, int cycles_per_flit = 1) {
+  NetworkSpec spec;
+  spec.name = "two-router";
+  spec.num_nodes = 2;
+  spec.num_vcs = num_vcs;
+  spec.buffer_depth = buffer_depth;
+  spec.routers = {{1, 1}, {1, 1}};
+  spec.nodes = {{0}, {1}};
+  spec.vc_classes = {{0, num_vcs}};
+  LinkSpec fwd;
+  fwd.src_router = 0;
+  fwd.src_port = 0;
+  fwd.dst_router = 1;
+  fwd.dst_port = 0;
+  fwd.latency = latency;
+  fwd.cycles_per_flit = cycles_per_flit;
+  fwd.name = "fwd";
+  LinkSpec rev = fwd;
+  rev.src_router = 1;
+  rev.dst_router = 0;
+  rev.name = "rev";
+  spec.links = {fwd, rev};
+  spec.route_table = {{{0, 0}, {0, 0}}, {{0, 0}, {0, 0}}};
+  return spec;
+}
+
+/// Ring of `n` routers (clockwise links only), one node per router.
+/// Deadlock-free for n <= buffer constraints in tests via 2 VC classes
+/// (dateline at router 0): class 0 before crossing, class 1 after.
+inline NetworkSpec ring_spec(int n, int num_vcs = 4, int buffer_depth = 8) {
+  NetworkSpec spec;
+  spec.name = "ring";
+  spec.num_nodes = n;
+  spec.num_vcs = num_vcs;
+  spec.buffer_depth = buffer_depth;
+  spec.routers.assign(n, {1, 1});
+  spec.nodes.resize(n);
+  for (int i = 0; i < n; ++i) spec.nodes[i] = {i};
+  spec.vc_classes = {{0, num_vcs / 2}, {num_vcs / 2, num_vcs - num_vcs / 2}};
+  for (int i = 0; i < n; ++i) {
+    LinkSpec link;
+    link.src_router = i;
+    link.src_port = 0;
+    link.dst_router = (i + 1) % n;
+    link.dst_port = 0;
+    link.name = "ring" + std::to_string(i);
+    spec.links.push_back(link);
+  }
+  spec.route_table.assign(n, std::vector<RouteEntry>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int d = 0; d < n; ++d) {
+      if (d == r) continue;
+      // Clockwise; cross the dateline (link n-1 -> 0) raises the class.
+      const bool crosses = d < r;  // will pass through router 0
+      spec.route_table[r][d] = {0, static_cast<std::int8_t>(crosses ? 1 : 0)};
+    }
+  }
+  return spec;
+}
+
+/// Runs until all NIC-tracked packets eject (or `max_cycles`); returns true
+/// if fully drained.
+inline bool drain(Network& net, Cycle max_cycles = 100000) {
+  return net.engine().run_until([&] { return net.drained(); }, max_cycles);
+}
+
+}  // namespace ownsim::testing

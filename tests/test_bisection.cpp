@@ -1,0 +1,92 @@
+// Tests for the equal-bisection normalization rules.
+#include <gtest/gtest.h>
+
+#include "topology/bisection.hpp"
+#include "topology/registry.hpp"
+
+namespace ownsim {
+namespace {
+
+TEST(Bisection, TargetIsOwnWirelessBisection) {
+  // 8 crossing channels x 32 Gb/s.
+  EXPECT_DOUBLE_EQ(bisection_target_gbps(), 256.0);
+}
+
+TEST(Bisection, KnownRates) {
+  TopologyOptions options;  // 128-bit flits at 2 GHz = 256 Gb/s full rate
+  // OWN wireless: 8 crossing -> 32 Gb/s -> cpf 8.
+  EXPECT_EQ(cycles_per_flit_for_bisection(8.0, options), 8);
+  // CMesh-256: 16 crossing -> 16 Gb/s -> cpf 16.
+  EXPECT_EQ(cycles_per_flit_for_bisection(16.0, options), 16);
+  // OptXB-256: 32 effective -> 8 Gb/s -> cpf 32.
+  EXPECT_EQ(cycles_per_flit_for_bisection(32.0, options), 32);
+}
+
+TEST(Bisection, ClampsToSaneRange) {
+  TopologyOptions options;
+  EXPECT_EQ(cycles_per_flit_for_bisection(1e6, options), 128);  // upper clamp
+  EXPECT_EQ(cycles_per_flit_for_bisection(1e-6, options), 1);   // lower clamp
+  EXPECT_THROW(cycles_per_flit_for_bisection(0.0, options),
+               std::invalid_argument);
+}
+
+TEST(Bisection, OverrideWins) {
+  TopologyOptions options;
+  EXPECT_EQ(resolve_cpf(5, 16.0, options), 5);
+  EXPECT_EQ(resolve_cpf(0, 16.0, options), 16);
+}
+
+TEST(Bisection, ScalesWithClockAndFlitWidth) {
+  TopologyOptions options;
+  options.clock_ghz = 1.0;  // half the full rate -> half the cpf
+  EXPECT_EQ(cycles_per_flit_for_bisection(16.0, options), 8);
+  options.clock_ghz = 2.0;
+  options.flit_bits = 256;
+  EXPECT_EQ(cycles_per_flit_for_bisection(16.0, options), 32);
+}
+
+TEST(Bisection, AllTopologiesPresentComparableBisection) {
+  // Structural check: for every 256-core topology, sum the bandwidth of the
+  // bisection-crossing channels as built and verify it is within 2x of the
+  // target (exact equality is impossible with integer serialization and the
+  // half-weight MWSR rule).
+  TopologyOptions options;
+  options.num_cores = 256;
+  for (TopologyKind kind : paper_topologies()) {
+    const NetworkSpec spec = build_topology(kind, options);
+    // Crossing = endpoints on opposite sides of the vertical mid-line.
+    double crossing_gbps = 0.0;
+    const double full = options.flit_bits * options.clock_ghz;  // Gb/s
+    auto side = [&](RouterId r) {
+      if (!spec.router_xy_mm.empty()) {
+        return spec.router_xy_mm[r].first < 25.0 ? 0 : 1;
+      }
+      // Fallback: split router ids in half (valid for the row-major grids
+      // and for p-Clos leaves).
+      return r < spec.num_routers() / 2 ? 0 : 1;
+    };
+    for (const auto& link : spec.links) {
+      if (side(link.src_router) != side(link.dst_router)) {
+        crossing_gbps += full / link.cycles_per_flit;
+      }
+    }
+    for (const auto& medium : spec.media) {
+      // MWSR/SWMR: count at half weight if any writer is on the other side
+      // of every reader (the effective-crossing rule).
+      bool crosses = false;
+      for (const auto& [wr, wp] : medium.writers) {
+        for (const auto& [rr, rp] : medium.readers) {
+          if (side(wr) != side(rr)) crosses = true;
+        }
+      }
+      if (crosses) crossing_gbps += 0.5 * full / medium.cycles_per_flit;
+    }
+    EXPECT_GT(crossing_gbps, bisection_target_gbps() / 2.0)
+        << to_string(kind);
+    EXPECT_LT(crossing_gbps, bisection_target_gbps() * 2.5)
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,150 @@
+// Closed-form verification of the energy model: drive a tiny network with a
+// known flit count and check every component of the breakdown against hand
+// computation.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "helpers.hpp"
+#include "power/energy_model.hpp"
+
+namespace ownsim {
+namespace {
+
+// Two routers joined by one electrical link pair; send exactly N packets of
+// F flits 0 -> 1, drain, and account by hand.
+struct TwoRouterRun {
+  static constexpr int kPackets = 10;
+  static constexpr int kFlits = 4;
+  static constexpr int kBits = 128;
+
+  TwoRouterRun() : net(testing::two_router_spec()) {
+    for (int i = 0; i < kPackets; ++i) {
+      net.nic().enqueue_packet(0, 1, 1, kFlits, kBits, 0, 0, true);
+    }
+    drained = testing::drain(net, 5000);
+  }
+  Network net;
+  bool drained = false;
+};
+
+TEST(EnergyModelExact, ElectricalLinkEnergy) {
+  TwoRouterRun s;
+  ASSERT_TRUE(s.drained);
+  PowerParams params;
+  EnergyModel model(params);
+  const PowerBreakdown breakdown = model.compute(s.net);
+
+  const double seconds = s.net.engine().now() / 2e9;
+  // All 40 flits crossed the single forward link; distance is 0 in the test
+  // spec, so electrical link energy is 0 with any wire constant.
+  EXPECT_DOUBLE_EQ(breakdown.electrical_link_w, 0.0);
+  EXPECT_EQ(breakdown.photonic_w(), 0.0);
+  EXPECT_EQ(breakdown.wireless_w(), 0.0);
+
+  // Router dynamic: every flit is written+read+crossed at both routers.
+  const double bits = TwoRouterRun::kPackets * TwoRouterRun::kFlits * TwoRouterRun::kBits;
+  const double radix0 = s.net.router(0).radix();  // same for router 1
+  double expected_pj = 0.0;
+  expected_pj += 2 * bits * params.buffer_write_pj_per_bit;
+  expected_pj += 2 * bits * params.buffer_read_pj_per_bit;
+  expected_pj += 2 * bits * (params.xbar_base_pj_per_bit +
+                             params.xbar_radix_slope_pj_per_bit * radix0);
+  const auto& c0 = s.net.router(0).counters();
+  const auto& c1 = s.net.router(1).counters();
+  expected_pj += params.alloc_pj_per_op *
+                 (c0.vc_allocations + c0.switch_allocations +
+                  c1.vc_allocations + c1.switch_allocations);
+  EXPECT_NEAR(breakdown.router_dynamic_w, expected_pj * 1e-12 / seconds,
+              1e-12);
+}
+
+TEST(EnergyModelExact, RouterStaticFromPortCounts) {
+  TwoRouterRun s;
+  PowerParams params;
+  EnergyModel model(params);
+  const PowerBreakdown breakdown = model.compute(s.net);
+  // Each router: 1 net in + 1 node in = 2 inputs; 1 net out + 1 node out = 2.
+  const double per_router =
+      params.leak_mw_per_input_port * 2 * units::kMilli +
+      params.leak_mw_per_output_port * 2 * units::kMilli +
+      params.leak_uw_per_crosspoint * 4 * units::kMicro;
+  EXPECT_NEAR(breakdown.router_static_w, 2 * per_router, 1e-12);
+}
+
+TEST(EnergyModelExact, EnergyPerPacketConsistent) {
+  TwoRouterRun s;
+  EnergyModel model{PowerParams{}};
+  const PowerBreakdown breakdown = model.compute(s.net);
+  const double seconds = s.net.engine().now() / 2e9;
+  const double expected =
+      breakdown.total_w() * seconds / TwoRouterRun::kPackets / units::kPico;
+  EXPECT_NEAR(model.energy_per_packet_pj(s.net), expected, 1e-9);
+}
+
+TEST(EnergyModelExact, WirelessChannelTagging) {
+  // Build a two-router spec whose link is a tagged wireless channel and
+  // check the per-channel energy is applied.
+  NetworkSpec spec = testing::two_router_spec();
+  spec.links[0].medium = MediumType::kWireless;
+  spec.links[0].wireless_channel = 0;  // Table I channel 0: C2C diagonal
+  Network net(std::move(spec));
+  for (int i = 0; i < 5; ++i) {
+    net.nic().enqueue_packet(0, 1, 1, 4, 128, 0, 0, true);
+  }
+  ASSERT_TRUE(testing::drain(net, 2000));
+
+  PowerParams params;
+  params.wireless_static_mw_per_channel = 0.0;  // isolate the dynamic part
+  const ChannelEnergyModel channels(OwnConfig::kConfig4, Scenario::kIdeal);
+  EnergyModel model(params, channels);
+  const PowerBreakdown breakdown = model.compute(net);
+  const double seconds = net.engine().now() / 2e9;
+  const double bits = 5.0 * 4 * 128;
+  const double expected_w =
+      bits * channels.epb_pj(0) * units::kPico / seconds;
+  EXPECT_NEAR(breakdown.wireless_link_w, expected_w, 1e-12);
+}
+
+TEST(EnergyModelExact, LegacyWirelessFallback) {
+  NetworkSpec spec = testing::two_router_spec();
+  spec.links[0].medium = MediumType::kWireless;  // untagged (-1)
+  Network net(std::move(spec));
+  net.nic().enqueue_packet(0, 1, 1, 4, 128, 0, 0, true);
+  ASSERT_TRUE(testing::drain(net, 2000));
+
+  PowerParams params;
+  params.wireless_static_mw_per_channel = 0.0;
+  EnergyModel model(params);  // no channel model at all
+  const PowerBreakdown breakdown = model.compute(net);
+  const double seconds = net.engine().now() / 2e9;
+  const double bits = 4.0 * 128;
+  EXPECT_NEAR(breakdown.wireless_link_w,
+              bits * params.legacy_wireless_pj_per_bit * units::kPico / seconds,
+              1e-12);
+}
+
+TEST(EnergyModelExact, PhotonicLinkDynamicAndLaser) {
+  NetworkSpec spec = testing::two_router_spec();
+  spec.links[0].medium = MediumType::kPhotonic;
+  spec.links[0].cycles_per_flit = 32;  // 8 Gb/s -> 1 lambda
+  spec.links[0].distance_mm = 50.0;
+  Network net(std::move(spec));
+  net.nic().enqueue_packet(0, 1, 1, 4, 128, 0, 0, true);
+  ASSERT_TRUE(testing::drain(net, 3000));
+
+  PowerParams params;
+  EnergyModel model(params);
+  const PowerBreakdown breakdown = model.compute(net);
+  const double seconds = net.engine().now() / 2e9;
+  EXPECT_NEAR(breakdown.photonic_link_w,
+              4.0 * 128 * params.photonic_dynamic_pj_per_bit * units::kPico /
+                  seconds,
+              1e-12);
+  // Laser: 5 cm path, 1 lambda, 3 splitter stages.
+  LossBudget loss;
+  EXPECT_NEAR(breakdown.photonic_laser_w, loss.laser_wallplug_w(5.0, 1, 3, 1),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ownsim

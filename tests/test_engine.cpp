@@ -1,0 +1,72 @@
+// Unit tests for the two-phase cycle engine.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ownsim {
+namespace {
+
+class Probe final : public Clocked {
+ public:
+  void eval(Cycle now) override { evals.push_back(now); }
+  void commit(Cycle now) override { commits.push_back(now); }
+  std::vector<Cycle> evals;
+  std::vector<Cycle> commits;
+};
+
+TEST(Engine, StepAdvancesTime) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  Probe p;
+  engine.add(&p);
+  engine.run(3);
+  EXPECT_EQ(engine.now(), 3);
+  EXPECT_EQ(p.evals, (std::vector<Cycle>{0, 1, 2}));
+  EXPECT_EQ(p.commits, (std::vector<Cycle>{0, 1, 2}));
+}
+
+TEST(Engine, EvalBeforeCommitAcrossComponents) {
+  // Every eval of the cycle happens before any commit of that cycle.
+  Engine engine;
+  struct Recorder final : Clocked {
+    explicit Recorder(std::vector<int>* log, int id) : log_(log), id_(id) {}
+    void eval(Cycle) override { log_->push_back(id_); }
+    void commit(Cycle) override { log_->push_back(-id_); }
+    std::vector<int>* log_;
+    int id_;
+  };
+  std::vector<int> log;
+  Recorder a(&log, 1), b(&log, 2);
+  engine.add(&a);
+  engine.add(&b);
+  engine.step();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, -1, -2}));
+}
+
+TEST(Engine, RunUntilStopsAtPredicate) {
+  Engine engine;
+  Probe p;
+  engine.add(&p);
+  const bool done =
+      engine.run_until([&] { return engine.now() >= 5; }, 100);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine.now(), 5);
+}
+
+TEST(Engine, RunUntilHonorsBudget) {
+  Engine engine;
+  const bool done = engine.run_until([] { return false; }, 17);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(engine.now(), 17);
+}
+
+TEST(Engine, RejectsNullComponent) {
+  Engine engine;
+  EXPECT_THROW(engine.add(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,164 @@
+// Tests for OWN-256 wireless fault tolerance: transit selection, degraded
+// routing structure, delivery under failures, and graceful-degradation
+// latency behavior.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "metrics/runner.hpp"
+#include "topology/own.hpp"
+#include "topology/own_fault.hpp"
+#include "traffic/injector.hpp"
+
+namespace ownsim {
+namespace {
+
+TopologyOptions fault_options() {
+  TopologyOptions options;
+  options.num_cores = 256;
+  options.num_vcs = 5;
+  return options;
+}
+
+TEST(FaultSet, BasicOperations) {
+  FaultSet faults;
+  EXPECT_FALSE(faults.is_failed(0, 2));
+  faults.fail(0, 2);
+  EXPECT_TRUE(faults.is_failed(0, 2));
+  EXPECT_FALSE(faults.is_failed(2, 0));  // directions are independent
+  faults.fail(0, 2);                     // idempotent
+  EXPECT_EQ(faults.size(), 1u);
+  EXPECT_THROW(faults.fail(1, 1), std::invalid_argument);
+}
+
+TEST(FaultSet, TransitAvoidsFailedLegs) {
+  FaultSet faults;
+  faults.fail(0, 2);
+  EXPECT_EQ(faults.transit_for(0, 2), 1);  // 0->1 and 1->2 alive
+  faults.fail(0, 1);
+  EXPECT_EQ(faults.transit_for(0, 2), 3);  // must go around the other way
+  faults.fail(0, 3);
+  EXPECT_EQ(faults.transit_for(0, 2), -1);  // cluster 0 cannot transmit
+}
+
+TEST(FaultBuild, HealthySetMatchesBaselineBehavior) {
+  const NetworkSpec spec = build_own256_faulted(fault_options(), FaultSet{});
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.links.size(), 12u);  // all channels alive
+}
+
+TEST(FaultBuild, FailedChannelRemovedFromSpec) {
+  FaultSet faults;
+  faults.fail(0, 2);
+  const NetworkSpec spec = build_own256_faulted(fault_options(), faults);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.links.size(), 11u);
+  for (const auto& link : spec.links) {
+    EXPECT_NE(link.wireless_channel, own256_channel(0, 2).id);
+  }
+}
+
+TEST(FaultBuild, RejectsUnrecoverableSets) {
+  FaultSet faults;
+  faults.fail(0, 1);
+  faults.fail(0, 2);
+  faults.fail(0, 3);  // cluster 0 fully cut off
+  EXPECT_THROW(build_own256_faulted(fault_options(), faults),
+               std::invalid_argument);
+}
+
+TEST(FaultBuild, RejectsTooFewVcs) {
+  TopologyOptions options = fault_options();
+  options.num_vcs = 4;
+  EXPECT_THROW(build_own256_faulted(options, FaultSet{}),
+               std::invalid_argument);
+}
+
+void send_all_pairs(Network& net, int stride) {
+  for (NodeId s = 0; s < 256; s += stride) {
+    for (NodeId d = 3; d < 256; d += stride) {
+      net.nic().enqueue_packet(s, d, net.router_of(d), 4, 128,
+                               net.injection_vc_class(s, d), 0, true);
+    }
+  }
+}
+
+TEST(FaultBuild, DeliversAcrossTheFailedPair) {
+  FaultSet faults;
+  faults.fail(0, 2);
+  faults.fail(2, 0);  // both directions of the diagonal die
+  Network net(build_own256_faulted(fault_options(), faults));
+  send_all_pairs(net, 16);
+  ASSERT_TRUE(testing::drain(net, 400000));
+  // Rerouted packets take up to 6 router traversals (5 link hops);
+  // everything else takes at most 4 (the healthy 3-link worst case).
+  int rerouted = 0;
+  for (const auto& rec : net.nic().records()) {
+    EXPECT_LE(rec.hops, 6);
+    if (rec.hops > 4) ++rerouted;
+  }
+  EXPECT_GT(rerouted, 0);
+}
+
+TEST(FaultBuild, RandomTrafficSurvivesThreeFailures) {
+  FaultSet faults;
+  faults.fail(0, 2);
+  faults.fail(1, 3);
+  faults.fail(3, 2);
+  Network net(build_own256_faulted(fault_options(), faults));
+  Rng rng(4242);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(256));
+    const auto d = static_cast<NodeId>(rng.below(256));
+    net.nic().enqueue_packet(s, d, net.router_of(d), 4, 128,
+                             net.injection_vc_class(s, d), 0, true);
+  }
+  ASSERT_TRUE(testing::drain(net, 400000));
+  EXPECT_EQ(net.nic().records().size(), 500u);
+}
+
+TEST(FaultBuild, GracefulDegradationUnderLoad) {
+  auto run = [&](const FaultSet& faults) {
+    Network net(build_own256_faulted(fault_options(), faults));
+    TrafficPattern pattern(PatternKind::kUniform, 256);
+    Injector::Params params;
+    params.rate = 0.003;
+    Injector injector(&net, pattern, params);
+    net.engine().add(&injector);
+    RunPhases phases;
+    phases.warmup = 1000;
+    phases.measure = 3000;
+    const RunResult result = run_load_point(net, injector, phases);
+    EXPECT_TRUE(result.drained);
+    return result.avg_latency;
+  };
+  const double healthy = run(FaultSet{});
+  FaultSet one;
+  one.fail(0, 2);
+  const double degraded = run(one);
+  // Losing a diagonal costs latency, but the network stays functional and
+  // the penalty is bounded (rerouted flows are 1/16 of the traffic).
+  EXPECT_GT(degraded, healthy);
+  EXPECT_LT(degraded, 3.0 * healthy);
+}
+
+TEST(FaultBuild, OverloadStillMakesProgress) {
+  FaultSet faults;
+  faults.fail(1, 3);
+  faults.fail(3, 1);
+  Network net(build_own256_faulted(fault_options(), faults));
+  TrafficPattern pattern(PatternKind::kUniform, 256);
+  Injector::Params params;
+  params.rate = 0.02;  // far beyond saturation
+  Injector injector(&net, pattern, params);
+  net.engine().add(&injector);
+  net.engine().run(3000);
+  for (int window = 0; window < 5; ++window) {
+    const auto before = net.nic().packets_ejected();
+    net.engine().run(1000);
+    EXPECT_GT(net.nic().packets_ejected(), before) << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,155 @@
+// Cross-cutting property tests: conservation and sanity invariants that must
+// hold on EVERY topology under randomized traffic.
+//
+//  * packet conservation: everything created is ejected exactly once
+//  * flit conservation: ejected flits == injected flits after drain
+//  * credit restoration: all channel credits return to buffer depth
+//  * hop bound: no packet exceeds the topology's worst-case hop count
+//  * latency sanity: network latency <= total latency, hops >= 1
+//  * determinism: two identical runs produce identical statistics
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "metrics/runner.hpp"
+#include "topology/registry.hpp"
+#include "traffic/injector.hpp"
+
+namespace ownsim {
+namespace {
+
+struct InvariantCase {
+  TopologyKind kind;
+  int cores;
+  int max_hops;  ///< router traversals bound = link hops + 1
+};
+
+class Invariants : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(Invariants, ConservationAfterRandomizedRun) {
+  const auto& param = GetParam();
+  TopologyOptions options;
+  options.num_cores = param.cores;
+  Network net(build_topology(param.kind, options));
+  TrafficPattern pattern(PatternKind::kUniform, param.cores);
+  Injector::Params injector_params;
+  injector_params.rate = 0.003;
+  injector_params.seed = 77;
+  Injector injector(&net, pattern, injector_params);
+  net.engine().add(&injector);
+  RunPhases phases;
+  phases.warmup = 800;
+  phases.measure = 2000;
+  phases.drain_limit = 60000;
+  const RunResult result = run_load_point(net, injector, phases);
+  ASSERT_TRUE(result.drained);
+
+  // Stop offering and let the in-flight tail fully drain.
+  injector.set_enabled(false);
+  ASSERT_TRUE(
+      net.engine().run_until([&] { return net.drained(); }, 60000));
+
+  // Packet & flit conservation.
+  EXPECT_EQ(net.nic().packets_created(), net.nic().packets_ejected());
+  EXPECT_EQ(net.nic().flits_injected(), net.nic().flits_ejected());
+  EXPECT_EQ(net.nic().queued_flits(), 0);
+  for (RouterId r = 0; r < net.spec().num_routers(); ++r) {
+    EXPECT_EQ(net.router(r).occupancy(), 0) << "router " << r;
+  }
+
+  // Credits fully restored on every network channel.
+  for (std::size_t i = 0; i < net.num_network_channels(); ++i) {
+    const Channel& channel = net.network_channel(i);
+    for (VcId vc = 0; vc < channel.num_vcs(); ++vc) {
+      EXPECT_EQ(channel.credits(vc), net.spec().buffer_depth)
+          << channel.name() << " vc" << vc;
+      EXPECT_FALSE(channel.vc_busy(vc)) << channel.name() << " vc" << vc;
+    }
+  }
+
+  // Hop bound + latency sanity on every record.
+  for (const auto& rec : net.nic().records()) {
+    EXPECT_GE(rec.hops, 1);
+    EXPECT_LE(rec.hops, param.max_hops) << rec.src << "->" << rec.dst;
+    EXPECT_GE(rec.injected, rec.created);
+    EXPECT_GT(rec.ejected, rec.injected);
+  }
+}
+
+TEST_P(Invariants, DeterministicStatistics) {
+  const auto& param = GetParam();
+  auto run_once = [&] {
+    TopologyOptions options;
+    options.num_cores = param.cores;
+    Network net(build_topology(param.kind, options));
+    TrafficPattern pattern(PatternKind::kUniform, param.cores);
+    Injector::Params injector_params;
+    injector_params.rate = 0.003;
+    Injector injector(&net, pattern, injector_params);
+    net.engine().add(&injector);
+    RunPhases phases;
+    phases.warmup = 500;
+    phases.measure = 1500;
+    const RunResult r = run_load_point(net, injector, phases);
+    return std::make_tuple(r.avg_latency, r.throughput, r.measured_packets);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, Invariants,
+    ::testing::Values(InvariantCase{TopologyKind::kCMesh, 256, 15},
+                      InvariantCase{TopologyKind::kWirelessCMesh, 256, 9},
+                      InvariantCase{TopologyKind::kOptXB, 256, 2},
+                      InvariantCase{TopologyKind::kPClos, 256, 3},
+                      InvariantCase{TopologyKind::kOwn, 256, 4},
+                      InvariantCase{TopologyKind::kOwn, 1024, 4}),
+    [](const ::testing::TestParamInfo<InvariantCase>& param_info) {
+      std::string name = to_string(param_info.param.kind);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" + std::to_string(param_info.param.cores);
+    });
+
+TEST(InvariantsOverload, OwnSurvivesSustainedOverloadWithoutDeadlock) {
+  // Regression for the writer-port class-lane deadlock: drive OWN-256 well
+  // past saturation for a long stretch; ejections must keep happening in
+  // every window (forward progress), even though queues grow.
+  TopologyOptions options;
+  options.num_cores = 256;
+  Network net(build_topology(TopologyKind::kOwn, options));
+  TrafficPattern pattern(PatternKind::kUniform, 256);
+  Injector::Params params;
+  params.rate = 0.02;  // ~3x saturation
+  Injector injector(&net, pattern, params);
+  net.engine().add(&injector);
+  net.engine().run(2000);
+  for (int window = 0; window < 10; ++window) {
+    const std::int64_t before = net.nic().packets_ejected();
+    net.engine().run(1000);
+    EXPECT_GT(net.nic().packets_ejected(), before) << "window " << window;
+  }
+}
+
+TEST(InvariantsOverload, AllTopologiesKeepEjectingUnderOverload) {
+  for (TopologyKind kind : paper_topologies()) {
+    TopologyOptions options;
+    options.num_cores = 256;
+    Network net(build_topology(kind, options));
+    TrafficPattern pattern(PatternKind::kTranspose, 256);
+    Injector::Params params;
+    params.rate = 0.02;
+    Injector injector(&net, pattern, params);
+    net.engine().add(&injector);
+    net.engine().run(4000);
+    const std::int64_t before = net.nic().packets_ejected();
+    net.engine().run(2000);
+    EXPECT_GT(net.nic().packets_ejected(), before) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ownsim

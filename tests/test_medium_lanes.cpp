@@ -1,0 +1,165 @@
+// Direct unit tests for SharedMedium's per-class writer lanes (the deadlock-
+// critical structure), arbitration variants, and parameter validation.
+#include <gtest/gtest.h>
+
+#include "network/shared_medium.hpp"
+
+namespace ownsim {
+namespace {
+
+SharedMedium::Params base_params() {
+  SharedMedium::Params params;
+  params.medium = MediumType::kPhotonic;
+  params.num_writers = 3;
+  params.num_readers = 1;
+  params.num_vcs = 4;
+  params.buffer_depth = 8;
+  params.max_packet_flits = 8;
+  params.name = "unit";
+  return params;
+}
+
+Flit make_flit(PacketId packet, bool head, bool tail, VcId lane) {
+  Flit flit;
+  flit.packet = packet;
+  flit.dst = 0;
+  flit.dst_router = 0;
+  flit.head = head;
+  flit.tail = tail;
+  flit.vc = lane;
+  flit.size_bits = 128;
+  return flit;
+}
+
+TEST(MediumLanes, ValidatesParams) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  auto params = base_params();
+  params.num_writers = 0;
+  EXPECT_THROW(SharedMedium(params, &classes), std::invalid_argument);
+  params = base_params();
+  params.latency = 0;
+  EXPECT_THROW(SharedMedium(params, &classes), std::invalid_argument);
+  params = base_params();
+  params.num_readers = 2;  // multiple readers need select_reader
+  EXPECT_THROW(SharedMedium(params, &classes), std::invalid_argument);
+  EXPECT_THROW(SharedMedium(base_params(), nullptr), std::invalid_argument);
+}
+
+TEST(MediumLanes, PerClassLanesAreIndependent) {
+  // A packet open (and stuck) on class 0 must not block class-1 admission on
+  // the same writer port — the property that broke OWN before the fix.
+  std::vector<VcClassRange> classes = {{0, 2}, {2, 2}};
+  SharedMedium medium(base_params(), &classes);
+  OutputEndpoint* writer = medium.writer(0);
+
+  const VcId lane0 = writer->alloc_vc(0, 0);
+  EXPECT_EQ(lane0, 0);
+  // Class 0 now has an open packet; a second class-0 packet is refused...
+  EXPECT_EQ(writer->alloc_vc(0, 0), kInvalidId);
+  // ...but class 1 is granted independently.
+  const VcId lane1 = writer->alloc_vc(1, 0);
+  EXPECT_EQ(lane1, 1);
+
+  // Stage a head on each lane; both are accepted (separate stagings).
+  Flit head0 = make_flit(1, true, false, lane0);
+  Flit head1 = make_flit(2, true, false, lane1);
+  ASSERT_TRUE(writer->can_accept(head0, 0));
+  writer->accept(head0, 0);
+  ASSERT_TRUE(writer->can_accept(head1, 0));
+  writer->accept(head1, 0);
+}
+
+TEST(MediumLanes, LaneClosesOnTailAndReopens) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  SharedMedium medium(base_params(), &classes);
+  OutputEndpoint* writer = medium.writer(1);
+  const VcId lane = writer->alloc_vc(0, 0);
+  writer->accept(make_flit(1, true, false, lane), 0);
+  writer->accept(make_flit(1, false, true, lane), 0);
+  // Tail closes the packet: a new allocation succeeds immediately...
+  EXPECT_NE(writer->alloc_vc(0, 1), kInvalidId);
+  // ...but the new head cannot enter until the staging drains.
+  EXPECT_FALSE(writer->can_accept(make_flit(2, true, false, lane), 1));
+}
+
+TEST(MediumLanes, TransmitsWholePacketThenAdvancesToken) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  SharedMedium medium(base_params(), &classes);
+  OutputEndpoint* writer = medium.writer(0);
+  const VcId lane = writer->alloc_vc(0, 0);
+  writer->accept(make_flit(7, true, false, lane), 0);
+  writer->accept(make_flit(7, false, true, lane), 0);
+  medium.commit(0);
+
+  // Step the medium until both flits are delivered.
+  Cycle now = 1;
+  InputEndpoint* reader = medium.reader(0);
+  int delivered = 0;
+  for (; now < 40 && delivered < 2; ++now) {
+    medium.eval(now);
+    medium.commit(now);
+    while (const Flit* flit = reader->poll(now)) {
+      EXPECT_EQ(flit->packet, 7);
+      reader->pop(now);
+      reader->push_credit(flit->vc, now);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(medium.counters().packets, 1);
+  EXPECT_EQ(medium.counters().tx_bits, 2 * 128);
+  EXPECT_FALSE(medium.transmitting());
+}
+
+TEST(MediumLanes, IdealArbitrationStartsFasterThanToken) {
+  auto run = [&](ArbitrationKind arbitration) {
+    std::vector<VcClassRange> classes = {{0, 4}};
+    auto params = base_params();
+    params.num_writers = 16;
+    params.arbitration = arbitration;
+    SharedMedium medium(params, &classes);
+    // Writer 9 has a packet; measure cycles until transmission starts.
+    OutputEndpoint* writer = medium.writer(9);
+    const VcId lane = writer->alloc_vc(0, 0);
+    writer->accept(make_flit(1, true, true, lane), 0);
+    medium.commit(0);
+    Cycle now = 1;
+    for (; now < 100; ++now) {
+      medium.eval(now);
+      medium.commit(now);
+      if (medium.transmitting() || medium.counters().flits > 0) break;
+    }
+    return now;
+  };
+  const Cycle token_start = run(ArbitrationKind::kTokenRing);
+  const Cycle ideal_start = run(ArbitrationKind::kIdeal);
+  EXPECT_LE(ideal_start, 2);
+  EXPECT_GE(token_start, 9);  // token must walk to writer 9
+}
+
+TEST(MediumLanes, MulticastCountsEveryListener) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  auto params = base_params();
+  params.num_writers = 2;
+  params.num_readers = 3;
+  params.multicast_rx = true;
+  params.select_reader = [](NodeId, RouterId) { return 2; };
+  SharedMedium medium(params, &classes);
+  OutputEndpoint* writer = medium.writer(0);
+  const VcId lane = writer->alloc_vc(0, 0);
+  writer->accept(make_flit(1, true, true, lane), 0);
+  medium.commit(0);
+  for (Cycle now = 1; now < 20; ++now) {
+    medium.eval(now);
+    medium.commit(now);
+  }
+  EXPECT_EQ(medium.counters().tx_bits, 128);
+  EXPECT_EQ(medium.counters().rx_bits, 3 * 128);
+  // Delivery only at the intended reader.
+  EXPECT_EQ(medium.reader(0)->poll(19), nullptr);
+  EXPECT_EQ(medium.reader(1)->poll(19), nullptr);
+  EXPECT_NE(medium.reader(2)->poll(19), nullptr);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,151 @@
+// Deep structural tests for OWN-1024: per-hop VC-class discipline along
+// every kind of route, SWMR reader selection, and multicast accounting at
+// scale.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "topology/own.hpp"
+#include "traffic/injector.hpp"
+
+namespace ownsim {
+namespace {
+
+struct Hop {
+  bool wireless = false;
+  int vc_class = 0;
+};
+
+// Walks the route src_router -> dst_node, recording each hop's medium and
+// class.
+std::vector<Hop> walk(const NetworkSpec& spec, RouterId src, NodeId dst) {
+  const RouterId dst_router = dst / 4;
+  std::vector<Hop> hops;
+  RouterId at = src;
+  while (at != dst_router && hops.size() < 8) {
+    const RouteEntry entry = spec.route_table[at][dst_router];
+    Hop hop;
+    hop.vc_class = entry.vc_class;
+    RouterId next = kInvalidId;
+    for (const auto& link : spec.links) {
+      if (link.src_router == at && link.src_port == entry.out_port) {
+        next = link.dst_router;
+        hop.wireless = link.medium == MediumType::kWireless;
+        break;
+      }
+    }
+    if (next == kInvalidId) {
+      for (const auto& medium : spec.media) {
+        for (const auto& [wr, wp] : medium.writers) {
+          if (wr == at && wp == entry.out_port) {
+            const int reader = medium.readers.size() == 1
+                                   ? 0
+                                   : medium.select_reader(dst, dst_router);
+            next = medium.readers[reader].first;
+            hop.wireless = medium.medium == MediumType::kWireless;
+            break;
+          }
+        }
+        if (next != kInvalidId) break;
+      }
+    }
+    hops.push_back(hop);
+    at = next;
+  }
+  return hops;
+}
+
+class Own1024Routing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TopologyOptions options;
+    options.num_cores = 1024;
+    spec_ = build_own(options);
+  }
+  NetworkSpec spec_;
+};
+
+TEST_F(Own1024Routing, ClassDisciplineOnEveryRouteKind) {
+  Rng rng(31);
+  for (int sample = 0; sample < 3000; ++sample) {
+    const auto src_router = static_cast<RouterId>(rng.below(256));
+    const auto dst = static_cast<NodeId>(rng.below(1024));
+    if (dst / 4 == src_router) continue;
+    const auto hops = walk(spec_, src_router, dst);
+    ASSERT_LE(hops.size(), 3u) << src_router << "->" << dst;
+    int wireless_hops = 0;
+    for (const Hop& hop : hops) wireless_hops += hop.wireless ? 1 : 0;
+    EXPECT_LE(wireless_hops, 1);
+    if (wireless_hops == 0) {
+      // Same-cluster photonic: VC0 from plain tiles, VC1 from corner
+      // routers (terminal either way).
+      ASSERT_EQ(hops.size(), 1u);
+      EXPECT_TRUE(hops[0].vc_class == 0 || hops[0].vc_class == 1);
+    } else {
+      bool seen_wireless = false;
+      for (const Hop& hop : hops) {
+        if (hop.wireless) {
+          seen_wireless = true;
+          // Wireless classes: 2 = intra-group, 3 = inter-group.
+          EXPECT_TRUE(hop.vc_class == 2 || hop.vc_class == 3);
+        } else if (!seen_wireless) {
+          EXPECT_EQ(hop.vc_class, 0) << "pre-wireless photonic must ride VC0";
+        } else {
+          EXPECT_EQ(hop.vc_class, 1) << "post-wireless photonic must ride VC1";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(Own1024Routing, IntraGroupUsesClass2InterGroupClass3) {
+  // Same group, different cluster -> D antenna channel, class 2.
+  const RouterId d_router = own_router(0, 0, antenna_tile(Antenna::kD));
+  const NodeId same_group = own_router(0, 2, 5) * 4;
+  EXPECT_EQ(spec_.route_table[d_router][same_group / 4].vc_class, 2);
+  // Different group -> inter-group antenna, class 3.
+  const auto& ch = own1024_channel(0, 2);
+  const RouterId gate = own_router(0, 1, antenna_tile(ch.antenna));
+  const NodeId other_group = own_router(2, 1, 5) * 4;
+  EXPECT_EQ(spec_.route_table[gate][other_group / 4].vc_class, 3);
+}
+
+TEST_F(Own1024Routing, MulticastSelectsDestinationCluster) {
+  for (const auto& medium : spec_.media) {
+    if (medium.medium != MediumType::kWireless) continue;
+    ASSERT_EQ(medium.readers.size(), 4u);
+    for (int cluster = 0; cluster < 4; ++cluster) {
+      // Any node of (dst_group, cluster) must map to reader index `cluster`.
+      const RouterId reader_router = medium.readers[cluster].first;
+      const int reader_cluster = (reader_router / 16) % 4;
+      const NodeId probe = reader_router * 4;
+      EXPECT_EQ(medium.select_reader(probe, reader_router), reader_cluster);
+    }
+  }
+}
+
+TEST_F(Own1024Routing, MulticastRxScalesWithListeners) {
+  TopologyOptions options;
+  options.num_cores = 1024;
+  Network net(build_own(options));
+  TrafficPattern pattern(PatternKind::kUniform, 1024);
+  Injector::Params params;
+  params.rate = 0.001;
+  Injector injector(&net, pattern, params);
+  net.engine().add(&injector);
+  net.engine().run(4000);
+  std::int64_t tx = 0;
+  std::int64_t rx = 0;
+  for (std::size_t i = 0; i < net.num_media(); ++i) {
+    if (net.spec().media[i].medium != MediumType::kWireless) continue;
+    tx += net.medium(i).counters().tx_bits;
+    rx += net.medium(i).counters().rx_bits;
+  }
+  ASSERT_GT(tx, 0);
+  EXPECT_EQ(rx, 4 * tx);  // all four clusters of the target group listen
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,71 @@
+// Tests for the photonic component/loss models, anchored to the paper's §I
+// scalability numbers.
+#include <gtest/gtest.h>
+
+#include "photonic/loss_budget.hpp"
+#include "photonic/ring_budget.hpp"
+
+namespace ownsim {
+namespace {
+
+TEST(RingBudget, PaperNumbersAt64Nodes) {
+  // "a 64x64 crossbar using photonics will require 448 modulators,
+  //  7 waveguides and 28224 photodetectors using SWMR".
+  const PhotonicBudget budget = swmr_crossbar_budget(64);
+  EXPECT_EQ(budget.modulators, 448);
+  EXPECT_EQ(budget.waveguides, 7 * 64 / 64);
+  EXPECT_EQ(budget.detectors, 28224);
+}
+
+TEST(RingBudget, PaperNumbersAt1024Nodes) {
+  // "approximately 7168 modulators, 112 waveguides, and 7.3 million
+  //  photodetectors which is prohibitive".
+  const PhotonicBudget budget = swmr_crossbar_budget(1024);
+  EXPECT_EQ(budget.modulators, 7168);
+  EXPECT_EQ(budget.waveguides, 112);
+  EXPECT_NEAR(static_cast<double>(budget.detectors), 7.3e6, 0.1e6);
+}
+
+TEST(RingBudget, OptXbExceedsMillionRings) {
+  // §V.B: "designing optical snake-like waveguide interconnecting 64 routers
+  // with 64 wavelengths will require more than a million ring resonators"
+  // (Corona's 4-wide waveguide bundles).
+  const PhotonicBudget budget = mwsr_crossbar_budget(64, 64, 4);
+  EXPECT_GT(budget.rings(), 1'000'000);
+}
+
+TEST(RingBudget, OwnNeedsFarFewerRingsThanOptXb) {
+  const PhotonicBudget own = own_photonic_budget(4, 4);
+  const PhotonicBudget optxb = mwsr_crossbar_budget(64, 64, 4);
+  EXPECT_LT(own.rings() * 100, optxb.rings());
+  EXPECT_EQ(own.waveguides, 64);
+}
+
+TEST(RingBudget, RejectsDegenerateInputs) {
+  EXPECT_THROW(swmr_crossbar_budget(1), std::invalid_argument);
+  EXPECT_THROW(mwsr_crossbar_budget(4, 0), std::invalid_argument);
+}
+
+TEST(LossBudget, AccumulatesAllComponents) {
+  LossBudget budget;
+  const double loss = budget.path_loss_db(2.5, 60, 4);
+  // 1 coupler + 2 splitter + 1.25 waveguide + 0.6 rings + 0.5 drop = 5.35 dB.
+  EXPECT_NEAR(loss, 5.35, 1e-9);
+}
+
+TEST(LossBudget, LaserPowerCoversLossAndWallplug) {
+  LossBudget budget;
+  const double per_lambda = budget.laser_power_per_lambda_w(2.5, 60, 4);
+  // -17 dBm sensitivity + 5.35 dB loss = -11.65 dBm ~ 68 uW.
+  EXPECT_NEAR(per_lambda * 1e6, 68.4, 1.0);
+  EXPECT_NEAR(budget.laser_wallplug_w(2.5, 60, 4, 4),
+              4.0 * per_lambda / 0.3, 1e-9);
+}
+
+TEST(LossBudget, MoreRingsMoreLoss) {
+  LossBudget budget;
+  EXPECT_GT(budget.path_loss_db(5.0, 4032, 6), budget.path_loss_db(5.0, 63, 6));
+}
+
+}  // namespace
+}  // namespace ownsim

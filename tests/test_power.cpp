@@ -1,0 +1,88 @@
+// Tests for the energy model and the end-to-end experiment driver.
+#include <gtest/gtest.h>
+
+#include "driver/simulate.hpp"
+#include "power/energy_model.hpp"
+
+namespace ownsim {
+namespace {
+
+ExperimentConfig quick(TopologyKind topology, int cores = 256) {
+  ExperimentConfig config;
+  config.topology = topology;
+  config.options.num_cores = cores;
+  config.rate = 0.003;
+  config.phases.warmup = 800;
+  config.phases.measure = 2000;
+  config.phases.drain_limit = 40000;
+  return config;
+}
+
+TEST(EnergyModel, RequiresSimulatedNetwork) {
+  Network net(build_topology(TopologyKind::kCMesh, TopologyOptions{}));
+  EnergyModel model{PowerParams{}};
+  EXPECT_THROW(model.compute(net), std::logic_error);
+}
+
+TEST(Driver, CmeshExperimentProducesFullReport) {
+  const ExperimentResult r = run_experiment(quick(TopologyKind::kCMesh));
+  EXPECT_TRUE(r.run.drained);
+  EXPECT_GT(r.run.measured_packets, 100);
+  EXPECT_GT(r.power.router_w(), 0.0);
+  EXPECT_GT(r.power.electrical_link_w, 0.0);
+  EXPECT_EQ(r.power.photonic_w(), 0.0);
+  EXPECT_EQ(r.power.wireless_w(), 0.0);
+  EXPECT_GT(r.energy_per_packet_pj, 0.0);
+}
+
+TEST(Driver, OwnExperimentUsesAllThreeMedia) {
+  const ExperimentResult r = run_experiment(quick(TopologyKind::kOwn));
+  EXPECT_TRUE(r.run.drained);
+  EXPECT_GT(r.power.photonic_w(), 0.0);
+  EXPECT_GT(r.power.wireless_w(), 0.0);
+  EXPECT_EQ(r.power.electrical_link_w, 0.0);  // no electrical network links
+}
+
+TEST(Driver, OptXbIsAllPhotonic) {
+  const ExperimentResult r = run_experiment(quick(TopologyKind::kOptXB));
+  EXPECT_TRUE(r.run.drained);
+  EXPECT_GT(r.power.photonic_w(), 0.0);
+  EXPECT_EQ(r.power.wireless_w(), 0.0);
+}
+
+TEST(Driver, WirelessCmeshChargesLegacyWireless) {
+  const ExperimentResult r = run_experiment(quick(TopologyKind::kWirelessCMesh));
+  EXPECT_TRUE(r.run.drained);
+  EXPECT_GT(r.power.wireless_w(), 0.0);
+  EXPECT_GT(r.power.electrical_link_w, 0.0);
+}
+
+TEST(Driver, OwnConfigChangesOnlyWirelessPower) {
+  ExperimentConfig base = quick(TopologyKind::kOwn);
+  base.own_config = OwnConfig::kConfig1;
+  const ExperimentResult c1 = run_experiment(base);
+  base.own_config = OwnConfig::kConfig4;
+  const ExperimentResult c4 = run_experiment(base);
+  // Same traffic/seed: identical router and photonic power, cheaper wireless.
+  EXPECT_NEAR(c1.power.router_w(), c4.power.router_w(), 1e-9);
+  EXPECT_NEAR(c1.power.photonic_w(), c4.power.photonic_w(), 1e-9);
+  EXPECT_GT(c1.power.wireless_link_w, c4.power.wireless_link_w);
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(quick(TopologyKind::kOwn));
+  const ExperimentResult b = run_experiment(quick(TopologyKind::kOwn));
+  EXPECT_DOUBLE_EQ(a.run.avg_latency, b.run.avg_latency);
+  EXPECT_DOUBLE_EQ(a.power.total_w(), b.power.total_w());
+}
+
+TEST(Driver, RingTuningAblationRaisesPhotonicPower) {
+  ExperimentConfig config = quick(TopologyKind::kOptXB);
+  const ExperimentResult off = run_experiment(config);
+  config.power.ring_tuning_uw = 20.0;
+  const ExperimentResult on = run_experiment(config);
+  EXPECT_GT(on.power.photonic_laser_w, off.power.photonic_laser_w);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,133 @@
+// Tests for the OWN-256 reconfiguration-channel extension (band-plan links
+// 13-16, D antennas): planning, structure, routing, delivery and the
+// 16-channel energy model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "topology/own.hpp"
+#include "topology/own_reconfig.hpp"
+#include "wireless/configurations.hpp"
+
+namespace ownsim {
+namespace {
+
+TEST(ReconfigPlan, IsADerangementOfClusters) {
+  for (PatternKind pattern : paper_patterns()) {
+    const ReconfigPlan plan = plan_reconfig(pattern);
+    std::set<int> sources;
+    std::set<int> destinations;
+    for (const auto& [src, dst] : plan.pairs) {
+      EXPECT_NE(src, dst);
+      sources.insert(src);
+      destinations.insert(dst);
+    }
+    EXPECT_EQ(sources.size(), 4u) << to_string(pattern);
+    EXPECT_EQ(destinations.size(), 4u) << to_string(pattern);
+  }
+}
+
+TEST(ReconfigPlan, UniformPrefersDiagonals) {
+  // All pairs equally loaded -> tie-break picks the C2C-heavy derangement.
+  const ReconfigPlan plan = plan_reconfig(PatternKind::kUniform);
+  int diagonals = 0;
+  for (const auto& [src, dst] : plan.pairs) {
+    diagonals += ((src ^ dst) == 2) ? 1 : 0;
+  }
+  EXPECT_EQ(diagonals, 4);
+}
+
+TEST(ReconfigPlan, FollowsPatternLoad) {
+  // Perfect shuffle concentrates inter-cluster traffic on specific pairs;
+  // the plan must cover the most-loaded directed pairs.
+  const ReconfigPlan plan = plan_reconfig(PatternKind::kShuffle);
+  TrafficPattern traffic(PatternKind::kShuffle, 256);
+  Rng rng(1);
+  double counts[4][4] = {};
+  for (NodeId src = 0; src < 256; ++src) {
+    const NodeId dst = traffic.dest(src, rng);
+    if (src / 64 != dst / 64) counts[src / 64][dst / 64] += 1;
+  }
+  double covered = 0;
+  double total = 0;
+  std::set<std::pair<int, int>> chosen(plan.pairs.begin(), plan.pairs.end());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      total += counts[a][b];
+      if (chosen.count({a, b})) covered += counts[a][b];
+    }
+  }
+  EXPECT_GT(covered / total, 0.4);  // 4 of 12 pairs carry >40% of the load
+}
+
+TEST(ReconfigBuild, StructureValidatesAndAddsFourChannels) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  const ReconfigPlan plan = plan_reconfig(PatternKind::kUniform);
+  const NetworkSpec spec = build_own256_reconfig(options, plan);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.links.size(), 16u);  // 12 + 4 reconfiguration
+  std::set<int> channels;
+  for (const auto& link : spec.links) channels.insert(link.wireless_channel);
+  for (int id = 0; id < 16; ++id) EXPECT_TRUE(channels.count(id)) << id;
+}
+
+TEST(ReconfigBuild, OddColumnTilesUseTheDChannel) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  const ReconfigPlan plan = plan_reconfig(PatternKind::kUniform);
+  const NetworkSpec spec = build_own256_reconfig(options, plan);
+  const auto& [src_cluster, dst_cluster] = plan.pairs[0];
+  const RouterId dst_router = own_router(0, dst_cluster, 5);
+  // Odd tile 9 routes toward the D corner (tile 15)...
+  const RouteEntry odd =
+      spec.route_table[own_router(0, src_cluster, 9)][dst_router];
+  EXPECT_EQ(odd.out_port, own_writer_port(9, 15));
+  // ...while even tile 6 keeps the primary gateway.
+  const int primary =
+      antenna_tile(own256_channel(src_cluster, dst_cluster).src_antenna);
+  const RouteEntry even =
+      spec.route_table[own_router(0, src_cluster, 6)][dst_router];
+  EXPECT_EQ(even.out_port, own_writer_port(6, primary));
+}
+
+TEST(ReconfigBuild, DeliversRandomTraffic) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  Network net(
+      build_own256_reconfig(options, plan_reconfig(PatternKind::kUniform)));
+  Rng rng(99);
+  for (int i = 0; i < 400; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(256));
+    const auto d = static_cast<NodeId>(rng.below(256));
+    net.nic().enqueue_packet(s, d, net.router_of(d), 4, 128,
+                             net.injection_vc_class(s, d), 0, true);
+  }
+  ASSERT_TRUE(testing::drain(net, 400000));
+  EXPECT_EQ(net.nic().records().size(), 400u);
+}
+
+TEST(ReconfigEnergy, SixteenChannelModelResolves) {
+  const ReconfigPlan plan = plan_reconfig(PatternKind::kUniform);
+  const ChannelEnergyModel model(OwnConfig::kConfig4, Scenario::kIdeal,
+                                 reconfig_channel_distances(plan),
+                                 reconfig_sdm_groups());
+  EXPECT_EQ(model.assignments().size(), 16u);
+  for (int id = 12; id < 16; ++id) {
+    EXPECT_GT(model.epb_pj(id), 0.0);
+  }
+}
+
+TEST(ReconfigEnergy, DistancesMatchPlanPairs) {
+  const ReconfigPlan plan = plan_reconfig(PatternKind::kUniform);
+  const auto distances = reconfig_channel_distances(plan);
+  ASSERT_EQ(distances.size(), 16u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(distances[12 + k], reconfig_distance(plan.pairs[k]));
+  }
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,75 @@
+// Tests for closed-loop request/reply traffic.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "topology/registry.hpp"
+#include "traffic/request_reply.hpp"
+
+namespace ownsim {
+namespace {
+
+TEST(RequestReply, TransactionsCompleteOnRing) {
+  Network net(testing::ring_spec(8));
+  TrafficPattern pattern(PatternKind::kUniform, 8);
+  RequestReplyTraffic::Params params;
+  params.request_rate = 0.01;
+  RequestReplyTraffic traffic(&net, pattern, params);
+  net.engine().add(&traffic);
+  net.engine().run(5000);
+  traffic.set_enabled(false);
+  ASSERT_TRUE(net.engine().run_until(
+      [&] { return traffic.outstanding() == 0; }, 20000));
+  EXPECT_GT(traffic.requests_issued(), 100);
+  EXPECT_EQ(traffic.replies_issued(), traffic.requests_issued());
+  EXPECT_EQ(traffic.transactions_completed(), traffic.requests_issued());
+}
+
+TEST(RequestReply, RoundTripExceedsOneWayLatency) {
+  Network net(testing::ring_spec(8));
+  TrafficPattern pattern(PatternKind::kNeighbor, 8);
+  RequestReplyTraffic::Params params;
+  params.request_rate = 0.005;
+  RequestReplyTraffic traffic(&net, pattern, params);
+  net.engine().add(&traffic);
+  net.engine().run(4000);
+  traffic.set_enabled(false);
+  ASSERT_TRUE(net.engine().run_until(
+      [&] { return traffic.outstanding() == 0; }, 20000));
+  ASSERT_GT(traffic.round_trip().count(), 50);
+  // A neighbor hop one-way is ~10 cycles; the round trip includes two
+  // traversals plus the reply's serialization.
+  EXPECT_GT(traffic.round_trip().mean(), 20.0);
+  EXPECT_LT(traffic.round_trip().mean(), 200.0);
+}
+
+TEST(RequestReply, WorksOnOwn256) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  Network net(build_topology(TopologyKind::kOwn, options));
+  TrafficPattern pattern(PatternKind::kUniform, 256);
+  RequestReplyTraffic::Params params;
+  params.request_rate = 0.0005;
+  RequestReplyTraffic traffic(&net, pattern, params);
+  net.engine().add(&traffic);
+  net.engine().run(6000);
+  traffic.set_enabled(false);
+  ASSERT_TRUE(net.engine().run_until(
+      [&] { return traffic.outstanding() == 0; }, 50000));
+  EXPECT_GT(traffic.transactions_completed(), 300);
+  // Uniform round trips cross the wireless fabric twice on average.
+  EXPECT_GT(traffic.round_trip().mean(), 80.0);
+}
+
+TEST(RequestReply, RejectsBadParams) {
+  Network net(testing::ring_spec(4));
+  TrafficPattern pattern(PatternKind::kUniform, 4);
+  RequestReplyTraffic::Params params;
+  params.reply_flits = 0;
+  EXPECT_THROW(RequestReplyTraffic(&net, pattern, params),
+               std::invalid_argument);
+  TrafficPattern wrong(PatternKind::kUniform, 8);
+  EXPECT_THROW(RequestReplyTraffic(&net, wrong, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ownsim

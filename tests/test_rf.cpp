@@ -1,0 +1,186 @@
+// Tests for the RF behavioral models against the paper's published anchors
+// (Fig 3 link budget, Fig 4 oscillator / PA / LNA numbers).
+#include <gtest/gtest.h>
+
+#include "rf/ber.hpp"
+#include "rf/link_budget.hpp"
+#include "rf/lna.hpp"
+#include "rf/oscillator.hpp"
+#include "rf/pa.hpp"
+
+namespace ownsim {
+namespace {
+
+// ---- Fig 3: link budget -------------------------------------------------------
+
+TEST(LinkBudget, PaperAnchor32GbpsIsotropic50mm) {
+  // "the maximum power required for an OOK transmitter is >= 4 dBm for a
+  //  maximum distance of 50 mm" at 32 Gb/s, 90 GHz, 0 dB directivity.
+  LinkBudget budget;
+  const double tx = budget.required_tx_dbm(0.050);
+  EXPECT_GE(tx, 4.0);
+  EXPECT_LE(tx, 6.0);  // and not wildly above
+}
+
+TEST(LinkBudget, PowerGrowsWithDistance) {
+  LinkBudget budget;
+  double prev = -100;
+  for (double mm = 5; mm <= 50; mm += 5) {
+    const double tx = budget.required_tx_dbm(mm * 1e-3);
+    EXPECT_GT(tx, prev);
+    prev = tx;
+  }
+  // Free space: +6 dB per doubling.
+  EXPECT_NEAR(budget.required_tx_dbm(0.040) - budget.required_tx_dbm(0.020),
+              6.02, 0.01);
+}
+
+TEST(LinkBudget, DirectivityReducesRequiredPower) {
+  LinkBudget budget;
+  const double iso = budget.required_tx_dbm(0.050, 0.0, 0.0);
+  const double directional = budget.required_tx_dbm(0.050, 3.0, 3.0);
+  EXPECT_NEAR(iso - directional, 6.0, 1e-9);
+}
+
+TEST(LinkBudget, SensitivityScalesWithRate) {
+  LinkBudget::Params p16;
+  p16.data_rate_bps = 16e9;
+  const double s32 = LinkBudget().sensitivity_dbm();
+  const double s16 = LinkBudget(p16).sensitivity_dbm();
+  EXPECT_NEAR(s32 - s16, 3.01, 0.01);  // half the rate = 3 dB more sensitive
+}
+
+TEST(LinkBudget, MarginClosesAtRequiredPower) {
+  LinkBudget budget;
+  const double tx = budget.required_tx_dbm(0.030);
+  EXPECT_NEAR(budget.margin_db(tx, 0.030), 0.0, 1e-9);
+  EXPECT_GT(budget.margin_db(tx + 2.0, 0.030), 1.9);
+}
+
+// ---- Fig 4a: Colpitts oscillator ------------------------------------------------
+
+TEST(Oscillator, OscillatesAt90GHz) {
+  ColpittsOscillator osc;
+  EXPECT_NEAR(osc.frequency_hz() / 1e9, 90.0, 1.0);
+}
+
+TEST(Oscillator, PhaseNoiseMatchesPaperAnchor) {
+  // "phase noise at 1 MHz offset is observed to be around -86 dBc/Hz".
+  ColpittsOscillator osc;
+  EXPECT_NEAR(osc.phase_noise_dbc_hz(1e6), -86.0, 2.0);
+}
+
+TEST(Oscillator, PhaseNoiseFallsWithOffset) {
+  ColpittsOscillator osc;
+  EXPECT_LT(osc.phase_noise_dbc_hz(10e6), osc.phase_noise_dbc_hz(1e6));
+  // -20 dB/decade in the 1/f^2 region.
+  EXPECT_NEAR(osc.phase_noise_dbc_hz(1e6) - osc.phase_noise_dbc_hz(10e6), 20.0,
+              0.5);
+}
+
+TEST(Oscillator, PsdPeaksAtCarrier) {
+  ColpittsOscillator osc;
+  const auto sweep = osc.psd_sweep(80e9, 100e9, 201);
+  double best_f = 0;
+  double best = -1e9;
+  for (const auto& [f, dbc] : sweep) {
+    if (dbc > best) {
+      best = dbc;
+      best_f = f;
+    }
+  }
+  EXPECT_NEAR(best_f / 1e9, 90.0, 0.2);
+}
+
+TEST(Oscillator, FrequencyFollowsTank) {
+  ColpittsOscillator::Params params;
+  params.inductance_h *= 4.0;  // f ~ 1/sqrt(LC): halve the frequency
+  ColpittsOscillator slow(params);
+  EXPECT_NEAR(slow.frequency_hz() / 1e9, 45.0, 1.0);
+}
+
+// ---- Fig 4b: class-AB PA --------------------------------------------------------
+
+TEST(Pa, GainPeaksAt90GHzWith20GHzBand) {
+  ClassAbPa pa;
+  EXPECT_NEAR(pa.gain_db(90e9), 3.5, 1e-9);
+  // ~20 GHz wide at 2 dB gain (i.e. 1.5 dB below peak... paper quotes the
+  // band where gain >= 2 dB).
+  EXPECT_NEAR(pa.gain_db(80e9), 2.0, 0.6);
+  EXPECT_NEAR(pa.gain_db(100e9), 2.0, 0.6);
+}
+
+TEST(Pa, CompressionPointNearPaperValue) {
+  // "1-dB compression point of ~5 dBm".
+  ClassAbPa pa;
+  EXPECT_NEAR(pa.p1db_dbm(), 5.0, 1.0);
+}
+
+TEST(Pa, DeliversRequiredRfPower) {
+  // Link budget needs >= 4 dBm (~2.5 mW); saturated PA delivers it.
+  ClassAbPa pa;
+  const double saturated = pa.output_dbm(20.0, 90e9);
+  EXPECT_GE(saturated, 4.0);
+  // At 14 mW DC this is a plausible class-AB efficiency.
+  EXPECT_GT(pa.efficiency(saturated), 0.15);
+  EXPECT_LT(pa.efficiency(saturated), 0.5);
+}
+
+TEST(Pa, SmallSignalIsLinear) {
+  ClassAbPa pa;
+  const double g1 = pa.output_dbm(-20.0, 90e9) - (-20.0);
+  const double g2 = pa.output_dbm(-30.0, 90e9) - (-30.0);
+  EXPECT_NEAR(g1, g2, 0.05);
+  EXPECT_NEAR(g1, 3.5, 0.1);
+}
+
+// ---- Fig 4c: LNA -----------------------------------------------------------------
+
+TEST(Lna, TenDbGainAround90GHz) {
+  WidebandLna lna;
+  EXPECT_NEAR(lna.gain_db(90e9), 10.0, 1e-9);
+  EXPECT_NEAR(lna.gain_db(90e9 + lna.bandwidth_3db_hz() / 2), 7.0, 0.01);
+}
+
+TEST(Lna, RejectsBadParams) {
+  WidebandLna::Params params;
+  params.gain_bw_hz = 0;
+  EXPECT_THROW(WidebandLna{params}, std::invalid_argument);
+}
+
+// ---- OOK BER ---------------------------------------------------------------------
+
+TEST(Ber, QFunctionKnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.1587, 1e-4);
+  EXPECT_NEAR(q_function(3.0), 1.35e-3, 1e-5);
+}
+
+TEST(Ber, MonotoneInSnr) {
+  double prev = 1.0;
+  for (double snr = 0.0; snr <= 20.0; snr += 2.0) {
+    const double ber = ook_ber(snr);
+    EXPECT_LT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(Ber, RequiredSnrMatchesLinkBudgetConstant) {
+  // The link budget uses 17 dB for BER 1e-12; the BER model must agree.
+  EXPECT_NEAR(required_snr_db(1e-12), 17.0, 0.3);
+  EXPECT_NEAR(ook_ber(required_snr_db(1e-9)), 1e-9, 2e-10);
+}
+
+TEST(Ber, MarginImprovesBerSharply) {
+  const double required = required_snr_db(1e-12);
+  EXPECT_LT(ber_at_margin(required, 1.0), 1e-12);
+  EXPECT_GT(ber_at_margin(required, -3.0), 1e-8);
+}
+
+TEST(Ber, RejectsBadTargets) {
+  EXPECT_THROW(required_snr_db(0.0), std::invalid_argument);
+  EXPECT_THROW(required_snr_db(0.7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,189 @@
+// Edge-case tests for the router microarchitecture: asymmetric port counts,
+// single-VC operation, construction errors, wiring errors, state dumps, and
+// head-of-line behavior.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "network/network.hpp"
+
+namespace ownsim {
+namespace {
+
+using testing::drain;
+using testing::two_router_spec;
+
+TEST(RouterEdge, RejectsBadConstruction) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  Router::Params params;
+  params.num_inputs = 0;
+  params.num_outputs = 1;
+  struct DummyOracle final : RoutingOracle {
+    RouteEntry route(RouterId, const Flit&) const override { return {}; }
+  } oracle;
+  EXPECT_THROW(Router(params, &classes, &oracle), std::invalid_argument);
+  params.num_inputs = 1;
+  EXPECT_THROW(Router(params, nullptr, &oracle), std::invalid_argument);
+  EXPECT_THROW(Router(params, &classes, nullptr), std::invalid_argument);
+}
+
+TEST(RouterEdge, DoubleWiringThrows) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  Router::Params params;
+  params.num_inputs = 1;
+  params.num_outputs = 1;
+  struct DummyOracle final : RoutingOracle {
+    RouteEntry route(RouterId, const Flit&) const override { return {}; }
+  } oracle;
+  Router router(params, &classes, &oracle);
+  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, 0.0, &classes, "c");
+  router.connect_input(0, channel.in());
+  EXPECT_THROW(router.connect_input(0, channel.in()), std::logic_error);
+  router.connect_output(0, channel.out());
+  EXPECT_THROW(router.connect_output(0, channel.out()), std::logic_error);
+  EXPECT_THROW(router.connect_input(9, channel.in()), std::out_of_range);
+}
+
+TEST(RouterEdge, SingleVcNetworkStillDelivers) {
+  NetworkSpec spec = two_router_spec(/*num_vcs=*/1, /*buffer_depth=*/4);
+  spec.vc_classes = {{0, 1}};
+  Network net(std::move(spec));
+  for (int i = 0; i < 20; ++i) {
+    net.nic().enqueue_packet(0, 1, 1, 4, 128, 0, 0, true);
+  }
+  ASSERT_TRUE(drain(net, 5000));
+  EXPECT_EQ(net.nic().records().size(), 20u);
+}
+
+TEST(RouterEdge, DeepPacketsLargerThanBuffers) {
+  // 12-flit packets through 4-deep buffers: pure wormhole spill-over.
+  NetworkSpec spec = two_router_spec(4, 4);
+  Network net(std::move(spec));
+  for (int i = 0; i < 8; ++i) {
+    net.nic().enqueue_packet(0, 1, 1, 12, 128, 0, 0, true);
+  }
+  ASSERT_TRUE(drain(net, 5000));
+  ASSERT_EQ(net.nic().records().size(), 8u);
+  for (const auto& rec : net.nic().records()) {
+    EXPECT_EQ(rec.size_flits, 12);
+  }
+}
+
+TEST(RouterEdge, DumpStateListsActivePackets) {
+  Network net(two_router_spec());
+  for (int i = 0; i < 4; ++i) {
+    net.nic().enqueue_packet(0, 1, 1, 8, 128, 0, 0, true);
+  }
+  net.engine().run(6);  // mid-flight
+  std::ostringstream os;
+  net.router(0).dump_state(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("router 0"), std::string::npos);
+  EXPECT_NE(dump.find("pkt="), std::string::npos);
+  ASSERT_TRUE(drain(net, 2000));
+}
+
+TEST(RouterEdge, CountersMonotone) {
+  Network net(two_router_spec());
+  net.nic().enqueue_packet(0, 1, 1, 4, 128, 0, 0, true);
+  net.engine().run(5);
+  const auto mid = net.router(0).counters();
+  ASSERT_TRUE(drain(net, 1000));
+  const auto end = net.router(0).counters();
+  EXPECT_GE(end.buffer_writes, mid.buffer_writes);
+  EXPECT_GE(end.crossbar_flits, mid.crossbar_flits);
+  EXPECT_EQ(end.buffer_writes, end.buffer_reads);  // drained: in == out
+}
+
+TEST(RouterEdge, RadixReportsMaxOfInOut) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  Router::Params params;
+  params.num_inputs = 3;
+  params.num_outputs = 17;
+  struct DummyOracle final : RoutingOracle {
+    RouteEntry route(RouterId, const Flit&) const override { return {}; }
+  } oracle;
+  Router router(params, &classes, &oracle);
+  EXPECT_EQ(router.radix(), 17);
+  EXPECT_EQ(router.num_inputs(), 3);
+  EXPECT_EQ(router.num_outputs(), 17);
+}
+
+TEST(ChannelEdge, ConstructionValidation) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  EXPECT_THROW(Channel(MediumType::kElectrical, 0, 1, 4, 8, 0, &classes, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 0, 4, 8, 0, &classes, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 1, 0, 8, 0, &classes, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 1, 4, 8, 0, nullptr, "x"),
+               std::invalid_argument);
+}
+
+TEST(ChannelEdge, VcAllocationRoundRobinsWithinClass) {
+  std::vector<VcClassRange> classes = {{0, 4}};
+  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, 0, &classes, "rr");
+  // Allocate twice: distinct VCs while both packets are open.
+  const VcId a = channel.out()->alloc_vc(0, 0);
+  const VcId b = channel.out()->alloc_vc(0, 0);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(channel.vc_busy(a));
+  EXPECT_TRUE(channel.vc_busy(b));
+  // Exhausting the class returns kInvalidId.
+  channel.out()->alloc_vc(0, 0);
+  channel.out()->alloc_vc(0, 0);
+  EXPECT_EQ(channel.out()->alloc_vc(0, 0), kInvalidId);
+}
+
+TEST(ChannelEdge, SerializationGatesAcceptance) {
+  std::vector<VcClassRange> classes = {{0, 2}};
+  Channel channel(MediumType::kElectrical, 1, 4, 2, 8, 0, &classes, "slow");
+  Flit flit;
+  flit.vc = channel.out()->alloc_vc(0, 0);
+  flit.head = true;
+  ASSERT_TRUE(channel.out()->can_accept(flit, 0));
+  channel.out()->accept(flit, 0);
+  EXPECT_FALSE(channel.out()->can_accept(flit, 1));  // busy until cycle 4
+  EXPECT_FALSE(channel.out()->can_accept(flit, 3));
+  EXPECT_TRUE(channel.out()->can_accept(flit, 4));
+}
+
+TEST(ChannelEdge, FlitArrivesAfterLatency) {
+  std::vector<VcClassRange> classes = {{0, 2}};
+  Channel channel(MediumType::kElectrical, 3, 1, 2, 8, 0, &classes, "lat");
+  Flit flit;
+  flit.vc = channel.out()->alloc_vc(0, 0);
+  flit.head = true;
+  flit.tail = true;
+  channel.out()->accept(flit, 10);
+  channel.commit(10);
+  EXPECT_EQ(channel.in()->poll(12), nullptr);
+  const Flit* arrived = channel.in()->poll(13);
+  ASSERT_NE(arrived, nullptr);
+  EXPECT_EQ(arrived->vc, flit.vc);
+  channel.in()->pop(13);
+  EXPECT_EQ(channel.in()->poll(14), nullptr);
+}
+
+TEST(ChannelEdge, CreditReturnsAfterOneCycle) {
+  std::vector<VcClassRange> classes = {{0, 2}};
+  Channel channel(MediumType::kElectrical, 1, 1, 2, 3, 0, &classes, "cr");
+  EXPECT_EQ(channel.credits(0), 3);
+  Flit flit;
+  flit.vc = channel.out()->alloc_vc(0, 0);
+  flit.head = true;
+  flit.tail = true;
+  channel.out()->accept(flit, 0);
+  EXPECT_EQ(channel.credits(flit.vc), 2);
+  channel.commit(0);
+  channel.in()->pop(1);
+  channel.in()->push_credit(flit.vc, 1);
+  channel.commit(1);
+  channel.eval(2);  // credit arrival at now=2
+  EXPECT_EQ(channel.credits(flit.vc), 3);
+}
+
+}  // namespace
+}  // namespace ownsim

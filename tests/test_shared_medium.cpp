@@ -1,0 +1,225 @@
+// Tests for token-arbitrated shared media: MWSR waveguide semantics (many
+// writers, one home reader, token fairness, wormhole token hold) and SWMR
+// wireless multicast semantics (reader selection, multicast RX energy).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "network/network.hpp"
+
+namespace ownsim {
+namespace {
+
+using testing::drain;
+
+// Star: routers 0..2 write an MWSR waveguide whose home is router 3; router 3
+// has electrical return links to 0..2. One node per router.
+NetworkSpec mwsr_star_spec(int cycles_per_flit = 1) {
+  NetworkSpec spec;
+  spec.name = "mwsr-star";
+  spec.num_nodes = 4;
+  spec.num_vcs = 4;
+  spec.buffer_depth = 8;
+  spec.routers = {{1, 1}, {1, 1}, {1, 1}, {1, 3}};
+  spec.nodes = {{0}, {1}, {2}, {3}};
+  spec.vc_classes = {{0, 4}};
+
+  MediumSpec wg;
+  wg.medium = MediumType::kPhotonic;
+  wg.writers = {{0, 0}, {1, 0}, {2, 0}};
+  wg.readers = {{3, 0}};
+  wg.cycles_per_flit = cycles_per_flit;
+  wg.name = "wg-home3";
+  spec.media.push_back(std::move(wg));
+
+  for (RouterId r = 0; r < 3; ++r) {
+    LinkSpec link;
+    link.src_router = 3;
+    link.src_port = r;
+    link.dst_router = r;
+    link.dst_port = 0;
+    link.name = "ret" + std::to_string(r);
+    spec.links.push_back(link);
+  }
+
+  spec.route_table.assign(4, std::vector<RouteEntry>(4));
+  for (RouterId r = 0; r < 3; ++r) {
+    for (RouterId d = 0; d < 4; ++d) {
+      if (d == r) continue;
+      spec.route_table[r][d] = {0, 0};  // everything via the waveguide
+    }
+  }
+  for (RouterId d = 0; d < 3; ++d) spec.route_table[3][d] = {d, 0};
+  return spec;
+}
+
+// SWMR: routers 0,1 (group A) write one wireless channel heard by routers
+// 2,3 (group B); the intended cluster forwards, the other discards.
+NetworkSpec swmr_spec() {
+  NetworkSpec spec;
+  spec.name = "swmr";
+  spec.num_nodes = 4;
+  spec.num_vcs = 4;
+  spec.buffer_depth = 8;
+  spec.routers = {{1, 1}, {1, 1}, {1, 1}, {1, 1}};
+  spec.nodes = {{0}, {1}, {2}, {3}};
+  spec.vc_classes = {{0, 4}};
+
+  MediumSpec ch;
+  ch.medium = MediumType::kWireless;
+  ch.writers = {{0, 0}, {1, 0}};
+  ch.readers = {{2, 0}, {3, 0}};
+  ch.multicast_rx = true;
+  ch.select_reader = [](NodeId, RouterId dst_router) {
+    return dst_router == 2 ? 0 : 1;
+  };
+  ch.name = "swmr-ab";
+  spec.media.push_back(std::move(ch));
+
+  MediumSpec back = spec.media[0];
+  back.writers = {{2, 0}, {3, 0}};
+  back.readers = {{0, 0}, {1, 0}};
+  back.select_reader = [](NodeId, RouterId dst_router) {
+    return dst_router == 0 ? 0 : 1;
+  };
+  back.name = "swmr-ba";
+  spec.media.push_back(std::move(back));
+
+  spec.route_table.assign(4, std::vector<RouteEntry>(4));
+  for (RouterId r = 0; r < 4; ++r) {
+    for (RouterId d = 0; d < 4; ++d) {
+      if (d != r) spec.route_table[r][d] = {0, 0};
+    }
+  }
+  return spec;
+}
+
+void send(Network& net, NodeId src, NodeId dst, int flits = 4) {
+  net.nic().enqueue_packet(src, dst, net.router_of(dst), flits, 128,
+                           net.injection_vc_class(src, dst),
+                           net.engine().now(), true);
+}
+
+TEST(MwsrMedium, SingleWriterDelivers) {
+  Network net(mwsr_star_spec());
+  send(net, 0, 3);
+  ASSERT_TRUE(drain(net, 500));
+  ASSERT_EQ(net.nic().records().size(), 1u);
+  EXPECT_EQ(net.nic().records()[0].hops, 2);
+  EXPECT_EQ(net.medium(0).counters().packets, 1);
+  EXPECT_EQ(net.medium(0).counters().flits, 4);
+  EXPECT_EQ(net.medium(0).counters().tx_bits, 4 * 128);
+  EXPECT_EQ(net.medium(0).counters().rx_bits, 4 * 128);  // single reader
+}
+
+TEST(MwsrMedium, ThreeWritersAllDeliverWithoutInterleaving) {
+  Network net(mwsr_star_spec());
+  for (int i = 0; i < 10; ++i) {
+    send(net, 0, 3);
+    send(net, 1, 3);
+    send(net, 2, 3);
+  }
+  ASSERT_TRUE(drain(net, 10000));
+  EXPECT_EQ(net.nic().records().size(), 30u);
+  EXPECT_EQ(net.medium(0).counters().packets, 30);
+}
+
+TEST(MwsrMedium, TokenRoundRobinIsFair) {
+  Network net(mwsr_star_spec());
+  for (int i = 0; i < 30; ++i) {
+    send(net, 0, 3);
+    send(net, 1, 3);
+    send(net, 2, 3);
+  }
+  ASSERT_TRUE(drain(net, 50000));
+  // Count per-source packets among the first 15 ejections: every writer
+  // should appear several times (no starvation under saturation).
+  int per_src[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < 15; ++i) {
+    ++per_src[net.nic().records()[i].src];
+  }
+  for (int s = 0; s < 3; ++s) EXPECT_GE(per_src[s], 2) << "src " << s;
+}
+
+TEST(MwsrMedium, MultiHopThroughHomeRouter) {
+  Network net(mwsr_star_spec());
+  send(net, 0, 2);  // 0 -> waveguide -> router 3 -> electrical -> router 2
+  ASSERT_TRUE(drain(net, 500));
+  ASSERT_EQ(net.nic().records().size(), 1u);
+  EXPECT_EQ(net.nic().records()[0].hops, 3);
+}
+
+TEST(MwsrMedium, SerializationThrottlesBus) {
+  Network fast(mwsr_star_spec(1));
+  Network slow(mwsr_star_spec(8));
+  send(fast, 0, 3);
+  send(slow, 0, 3);
+  ASSERT_TRUE(drain(fast, 2000));
+  ASSERT_TRUE(drain(slow, 2000));
+  const Cycle f = fast.nic().records()[0].total_latency();
+  const Cycle s = slow.nic().records()[0].total_latency();
+  // 3 extra flit slots at +7 cycles each, minus the slack the staging buffer
+  // already hides while the router forwards body flits.
+  EXPECT_GE(s, f + 15);
+}
+
+TEST(MwsrMedium, RandomStressDrains) {
+  Network net(mwsr_star_spec());
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(4));
+    auto d = static_cast<NodeId>(rng.below(4));
+    send(net, s, d, 1 + static_cast<int>(rng.below(6)));
+  }
+  ASSERT_TRUE(drain(net, 200000));
+  EXPECT_EQ(net.nic().records().size(), 300u);
+}
+
+TEST(SwmrMedium, DeliversToIntendedReaderOnly) {
+  Network net(swmr_spec());
+  send(net, 0, 2);
+  send(net, 1, 3);
+  ASSERT_TRUE(drain(net, 1000));
+  ASSERT_EQ(net.nic().records().size(), 2u);
+  for (const auto& rec : net.nic().records()) {
+    EXPECT_EQ(rec.hops, 2);
+  }
+}
+
+TEST(SwmrMedium, MulticastChargesAllListeners) {
+  Network net(swmr_spec());
+  send(net, 0, 2, 4);
+  ASSERT_TRUE(drain(net, 1000));
+  const auto& counters = net.medium(0).counters();
+  EXPECT_EQ(counters.tx_bits, 4 * 128);
+  EXPECT_EQ(counters.rx_bits, 2 * 4 * 128);  // both group-B clusters listen
+}
+
+TEST(SwmrMedium, TokenSharedBetweenWriters) {
+  Network net(swmr_spec());
+  for (int i = 0; i < 20; ++i) {
+    send(net, 0, 2);
+    send(net, 1, 3);
+  }
+  ASSERT_TRUE(drain(net, 20000));
+  EXPECT_EQ(net.nic().records().size(), 40u);
+  EXPECT_EQ(net.medium(0).counters().packets, 40);
+  // Bidirectional media: reverse channel untouched.
+  EXPECT_EQ(net.medium(1).counters().packets, 0);
+}
+
+TEST(SwmrMedium, BidirectionalTraffic) {
+  Network net(swmr_spec());
+  for (int i = 0; i < 10; ++i) {
+    send(net, 0, 3);
+    send(net, 3, 0);
+    send(net, 2, 1);
+  }
+  ASSERT_TRUE(drain(net, 20000));
+  EXPECT_EQ(net.nic().records().size(), 30u);
+  EXPECT_EQ(net.medium(0).counters().packets, 10);
+  EXPECT_EQ(net.medium(1).counters().packets, 20);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,138 @@
+// Tests for per-router power attribution and the thermal-proxy solver,
+// including the §III.A corner-vs-center placement claim.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "power/thermal.hpp"
+#include "topology/own.hpp"
+#include "topology/registry.hpp"
+#include "traffic/injector.hpp"
+
+namespace ownsim {
+namespace {
+
+std::unique_ptr<Network> run_own(AntennaPlacement placement,
+                                 double rate = 0.005, Cycle cycles = 6000) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  auto network =
+      std::make_unique<Network>(build_own256_placed(options, placement));
+  static std::vector<std::unique_ptr<Injector>> keepalive;
+  TrafficPattern pattern(PatternKind::kUniform, 256);
+  Injector::Params params;
+  params.rate = rate;
+  keepalive.push_back(
+      std::make_unique<Injector>(network.get(), pattern, params));
+  network->engine().add(keepalive.back().get());
+  network->engine().run(cycles);
+  return network;
+}
+
+TEST(PerRouterPower, SumsToModelTotalMinusOffChip) {
+  auto network = run_own(AntennaPlacement::kCorners);
+  const ChannelEnergyModel channels(OwnConfig::kConfig4, Scenario::kIdeal);
+  const PowerParams params;
+  const auto per_router = per_router_power(*network, params, &channels);
+  const double sum =
+      std::accumulate(per_router.begin(), per_router.end(), 0.0);
+  EnergyModel model(params, channels);
+  const PowerBreakdown breakdown = model.compute(*network);
+  // Laser power is off-chip and deliberately excluded from the floorplan.
+  EXPECT_NEAR(sum, breakdown.total_w() - breakdown.photonic_laser_w,
+              1e-6 * breakdown.total_w());
+}
+
+TEST(PerRouterPower, GatewaysAreTheHottestRouters) {
+  auto network = run_own(AntennaPlacement::kCorners);
+  const ChannelEnergyModel channels(OwnConfig::kConfig4, Scenario::kIdeal);
+  const auto power = per_router_power(*network, PowerParams{}, &channels);
+  // The three hottest routers must be wireless gateways (tiles 0/3/12).
+  std::vector<int> order(power.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + 3, order.end(),
+                    [&](int a, int b) { return power[a] > power[b]; });
+  for (int i = 0; i < 3; ++i) {
+    const int tile = order[i] % 16;
+    EXPECT_TRUE(own256_is_gateway_tile(tile)) << "tile " << tile;
+  }
+}
+
+TEST(ThermalMap, PeakSitsAtTheSource) {
+  ThermalMap::Params params;
+  params.die_mm = 50.0;
+  params.grid = 10;
+  ThermalMap map(params);
+  NetworkSpec spec;
+  spec.routers.resize(2);
+  spec.router_xy_mm = {{5.0, 5.0}, {45.0, 45.0}};
+  map.deposit(spec, {1.0, 0.1});
+  const ThermalStats stats = map.solve();
+  EXPECT_LT(stats.peak_x_mm, 10.0);
+  EXPECT_LT(stats.peak_y_mm, 10.0);
+  EXPECT_GT(stats.peak_c, stats.mean_c);
+}
+
+TEST(ThermalMap, AdjacentSourcesReinforce) {
+  // The same total power concentrated in adjacent cells must yield a higher
+  // peak than when spread to the die corners — the §III.A mechanism.
+  ThermalMap::Params params;
+  params.grid = 20;
+  NetworkSpec spec;
+  spec.routers.resize(4);
+
+  ThermalMap spread(params);
+  spec.router_xy_mm = {{2, 2}, {48, 2}, {2, 48}, {48, 48}};
+  spread.deposit(spec, {0.25, 0.25, 0.25, 0.25});
+
+  ThermalMap packed(params);
+  spec.router_xy_mm = {{24, 24}, {26, 24}, {24, 26}, {26, 26}};
+  packed.deposit(spec, {0.25, 0.25, 0.25, 0.25});
+
+  EXPECT_GT(packed.solve().peak_c, 1.5 * spread.solve().peak_c);
+}
+
+TEST(ThermalMap, LinearInPower) {
+  ThermalMap::Params params;
+  params.grid = 8;
+  NetworkSpec spec;
+  spec.routers.resize(1);
+  spec.router_xy_mm = {{25, 25}};
+  ThermalMap one(params);
+  one.deposit(spec, {1.0});
+  ThermalMap two(params);
+  two.deposit(spec, {2.0});
+  EXPECT_NEAR(two.solve().peak_c, 2.0 * one.solve().peak_c, 1e-9);
+}
+
+TEST(ThermalMap, RejectsBadInput) {
+  ThermalMap::Params bad;
+  bad.k_lateral = 0.3;  // 4k + leak >= 1
+  EXPECT_THROW(ThermalMap{bad}, std::invalid_argument);
+
+  ThermalMap map;
+  NetworkSpec no_floorplan;
+  no_floorplan.routers.resize(1);
+  EXPECT_THROW(map.deposit(no_floorplan, {1.0}), std::invalid_argument);
+}
+
+TEST(Placement, CenterPlacementRunsAndIsHotter) {
+  auto corners = run_own(AntennaPlacement::kCorners);
+  auto center = run_own(AntennaPlacement::kCenter);
+  EXPECT_GT(center->nic().packets_ejected(), 1000);  // functional
+
+  const ChannelEnergyModel channels(OwnConfig::kConfig4, Scenario::kIdeal);
+  auto stats_for = [&](Network& network) {
+    ThermalMap map;
+    map.deposit(network.spec(),
+                per_router_power(network, PowerParams{}, &channels));
+    return map.solve();
+  };
+  const ThermalStats corner_stats = stats_for(*corners);
+  const ThermalStats center_stats = stats_for(*center);
+  EXPECT_GT(center_stats.peak_c, corner_stats.peak_c);
+  EXPECT_GT(center_stats.stddev_c, corner_stats.stddev_c);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,308 @@
+// Structural and functional tests for all five topologies at both paper
+// sizes. Includes a routing-reachability property check (every route table
+// walk terminates at the destination within the topology's hop bound) and
+// end-to-end delivery smoke tests through the live simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "network/network.hpp"
+#include "topology/cmesh.hpp"
+#include "topology/optxb.hpp"
+#include "topology/own.hpp"
+#include "topology/pclos.hpp"
+#include "topology/registry.hpp"
+#include "topology/wireless_cmesh.hpp"
+
+namespace ownsim {
+namespace {
+
+TopologyOptions options_for(int cores) {
+  TopologyOptions opt;
+  opt.num_cores = cores;
+  return opt;
+}
+
+/// Follows route tables (and shared-medium reader selection) from router
+/// `src` to `dst`, returning the number of router-to-router hops or -1 on a
+/// loop / bound violation.
+int walk_route(const NetworkSpec& spec, RouterId src, NodeId dst_node,
+               int max_hops) {
+  const RouterId dst = spec.nodes[dst_node].router;
+  RouterId at = src;
+  int hops = 0;
+  while (at != dst) {
+    if (++hops > max_hops) return -1;
+    const RouteEntry entry = spec.route_table[at][dst];
+    // Find what the out port connects to.
+    RouterId next = kInvalidId;
+    for (const auto& link : spec.links) {
+      if (link.src_router == at && link.src_port == entry.out_port) {
+        next = link.dst_router;
+        break;
+      }
+    }
+    if (next == kInvalidId) {
+      for (const auto& medium : spec.media) {
+        for (const auto& [wr, wp] : medium.writers) {
+          if (wr == at && wp == entry.out_port) {
+            const int reader =
+                medium.readers.size() == 1
+                    ? 0
+                    : medium.select_reader(dst_node, dst);
+            next = medium.readers[reader].first;
+            break;
+          }
+        }
+        if (next != kInvalidId) break;
+      }
+    }
+    if (next == kInvalidId || next == at) return -1;
+    at = next;
+  }
+  return hops;
+}
+
+struct TopoCase {
+  TopologyKind kind;
+  int cores;
+  int max_hops;  ///< link hops bound (paper: OWN 3, OptXB 1, ...)
+};
+
+class Topologies : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(Topologies, SpecValidatesAndBuilds) {
+  const auto& param = GetParam();
+  const NetworkSpec spec = build_topology(param.kind, options_for(param.cores));
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.num_nodes, param.cores);
+  Network net(build_topology(param.kind, options_for(param.cores)));
+  EXPECT_GT(net.engine().num_components(), 0u);
+}
+
+TEST_P(Topologies, RoutesReachEveryDestinationWithinBound) {
+  const auto& param = GetParam();
+  const NetworkSpec spec = build_topology(param.kind, options_for(param.cores));
+  Rng rng(321);
+  // Exhaustive at 256, sampled at 1024 (keeps the test fast).
+  const int samples = param.cores == 256 ? 0 : 4000;
+  if (samples == 0) {
+    for (NodeId s = 0; s < spec.num_nodes; s += 4) {  // one core per router
+      for (NodeId d = 0; d < spec.num_nodes; d += 3) {
+        const int hops = walk_route(spec, spec.nodes[s].router, d,
+                                    param.max_hops);
+        ASSERT_GE(hops, 0) << "unroutable " << s << "->" << d;
+      }
+    }
+  } else {
+    for (int i = 0; i < samples; ++i) {
+      const auto s = static_cast<NodeId>(rng.below(spec.num_nodes));
+      const auto d = static_cast<NodeId>(rng.below(spec.num_nodes));
+      const int hops =
+          walk_route(spec, spec.nodes[s].router, d, param.max_hops);
+      ASSERT_GE(hops, 0) << "unroutable " << s << "->" << d;
+    }
+  }
+}
+
+TEST_P(Topologies, DeliversRandomTraffic) {
+  const auto& param = GetParam();
+  Network net(build_topology(param.kind, options_for(param.cores)));
+  Rng rng(7);
+  const int packets = 300;
+  for (int i = 0; i < packets; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(param.cores));
+    const auto d = static_cast<NodeId>(rng.below(param.cores));
+    net.nic().enqueue_packet(s, d, net.router_of(d), 4, 128,
+                             net.injection_vc_class(s, d), 0, true);
+  }
+  ASSERT_TRUE(ownsim::testing::drain(net, 400000));
+  EXPECT_EQ(net.nic().records().size(), static_cast<std::size_t>(packets));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Topologies,
+    ::testing::Values(TopoCase{TopologyKind::kCMesh, 256, 14},
+                      TopoCase{TopologyKind::kCMesh, 1024, 30},
+                      TopoCase{TopologyKind::kWirelessCMesh, 256, 8},
+                      TopoCase{TopologyKind::kWirelessCMesh, 1024, 16},
+                      TopoCase{TopologyKind::kOptXB, 256, 1},
+                      TopoCase{TopologyKind::kOptXB, 1024, 1},
+                      TopoCase{TopologyKind::kPClos, 256, 2},
+                      TopoCase{TopologyKind::kPClos, 1024, 2},
+                      TopoCase{TopologyKind::kOwn, 256, 3},
+                      TopoCase{TopologyKind::kOwn, 1024, 3}),
+    [](const ::testing::TestParamInfo<TopoCase>& param_info) {
+      std::string name = to_string(param_info.param.kind);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" + std::to_string(param_info.param.cores);
+    });
+
+// ---- topology-specific structure checks --------------------------------------
+
+TEST(CMeshStructure, RadixAndDiameterMatchPaper) {
+  const NetworkSpec spec = build_cmesh(options_for(256));
+  EXPECT_EQ(spec.num_routers(), 64);
+  // Radix 8 = 4 mesh ports + 4 cores for interior routers; borders shrink.
+  const int interior = 1 * 8 + 1;  // (1,1) on the 8x8 grid
+  EXPECT_EQ(spec.routers[interior].num_net_in, 4);
+  EXPECT_EQ(spec.routers[interior].num_net_out, 4);
+  EXPECT_EQ(spec.routers[0].num_net_out, 2);  // corner
+  // Max diameter 2(sqrt(n)-1) = 14 link hops: corner-to-corner walk.
+  EXPECT_EQ(walk_route(spec, 0, 255, 14), 14);
+}
+
+TEST(OptXBStructure, RadixMatchesPaper) {
+  const NetworkSpec spec = build_optxb(options_for(256));
+  EXPECT_EQ(spec.num_routers(), 64);
+  // 63 crossbar writer ports (+4 cores appended by the assembler) = radix 67.
+  EXPECT_EQ(spec.routers[0].num_net_out, 63);
+  EXPECT_EQ(spec.routers[0].num_net_in, 1);
+  EXPECT_EQ(spec.media.size(), 64u);
+  for (const auto& wg : spec.media) {
+    EXPECT_EQ(wg.writers.size(), 63u);
+    EXPECT_EQ(wg.readers.size(), 1u);
+  }
+}
+
+TEST(WirelessCMeshStructure, RadixMatchesPaper) {
+  const NetworkSpec spec = build_wireless_cmesh(options_for(256));
+  EXPECT_EQ(spec.num_routers(), 64);
+  // Interior wireless head: 3 electrical + 4 wireless (= radix 11 with 4
+  // cores); border heads have fewer grid neighbors.
+  const int interior_head = (1 * 4 + 1) * 4;  // cluster (1,1)
+  EXPECT_EQ(spec.routers[interior_head].num_net_out, 7);
+  EXPECT_EQ(spec.routers[0].num_net_out, 5);  // NW corner head
+  // Plain cluster router: 3 electrical.
+  EXPECT_EQ(spec.routers[1].num_net_out, 3);
+  int wireless_links = 0;
+  for (const auto& link : spec.links) {
+    if (link.medium == MediumType::kWireless) ++wireless_links;
+  }
+  EXPECT_EQ(wireless_links, 2 * 2 * 4 * 3);  // 4x4 grid, 24 edges, 2 dirs
+}
+
+TEST(PClosStructure, TwoLinkHops) {
+  const NetworkSpec spec = build_pclos(options_for(256));
+  EXPECT_EQ(spec.num_routers(), 16);  // 8 leaves + 8 middles
+  for (NodeId d = 0; d < 256; d += 17) {
+    EXPECT_LE(walk_route(spec, 0, d, 2), 2);
+  }
+}
+
+TEST(OwnStructure, RadixAndChannelCountsMatchPaper) {
+  const NetworkSpec spec = build_own(options_for(256));
+  EXPECT_EQ(spec.num_routers(), 64);
+  // Gateway router: 15 photonic + 1 wireless out (radix 20 with 4 cores).
+  EXPECT_EQ(spec.routers[own_router(0, 0, 0)].num_net_out, 16);
+  // Plain tile: 15 photonic out (radix 19 with 4 cores).
+  EXPECT_EQ(spec.routers[own_router(0, 0, 5)].num_net_out, 15);
+  // 4 clusters x 16 home waveguides.
+  EXPECT_EQ(spec.media.size(), 64u);
+  // 12 wireless point-to-point channels.
+  EXPECT_EQ(spec.links.size(), 12u);
+}
+
+TEST(OwnStructure, WorstCaseThreeHops) {
+  const NetworkSpec spec = build_own(options_for(256));
+  int worst = 0;
+  for (NodeId s = 0; s < 256; s += 4) {
+    for (NodeId d = 0; d < 256; d += 4) {
+      if (spec.nodes[s].router == spec.nodes[d].router) continue;
+      const int hops = walk_route(spec, spec.nodes[s].router, d, 3);
+      ASSERT_GE(hops, 0);
+      worst = std::max(worst, hops);
+    }
+  }
+  EXPECT_EQ(worst, 3);
+}
+
+TEST(OwnStructure, Own1024UsesSixteenSwmrChannels) {
+  const NetworkSpec spec = build_own(options_for(1024));
+  EXPECT_EQ(spec.num_routers(), 256);
+  int wireless_media = 0;
+  for (const auto& medium : spec.media) {
+    if (medium.medium == MediumType::kWireless) {
+      ++wireless_media;
+      EXPECT_EQ(medium.writers.size(), 4u);
+      EXPECT_EQ(medium.readers.size(), 4u);
+      EXPECT_TRUE(medium.multicast_rx);
+    }
+  }
+  EXPECT_EQ(wireless_media, 16);
+  // 4 groups x 4 clusters x 16 waveguides + 16 wireless.
+  EXPECT_EQ(spec.media.size(), 16u * 16u + 16u);
+}
+
+TEST(OwnStructure, InterClusterPathUsesGatewayOfTableOne) {
+  // Cluster 0 -> cluster 2 must leave through antenna A of cluster 0
+  // (tile 0) and arrive at antenna B of cluster 2 (tile 3): Table I, A0-B2.
+  const NetworkSpec spec = build_own(options_for(256));
+  const RouterId src = own_router(0, 0, 9);  // interior tile of cluster 0
+  const NodeId dst_node = (own_router(0, 2, 9)) * 4;
+  const RouteEntry first = spec.route_table[src][spec.nodes[dst_node].router];
+  // First hop: photonic writer toward tile 0 (gateway A).
+  EXPECT_EQ(first.out_port, own_writer_port(9, 0));
+  const RouterId gateway = own_router(0, 0, 0);
+  const RouteEntry second =
+      spec.route_table[gateway][spec.nodes[dst_node].router];
+  EXPECT_EQ(second.out_port, 15);  // wireless transmitter
+  // The wireless link lands on cluster 2's B corner (tile 3).
+  const auto& link = spec.links[own256_channel(0, 2).id];
+  EXPECT_EQ(link.dst_router, own_router(0, 2, 3));
+}
+
+TEST(CMeshO1Turn, ValidatesAndDelivers) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  options.cmesh_o1turn = true;
+  Network net(build_cmesh(options));
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(256));
+    const auto d = static_cast<NodeId>(rng.below(256));
+    // Alternate the routing function per packet like the injector does.
+    const bool alt = (i % 2) == 1;
+    net.nic().enqueue_packet(s, d, net.router_of(d), 4, 128,
+                             net.injection_vc_class(s, d, alt), 0, true);
+  }
+  ASSERT_TRUE(ownsim::testing::drain(net, 400000));
+  EXPECT_EQ(net.nic().records().size(), 400u);
+}
+
+TEST(CMeshO1Turn, YxTableRoutesYFirst) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  options.cmesh_o1turn = true;
+  const NetworkSpec spec = build_cmesh(options);
+  ASSERT_TRUE(spec.has_alt_routing());
+  // From router 0 (corner) to router 9 (x=1, y=1): XY goes east first, YX
+  // goes south first.
+  const RouteEntry xy = spec.route_table[0][9];
+  const RouteEntry yx = spec.route_table_alt[0][9];
+  EXPECT_NE(xy.out_port, yx.out_port);
+  EXPECT_EQ(xy.vc_class, 0);
+  EXPECT_EQ(yx.vc_class, 1);
+}
+
+TEST(CMeshO1Turn, RejectsSingleVc) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  options.cmesh_o1turn = true;
+  options.num_vcs = 1;
+  EXPECT_THROW(build_cmesh(options), std::invalid_argument);
+}
+
+TEST(Registry, ParsesAndLists) {
+  EXPECT_EQ(parse_topology("OWN"), TopologyKind::kOwn);
+  EXPECT_EQ(parse_topology("p-clos"), TopologyKind::kPClos);
+  EXPECT_EQ(paper_topologies().size(), 5u);
+  EXPECT_THROW(parse_topology("hypercube"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -1,0 +1,240 @@
+// Tests for the wireless technology model: Table III band plan, Table I/II
+// channel allocation, Table IV configurations, SDM reuse.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wireless/band_plan.hpp"
+#include "wireless/channel_alloc.hpp"
+#include "wireless/configurations.hpp"
+#include "wireless/technology.hpp"
+
+namespace ownsim {
+namespace {
+
+// ---- technology -----------------------------------------------------------------
+
+TEST(Technology, BaseEfficienciesFromPaper) {
+  EXPECT_DOUBLE_EQ(base_efficiency_pj(WirelessTech::kCmos), 0.1);
+  EXPECT_DOUBLE_EQ(base_efficiency_pj(WirelessTech::kSiGeHbt), 0.5);
+  EXPECT_DOUBLE_EQ(base_efficiency_pj(WirelessTech::kBiCmos), 0.3);
+}
+
+TEST(Technology, RampsFromPaper) {
+  EXPECT_DOUBLE_EQ(efficiency_ramp_pj(WirelessTech::kCmos, Scenario::kIdeal), 0.05);
+  EXPECT_DOUBLE_EQ(efficiency_ramp_pj(WirelessTech::kBiCmos, Scenario::kIdeal), 0.07);
+  EXPECT_DOUBLE_EQ(efficiency_ramp_pj(WirelessTech::kSiGeHbt, Scenario::kIdeal), 0.10);
+  EXPECT_DOUBLE_EQ(
+      efficiency_ramp_pj(WirelessTech::kSiGeHbt, Scenario::kConservative), 0.07);
+}
+
+TEST(Technology, EnergyRampsWithFrequency) {
+  const double at100 =
+      energy_per_bit_pj(WirelessTech::kCmos, Scenario::kIdeal, 100);
+  const double at200 =
+      energy_per_bit_pj(WirelessTech::kCmos, Scenario::kIdeal, 200);
+  EXPECT_DOUBLE_EQ(at100, 0.1);
+  EXPECT_DOUBLE_EQ(at200, 0.15);
+}
+
+TEST(Technology, ScenarioBandwidths) {
+  EXPECT_DOUBLE_EQ(channel_bandwidth_ghz(Scenario::kIdeal), 32.0);
+  EXPECT_DOUBLE_EQ(channel_bandwidth_ghz(Scenario::kConservative), 16.0);
+  EXPECT_DOUBLE_EQ(guard_band_ghz(Scenario::kIdeal), 8.0);
+  EXPECT_DOUBLE_EQ(guard_band_ghz(Scenario::kConservative), 4.0);
+}
+
+// ---- band plan (Table III) --------------------------------------------------------
+
+class BandPlanTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(BandPlanTest, SixteenIsolatedChannels) {
+  const BandPlan plan(GetParam());
+  ASSERT_EQ(plan.links().size(), 16u);
+  const double guard = guard_band_ghz(GetParam());
+  for (int i = 1; i < 16; ++i) {
+    const auto& a = plan.link(i - 1);
+    const auto& b = plan.link(i);
+    const double gap =
+        (b.center_ghz - b.bandwidth_ghz / 2) - (a.center_ghz + a.bandwidth_ghz / 2);
+    EXPECT_NEAR(gap, guard, 1e-9) << "link " << i;
+  }
+}
+
+TEST_P(BandPlanTest, ExactlyFourCmosChannels) {
+  // §V.B: "Table III shows only four channels with CMOS".
+  const BandPlan plan(GetParam());
+  EXPECT_EQ(plan.links_of(WirelessTech::kCmos).size(), 4u);
+}
+
+TEST_P(BandPlanTest, HbtOnlyAboveAbout300GHz) {
+  const BandPlan plan(GetParam());
+  for (const auto& link : plan.links()) {
+    if (link.center_ghz > 300.0) {
+      EXPECT_EQ(link.tech, WirelessTech::kSiGeHbt) << link.center_ghz;
+    } else {
+      EXPECT_NE(link.tech, WirelessTech::kSiGeHbt) << link.center_ghz;
+    }
+  }
+}
+
+TEST_P(BandPlanTest, EnergyIncreasesWithFrequencyWithinTech) {
+  const BandPlan plan(GetParam());
+  for (WirelessTech tech : {WirelessTech::kCmos, WirelessTech::kBiCmos,
+                            WirelessTech::kSiGeHbt}) {
+    double prev = -1;
+    for (int index : plan.links_of(tech)) {
+      EXPECT_GT(plan.link(index).energy_pj_per_bit, prev);
+      prev = plan.link(index).energy_pj_per_bit;
+    }
+  }
+}
+
+TEST_P(BandPlanTest, FourReconfigurationLinks) {
+  const BandPlan plan(GetParam());
+  int reconf = 0;
+  for (const auto& link : plan.links()) reconf += link.reconfiguration ? 1 : 0;
+  EXPECT_EQ(reconf, 4);  // links 13-16 of Table III
+}
+
+INSTANTIATE_TEST_SUITE_P(BothScenarios, BandPlanTest,
+                         ::testing::Values(Scenario::kIdeal,
+                                           Scenario::kConservative),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(BandPlan, IdealSpans100To700GHz) {
+  const BandPlan plan(Scenario::kIdeal);
+  EXPECT_DOUBLE_EQ(plan.link(0).center_ghz, 100.0);
+  EXPECT_DOUBLE_EQ(plan.link(15).center_ghz, 700.0);
+  const BandPlan cons(Scenario::kConservative);
+  EXPECT_DOUBLE_EQ(cons.link(15).center_ghz, 400.0);
+}
+
+// ---- channel allocation (Tables I, II) ----------------------------------------------
+
+TEST(ChannelAlloc, TwelveChannelsCoverAllClusterPairs) {
+  const auto& channels = own256_channels();
+  ASSERT_EQ(channels.size(), 12u);
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& ch : channels) {
+    EXPECT_NE(ch.src_cluster, ch.dst_cluster);
+    pairs.insert({ch.src_cluster, ch.dst_cluster});
+  }
+  EXPECT_EQ(pairs.size(), 12u);  // every ordered pair exactly once
+}
+
+TEST(ChannelAlloc, DistanceClassesMatchTableOne) {
+  // Diagonals: 0<->2 and 1<->3; edges: 0<->1 and 2<->3; short: 0<->3, 1<->2.
+  EXPECT_EQ(own256_channel(0, 2).distance, DistanceClass::kC2C);
+  EXPECT_EQ(own256_channel(3, 1).distance, DistanceClass::kC2C);
+  EXPECT_EQ(own256_channel(0, 1).distance, DistanceClass::kE2E);
+  EXPECT_EQ(own256_channel(2, 3).distance, DistanceClass::kE2E);
+  EXPECT_EQ(own256_channel(0, 3).distance, DistanceClass::kSR);
+  EXPECT_EQ(own256_channel(1, 2).distance, DistanceClass::kSR);
+}
+
+TEST(ChannelAlloc, LdFactorsAndDistancesMatchPaper) {
+  EXPECT_DOUBLE_EQ(ld_factor(DistanceClass::kC2C), 1.0);
+  EXPECT_DOUBLE_EQ(ld_factor(DistanceClass::kE2E), 0.5);
+  EXPECT_DOUBLE_EQ(ld_factor(DistanceClass::kSR), 0.15);
+  EXPECT_DOUBLE_EQ(distance_mm(DistanceClass::kC2C), 60.0);
+  EXPECT_DOUBLE_EQ(distance_mm(DistanceClass::kE2E), 30.0);
+  EXPECT_DOUBLE_EQ(distance_mm(DistanceClass::kSR), 10.0);
+}
+
+TEST(ChannelAlloc, ShortRangeUsesCAntennas) {
+  const OwnChannel& ch = own256_channel(0, 3);
+  EXPECT_EQ(ch.src_antenna, Antenna::kC);
+  EXPECT_EQ(ch.dst_antenna, Antenna::kC);
+}
+
+TEST(ChannelAlloc, SdmReuseNeedsEightFrequencies) {
+  // §V.B: with SDM the 12 channels fit in 8 frequencies (diagonals cannot
+  // be reused; edge/short pairs can).
+  const auto groups = own256_sdm_groups();
+  EXPECT_EQ(std::set<int>(groups.begin(), groups.end()).size(), 8u);
+}
+
+TEST(ChannelAlloc, Own1024SixteenChannels) {
+  const auto& channels = own1024_channels();
+  ASSERT_EQ(channels.size(), 16u);
+  int intra = 0;
+  for (const auto& ch : channels) intra += ch.intra_group() ? 1 : 0;
+  EXPECT_EQ(intra, 4);
+  EXPECT_EQ(own1024_channel(2, 2).antenna, Antenna::kD);
+  EXPECT_EQ(own1024_channel(0, 2).distance, DistanceClass::kC2C);
+}
+
+// ---- configurations (Table IV) + Fig 5 energy ordering ------------------------------
+
+TEST(Configurations, TableFourMapping) {
+  EXPECT_EQ(config_tech(OwnConfig::kConfig1, DistanceClass::kC2C),
+            WirelessTech::kSiGeHbt);
+  EXPECT_EQ(config_tech(OwnConfig::kConfig2, DistanceClass::kC2C),
+            WirelessTech::kCmos);
+  EXPECT_EQ(config_tech(OwnConfig::kConfig3, DistanceClass::kE2E),
+            WirelessTech::kBiCmos);
+  EXPECT_EQ(config_tech(OwnConfig::kConfig4, DistanceClass::kSR),
+            WirelessTech::kBiCmos);
+}
+
+TEST(Configurations, AssignsTwelveChannelsBothScenarios) {
+  for (Scenario scenario : {Scenario::kIdeal, Scenario::kConservative}) {
+    for (OwnConfig config : all_configs()) {
+      ChannelEnergyModel model(config, scenario);
+      EXPECT_EQ(model.assignments().size(), 12u);
+      for (const auto& a : model.assignments()) {
+        EXPECT_GT(a.tx_epb_pj, 0.0);
+        EXPECT_GT(a.rx_epb_pj, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Configurations, AssignedLinkTechMatchesConfig) {
+  ChannelEnergyModel model(OwnConfig::kConfig2, Scenario::kIdeal);
+  const BandPlan plan(Scenario::kIdeal);
+  for (const auto& a : model.assignments()) {
+    EXPECT_EQ(plan.link(a.band_link).tech, a.tech);
+    EXPECT_EQ(a.tech, config_tech(OwnConfig::kConfig2, a.distance));
+  }
+}
+
+double mean_epb(const ChannelEnergyModel& model) {
+  double sum = 0;
+  for (const auto& a : model.assignments()) sum += model.epb_pj(a.channel_id);
+  return sum / static_cast<double>(model.assignments().size());
+}
+
+TEST(Configurations, Fig5OrderingCmosConfigsCheapest) {
+  // Fig 5: configs 1 and 3 (SiGe on the long links) burn significantly more
+  // than 2, and config 4 (no SiGe anywhere) is cheapest.
+  for (Scenario scenario : {Scenario::kIdeal, Scenario::kConservative}) {
+    const double c1 = mean_epb(ChannelEnergyModel(OwnConfig::kConfig1, scenario));
+    const double c2 = mean_epb(ChannelEnergyModel(OwnConfig::kConfig2, scenario));
+    const double c3 = mean_epb(ChannelEnergyModel(OwnConfig::kConfig3, scenario));
+    const double c4 = mean_epb(ChannelEnergyModel(OwnConfig::kConfig4, scenario));
+    EXPECT_GT(c1, c2) << to_string(scenario);
+    EXPECT_GT(c3, c2) << to_string(scenario);
+    EXPECT_GT(c2, c4) << to_string(scenario);
+  }
+}
+
+TEST(Configurations, LdFactorScalesTxOnly) {
+  ChannelEnergyModel model(OwnConfig::kConfig1, Scenario::kIdeal);
+  for (const auto& a : model.assignments()) {
+    EXPECT_NEAR(a.tx_epb_pj,
+                kTxEnergyShare * a.tech_epb_pj * ld_factor(a.distance), 1e-12);
+    EXPECT_NEAR(a.rx_epb_pj, (1.0 - kTxEnergyShare) * a.tech_epb_pj, 1e-12);
+  }
+}
+
+TEST(Configurations, SixteenChannelModelForOwn1024) {
+  ChannelEnergyModel model(OwnConfig::kConfig4, Scenario::kIdeal, 16);
+  EXPECT_EQ(model.assignments().size(), 16u);
+}
+
+}  // namespace
+}  // namespace ownsim
