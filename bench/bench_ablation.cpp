@@ -8,13 +8,19 @@
 //     wireless channels only reach 16 GHz (serialization doubles).
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/thread_pool.hpp"
 #include "metrics/table_io.hpp"
 #include "photonic/ring_budget.hpp"
 
 int main() {
   using namespace ownsim;
+  // The simulation-backed ablation grids below are independent experiments;
+  // they fan out over this pool (OWNSIM_THREADS overrides the size).
+  exec::ThreadPool pool;
 
   bench::print_header("ablation 1: ring thermal tuning power", "DESIGN.md");
   {
@@ -67,20 +73,25 @@ int main() {
   {
     Table table({"network", "arbitration", "zero-ish load latency",
                  "near-sat latency"});
-    for (TopologyKind kind : {TopologyKind::kOptXB, TopologyKind::kOwn}) {
-      for (const bool ideal : {false, true}) {
-        double latency_low = 0.0;
-        double latency_high = 0.0;
-        for (const double rate : {0.001, 0.006}) {
-          ExperimentConfig experiment = bench::base_experiment(kind, 256);
-          experiment.options.ideal_arbitration = ideal;
-          experiment.rate = rate;
-          const ExperimentResult result = run_experiment(experiment);
-          (rate < 0.003 ? latency_low : latency_high) = result.run.avg_latency;
-        }
-        table.add_row({to_string(kind), ideal ? "ideal" : "token ring",
-                       Table::num(latency_low, 1),
-                       Table::num(latency_high, 1)});
+    const std::vector<TopologyKind> kinds = {TopologyKind::kOptXB,
+                                             TopologyKind::kOwn};
+    const std::vector<double> rates = {0.001, 0.006};
+    // Grid index = (kind, ideal, rate); all 8 cells run concurrently.
+    const std::vector<double> latencies = exec::parallel_map(
+        pool, kinds.size() * 2 * rates.size(), [&](std::size_t i) {
+          ExperimentConfig experiment =
+              bench::base_experiment(kinds[i / (2 * rates.size())], 256);
+          experiment.options.ideal_arbitration = (i / rates.size()) % 2 == 1;
+          experiment.rate = rates[i % rates.size()];
+          return run_experiment(experiment).run.avg_latency;
+        });
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      for (std::size_t ideal = 0; ideal < 2; ++ideal) {
+        const std::size_t base = (k * 2 + ideal) * rates.size();
+        table.add_row({to_string(kinds[k]),
+                       ideal == 1 ? "ideal" : "token ring",
+                       Table::num(latencies[base], 1),
+                       Table::num(latencies[base + 1], 1)});
       }
     }
     table.print(std::cout);
@@ -95,22 +106,23 @@ int main() {
     // O1TURN shows how much of that gap is the routing function rather than
     // the topology.
     Table table({"routing", "MT throughput", "UN throughput"});
-    for (const bool o1turn : {false, true}) {
-      std::string mt;
-      std::string un;
-      for (const PatternKind pattern :
-           {PatternKind::kTranspose, PatternKind::kUniform}) {
-        ExperimentConfig experiment =
-            bench::base_experiment(TopologyKind::kCMesh, 256);
-        experiment.options.cmesh_o1turn = o1turn;
-        experiment.pattern = pattern;
-        experiment.rate = bench::overdrive_rate(256);
-        experiment.phases.drain_limit = 4000;
-        const ExperimentResult result = run_experiment(experiment);
-        (pattern == PatternKind::kTranspose ? mt : un) =
-            Table::num(result.run.throughput, 4);
-      }
-      table.add_row({o1turn ? "O1TURN (XY+YX)" : "XY DOR (paper)", mt, un});
+    const std::vector<PatternKind> patterns = {PatternKind::kTranspose,
+                                               PatternKind::kUniform};
+    // Grid index = (o1turn, pattern); all 4 cells run concurrently.
+    const std::vector<double> cells = exec::parallel_map(
+        pool, 2 * patterns.size(), [&](std::size_t i) {
+          ExperimentConfig experiment =
+              bench::base_experiment(TopologyKind::kCMesh, 256);
+          experiment.options.cmesh_o1turn = i / patterns.size() == 1;
+          experiment.pattern = patterns[i % patterns.size()];
+          experiment.rate = bench::overdrive_rate(256);
+          experiment.phases.drain_limit = 4000;
+          return run_experiment(experiment).run.throughput;
+        });
+    for (std::size_t o1turn = 0; o1turn < 2; ++o1turn) {
+      table.add_row({o1turn == 1 ? "O1TURN (XY+YX)" : "XY DOR (paper)",
+                     Table::num(cells[o1turn * patterns.size()], 4),
+                     Table::num(cells[o1turn * patterns.size() + 1], 4)});
     }
     table.print(std::cout);
   }

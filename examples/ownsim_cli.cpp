@@ -6,13 +6,17 @@
 //
 // Any subset of keys may be given (defaults shown above); `report=csv|json`
 // additionally dumps per-channel utilization to stdout after the summary.
+// `sweep=r1:r2:...` switches to a latency sweep over those offered loads,
+// fanned across `threads` workers (also accepted as `--threads N`).
 // Run with `help=1` for the key list.
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "driver/simulate.hpp"
+#include "exec/thread_pool.hpp"
 #include "metrics/report.hpp"
 #include "metrics/table_io.hpp"
 
@@ -29,7 +33,34 @@ void print_help() {
       "  scenario   ideal | conservative (Table III)           [ideal]\n"
       "  warmup, measure, drain   phase lengths in cycles      [1500/4000/30000]\n"
       "  packet_flits, seed                                    [4 / 1]\n"
-      "  report     none | csv | json (channel utilization)    [none]\n";
+      "  report     none | csv | json (channel utilization)    [none]\n"
+      "  sweep      colon-separated rates (e.g. 0.002:0.004): run a\n"
+      "             latency sweep instead of a single point\n"
+      "             (seed becomes the sweep master seed)\n"
+      "  threads    workers for the sweep (--threads N also accepted)\n"
+      "             [hardware concurrency]\n"
+      "  progress   1: print per-point progress lines to stderr  [0]\n";
+}
+
+/// Parses "0.001:0.002:0.004" into rates; throws on junk.
+std::vector<double> parse_rates(const std::string& csv) {
+  std::vector<double> rates;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ':')) {
+    if (item.empty()) continue;
+    std::size_t used = 0;
+    try {
+      rates.push_back(std::stod(item, &used));
+    } catch (const std::exception&) {
+      used = std::string::npos;  // not a number at all
+    }
+    if (used != item.size()) {
+      throw std::invalid_argument("bad rate in sweep list: " + item);
+    }
+  }
+  if (rates.empty()) throw std::invalid_argument("sweep: no rates given");
+  return rates;
 }
 
 }  // namespace
@@ -37,7 +68,19 @@ void print_help() {
 int main(int argc, char** argv) {
   using namespace ownsim;
   std::ostringstream joined;
-  for (int i = 1; i < argc; ++i) joined << argv[i] << ' ';
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // GNU-style convenience: "--threads 4" and "--threads=4" become
+    // "threads=4" for the key=value parser.
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      if (arg.find('=') == std::string::npos && i + 1 < argc) {
+        arg += '=';
+        arg += argv[++i];
+      }
+    }
+    joined << arg << ' ';
+  }
   Config args;
   try {
     args = Config::from_string(joined.str());
@@ -78,7 +121,44 @@ int main(int argc, char** argv) {
     config.phases.drain_limit = args.get_int("drain", 30000);
     config.injector.packet_flits =
         static_cast<int>(args.get_int("packet_flits", 4));
-    config.injector.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    config.injector.master_seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    // Sweep mode: fan one fresh network per load point across the pool.
+    if (args.contains("sweep")) {
+      SweepOptions sweep_options;
+      sweep_options.rates = parse_rates(args.require_string("sweep"));
+      sweep_options.pattern = config.pattern;
+      sweep_options.phases = config.phases;
+      sweep_options.injector = config.injector;
+      sweep_options.master_seed = config.injector.master_seed;
+      sweep_options.threads = static_cast<unsigned>(
+          args.get_int("threads", exec::default_threads()));
+      sweep_options.stop_after_saturation = false;
+      if (args.get_bool("progress", false)) {
+        sweep_options.progress = [](const SweepProgress& p) {
+          std::cerr << sweep_progress_line(p) << '\n';
+        };
+      }
+      const SweepResult sweep = latency_sweep(
+          make_network_factory(config.topology, config.options),
+          sweep_options);
+
+      Table table({"offered", "avg_latency", "p99", "throughput", "drained"});
+      for (const SweepPoint& point : sweep.points) {
+        table.add_row({Table::num(point.rate, 4),
+                       Table::num(point.result.avg_latency, 1),
+                       Table::num(point.result.p99_latency, 1),
+                       Table::num(point.result.throughput, 4),
+                       point.result.drained ? "yes" : "no"});
+      }
+      table.print(std::cout);
+      std::cout << "\nzero-load latency : " << sweep.zero_load_latency
+                << " cycles\nsaturation load   : " << sweep.saturation_rate
+                << " flits/node/cycle\nexecution         : "
+                << sweep_telemetry_summary(sweep.telemetry) << '\n';
+      return 0;
+    }
 
     // Rebuild the network here (rather than via run_experiment) so the
     // utilization report can inspect it afterwards.

@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace ownsim {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Serializes line emission so concurrent workers (exec::ThreadPool jobs)
+// never interleave characters of different lines. The `enabled()` fast path
+// stays lock-free: disabled levels still cost only the atomic load.
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,7 +37,16 @@ LogLevel Log::level() {
 
 void Log::write(LogLevel level, const std::string& msg) {
   if (!enabled(level)) return;
-  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+  // Compose outside the lock; hold it only for the single emission.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << line;
 }
 
 }  // namespace ownsim

@@ -2,7 +2,9 @@
 //
 // The simulator is a library first: logging defaults to warnings-and-above on
 // stderr and is globally adjustable. Hot paths guard with `Log::enabled()`
-// so disabled levels cost one branch.
+// so disabled levels cost one branch. `write` is thread-safe: each line is
+// emitted atomically, so output from parallel sweep workers never
+// interleaves mid-line; `enabled()` remains lock-free.
 #pragma once
 
 #include <sstream>

@@ -22,6 +22,16 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Derives a decorrelated child seed from a master seed and a stream id
+/// (the same mix the `Rng` constructor applies before SplitMix64). Used to
+/// give every parallel job — e.g. each load point of a sweep — its own
+/// injector seed so no two jobs share a stream.
+constexpr std::uint64_t derive_seed(std::uint64_t master_seed,
+                                    std::uint64_t stream) {
+  std::uint64_t sm = master_seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return splitmix64(sm);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

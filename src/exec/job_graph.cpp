@@ -1,0 +1,91 @@
+#include "exec/job_graph.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/parallel_for.hpp"
+
+namespace ownsim::exec {
+
+JobId JobGraph::add(std::string name, JobFn fn) {
+  return add(std::move(name), {}, std::move(fn));
+}
+
+JobId JobGraph::add(std::string name, std::vector<JobId> deps, JobFn fn) {
+  if (!fn) throw std::invalid_argument("JobGraph: null job body");
+  const JobId id = jobs_.size();
+  for (const JobId dep : deps) {
+    if (dep >= id) {
+      throw std::invalid_argument("JobGraph: dependency on unknown job");
+    }
+  }
+  for (const JobId dep : deps) jobs_[dep].dependents.push_back(id);
+  jobs_.push_back({std::move(name), std::move(fn), std::move(deps), {}});
+  return id;
+}
+
+std::vector<JobReport> JobGraph::run(ThreadPool& pool,
+                                     ProgressFn progress) const {
+  const std::size_t n = jobs_.size();
+  std::vector<JobReport> reports(n);
+  for (std::size_t i = 0; i < n; ++i) reports[i].name = jobs_[i].name;
+  if (n == 0) return reports;
+
+  // Deps reference earlier ids only, so one forward pass computes each
+  // job's level (longest dependency chain below it). Jobs of one level are
+  // mutually independent and run as one parallel wave; the barrier between
+  // waves is where failures propagate to dependents.
+  std::vector<std::size_t> level(n, 0);
+  std::size_t num_levels = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const JobId dep : jobs_[i].deps) {
+      level[i] = std::max(level[i], level[dep] + 1);
+    }
+    num_levels = std::max(num_levels, level[i] + 1);
+  }
+
+  std::vector<char> skip(n, 0);
+  std::mutex progress_mu;
+  for (std::size_t wave = 0; wave < num_levels; ++wave) {
+    std::vector<JobId> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level[i] != wave) continue;
+      for (const JobId dep : jobs_[i].deps) {
+        if (skip[dep] || reports[dep].failed) skip[i] = 1;
+      }
+      if (skip[i]) {
+        if (progress) progress(reports[i]);  // settled without running
+      } else {
+        ids.push_back(i);
+      }
+    }
+    parallel_for(pool, ids.size(), [&](std::size_t k) {
+      const JobId id = ids[k];
+      JobReport& report = reports[id];
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        jobs_[id].fn();
+        report.ran = true;
+      } catch (const std::exception& e) {
+        report.failed = true;
+        report.error = e.what();
+      } catch (...) {
+        report.failed = true;
+        report.error = "unknown exception";
+      }
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      report.wall_seconds = wall.count();
+      if (progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        progress(report);
+      }
+    });
+  }
+  return reports;
+}
+
+}  // namespace ownsim::exec

@@ -1,0 +1,62 @@
+// JobGraph-lite: a batch runner for a DAG of named jobs.
+//
+// Dependencies must name previously added jobs, which makes the graph
+// acyclic by construction (no cycle detection needed). `run` executes the
+// DAG level by level: each wave of mutually independent jobs fans out over
+// the pool via `parallel_for`, and failures propagate at the barriers. It
+// returns per-job telemetry (ran / failed / wall time). A failing job does
+// not abort the batch — its transitive dependents are skipped and marked
+// `ran = false` instead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace ownsim::exec {
+
+using JobId = std::size_t;
+
+/// Outcome + telemetry of one job after JobGraph::run.
+struct JobReport {
+  std::string name;
+  bool ran = false;     ///< body executed to completion without throwing
+  bool failed = false;  ///< body threw
+  std::string error;    ///< what() of the exception when `failed`
+  double wall_seconds = 0.0;
+};
+
+class JobGraph {
+ public:
+  using JobFn = std::function<void()>;
+  /// Fires once per settled job, serialized, possibly from worker threads.
+  using ProgressFn = std::function<void(const JobReport&)>;
+
+  /// Adds an independent job.
+  JobId add(std::string name, JobFn fn);
+
+  /// Adds a job that starts only after every job in `deps` succeeded.
+  /// Throws std::invalid_argument if a dep id was not previously added.
+  JobId add(std::string name, std::vector<JobId> deps, JobFn fn);
+
+  std::size_t size() const { return jobs_.size(); }
+
+  /// Executes the whole batch on `pool`; blocks until every job settled
+  /// (ran, failed, or was skipped). Reports are indexed by JobId. The
+  /// graph is reusable: `run` keeps its bookkeeping local.
+  std::vector<JobReport> run(ThreadPool& pool, ProgressFn progress = {}) const;
+
+ private:
+  struct Job {
+    std::string name;
+    JobFn fn;
+    std::vector<JobId> deps;
+    std::vector<JobId> dependents;
+  };
+  std::vector<Job> jobs_;
+};
+
+}  // namespace ownsim::exec

@@ -1,10 +1,33 @@
 #include "metrics/report.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace ownsim {
+namespace {
+
+/// "1234" -> "1.2k", "1234567" -> "1.2M": compact cycle counts for one-line
+/// telemetry output.
+std::string compact_count(std::int64_t value) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  const double v = static_cast<double>(value);
+  if (value >= 1000000000) {
+    os << v / 1e9 << 'G';
+  } else if (value >= 1000000) {
+    os << v / 1e6 << 'M';
+  } else if (value >= 1000) {
+    os << v / 1e3 << 'k';
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+}  // namespace
 
 NetworkReport::NetworkReport(const Network& network) {
   elapsed_ = network.engine().now();
@@ -117,6 +140,42 @@ void NetworkReport::write_json(std::ostream& os) const {
        << ", \"crossbar_load\": " << r.crossbar_load << "}";
   }
   os << "\n  ]\n}\n";
+}
+
+std::string sweep_telemetry_summary(const SweepTelemetry& telemetry) {
+  std::ostringstream os;
+  os << telemetry.points_run << " points";
+  if (telemetry.points_cancelled > 0) {
+    os << " (" << telemetry.points_cancelled << " cancelled)";
+  }
+  os << " on " << telemetry.threads
+     << (telemetry.threads == 1 ? " thread: " : " threads: ")
+     << compact_count(telemetry.cycles_simulated) << " cycles in "
+     << std::fixed << std::setprecision(2) << telemetry.wall_seconds << " s";
+  return os.str();
+}
+
+void write_sweep_telemetry_json(std::ostream& os,
+                                const SweepTelemetry& telemetry) {
+  os << "{\"threads\": " << telemetry.threads
+     << ", \"points_run\": " << telemetry.points_run
+     << ", \"points_cancelled\": " << telemetry.points_cancelled
+     << ", \"cycles_simulated\": " << telemetry.cycles_simulated
+     << ", \"wall_seconds\": " << telemetry.wall_seconds << "}\n";
+}
+
+std::string sweep_progress_line(const SweepProgress& progress) {
+  std::ostringstream os;
+  os << '[' << std::setw(2) << progress.completed << '/' << progress.total
+     << "] ";
+  if (progress.rate < 0.0) {
+    os << "zero-load probe";
+  } else {
+    os << "rate " << std::fixed << std::setprecision(4) << progress.rate;
+  }
+  os << "  " << compact_count(progress.cycles_simulated) << " cycles  "
+     << std::fixed << std::setprecision(2) << progress.wall_seconds << " s";
+  return os.str();
 }
 
 }  // namespace ownsim

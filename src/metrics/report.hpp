@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/sweep.hpp"
 #include "network/network.hpp"
 
 namespace ownsim {
@@ -57,5 +58,17 @@ class NetworkReport {
   std::vector<ChannelUtilization> channels_;
   std::vector<RouterActivity> routers_;
 };
+
+/// One-line human summary of a sweep's execution telemetry, e.g.
+/// "9 points (1 cancelled) on 4 threads: 1.2M cycles in 0.84 s".
+std::string sweep_telemetry_summary(const SweepTelemetry& telemetry);
+
+/// Telemetry as a flat JSON object (threads, points, cycles, wall time).
+void write_sweep_telemetry_json(std::ostream& os,
+                                const SweepTelemetry& telemetry);
+
+/// One-line progress report for `SweepOptions::progress` callbacks, e.g.
+/// "[ 3/9] rate 0.0030  1.2M cycles  0.84 s".
+std::string sweep_progress_line(const SweepProgress& progress);
 
 }  // namespace ownsim

@@ -6,13 +6,45 @@
 #include "common/stats.hpp"
 
 namespace ownsim {
+namespace {
+
+/// How often a cancellable run polls its token. Slicing `engine.run(n)` into
+/// fixed chunks is behaviour-neutral (the engine just steps), so results are
+/// bit-identical whether or not a token is attached.
+constexpr Cycle kCancelPollInterval = 256;
+
+/// Advances `cycles` cycles, polling the token between slices. Returns false
+/// when the token fired before the phase completed.
+bool run_phase(Engine& engine, Cycle cycles,
+               const exec::CancellationToken& token) {
+  while (cycles > 0) {
+    if (token.cancelled()) return false;
+    const Cycle slice = std::min(cycles, kCancelPollInterval);
+    engine.run(slice);
+    cycles -= slice;
+  }
+  return true;
+}
+
+}  // namespace
 
 RunResult run_load_point(Network& network, Injector& injector,
-                         const RunPhases& phases) {
+                         const RunPhases& phases,
+                         exec::CancellationToken token) {
   Engine& engine = network.engine();
   Nic& nic = network.nic();
+  const Cycle start_cycle = engine.now();
 
-  engine.run(phases.warmup);
+  RunResult result;
+  result.offered_rate = injector.params().rate;
+
+  const auto cancelled_result = [&] {
+    result.cancelled = true;
+    result.cycles_simulated = engine.now() - start_cycle;
+    return result;
+  };
+
+  if (!run_phase(engine, phases.warmup, token)) return cancelled_result();
 
   const Cycle begin = engine.now();
   const Cycle end = begin + phases.measure;
@@ -23,18 +55,23 @@ RunResult run_load_point(Network& network, Injector& injector,
   // must count toward drain completion too.
   const std::int64_t measured_base = nic.measured_ejected();
 
-  engine.run(phases.measure);
+  if (!run_phase(engine, phases.measure, token)) return cancelled_result();
   const std::int64_t ejected_in_window = nic.flits_ejected() - ejected_before;
   const auto measured_done = [&] {
     return nic.measured_ejected() - measured_base >=
            injector.measured_offered();
   };
+  // The drain predicate also observes the token so an overdriven point that
+  // would burn the whole drain budget can be abandoned promptly.
   const bool drained =
-      measured_done() || engine.run_until(measured_done, phases.drain_limit);
+      measured_done() ||
+      (engine.run_until([&] { return measured_done() || token.cancelled(); },
+                        phases.drain_limit) &&
+       measured_done());
+  if (!drained && token.cancelled()) return cancelled_result();
 
-  RunResult result;
-  result.offered_rate = injector.params().rate;
   result.drained = drained;
+  result.cycles_simulated = engine.now() - start_cycle;
   result.throughput =
       static_cast<double>(ejected_in_window) /
       (static_cast<double>(network.spec().num_nodes) *

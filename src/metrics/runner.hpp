@@ -9,11 +9,16 @@
 // Latency is reported creation -> tail ejection (includes source queueing,
 // so it diverges sharply at saturation, producing the Fig 7(b,c) knees).
 // Accepted throughput is ejected flits per node per cycle over the window.
+//
+// A load point can be cancelled cooperatively (speculative sweep points past
+// saturation): the run checks its token between simulation slices and bails
+// out with `cancelled = true`; such partial results must be discarded.
 #pragma once
 
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "exec/cancellation.hpp"
 #include "network/network.hpp"
 #include "traffic/injector.hpp"
 
@@ -35,15 +40,19 @@ struct RunResult {
   double max_latency = 0.0;
   double avg_hops = 0.0;
   std::int64_t measured_packets = 0;
-  bool drained = false;  ///< all measured packets ejected in budget
+  bool drained = false;    ///< all measured packets ejected in budget
+  bool cancelled = false;  ///< run aborted by its cancellation token
+  Cycle cycles_simulated = 0;  ///< engine cycles this point actually ran
 
   /// Latency distribution of the measured packets (total latency, cycles).
   Histogram latency_histogram{0.0, 4096.0, 128};
 };
 
 /// Runs one load point. The injector must already be registered with the
-/// network's engine (exactly once).
+/// network's engine (exactly once). When `token` fires mid-run the function
+/// returns early with `cancelled = true` and otherwise meaningless fields.
 RunResult run_load_point(Network& network, Injector& injector,
-                         const RunPhases& phases);
+                         const RunPhases& phases,
+                         exec::CancellationToken token = {});
 
 }  // namespace ownsim

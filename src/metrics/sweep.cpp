@@ -1,19 +1,70 @@
 #include "metrics/sweep.hpp"
 
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "exec/cancellation.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace ownsim {
 namespace {
 
 RunResult run_fresh(const NetworkFactory& factory, PatternKind pattern,
                     double rate, const RunPhases& phases,
-                    Injector::Params params) {
+                    Injector::Params params,
+                    exec::CancellationToken token = {}) {
   std::unique_ptr<Network> network = factory();
   params.rate = rate;
   TrafficPattern traffic(pattern, network->spec().num_nodes);
   Injector injector(network.get(), traffic, params);
   network->engine().add(&injector);
-  return run_load_point(*network, injector, phases);
+  return run_load_point(*network, injector, phases, token);
+}
+
+/// Controller state shared by the sweep's worker tasks. Index 0 is the
+/// zero-load probe; index i >= 1 is rates[i-1].
+struct SweepState {
+  std::mutex mu;
+  std::vector<std::optional<RunResult>> results;
+  std::vector<char> settled;
+  std::vector<exec::CancellationSource> cancels;
+  bool cancel_issued = false;
+  int completed = 0;
+  int cancelled = 0;
+  std::int64_t cycles = 0;
+};
+
+bool is_saturated(const RunResult& r, double zero_load_latency,
+                  double saturation_factor) {
+  return !r.drained ||
+         r.avg_latency > saturation_factor * zero_load_latency;
+}
+
+/// With `stop_after_saturation`, once the settled results form a contiguous
+/// prefix whose first saturated point is known, every later point is
+/// speculative and gets cancelled. Points at or before the knee are never
+/// cancelled, so the assembled result matches the serial stop-at-saturation
+/// sweep exactly. Caller holds `state.mu`.
+void maybe_cancel_tail(SweepState& state, const SweepOptions& options) {
+  if (!options.stop_after_saturation || state.cancel_issued) return;
+  if (!state.settled[0]) return;  // zero-load latency not known yet
+  const double zero = state.results[0]->avg_latency;
+  for (std::size_t i = 1; i < state.results.size(); ++i) {
+    if (!state.settled[i] || !state.results[i]) return;
+    if (is_saturated(*state.results[i], zero, options.saturation_factor)) {
+      for (std::size_t j = i + 1; j < state.cancels.size(); ++j) {
+        state.cancels[j].request_cancel();
+      }
+      state.cancel_issued = true;
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -23,29 +74,94 @@ SweepResult latency_sweep(const NetworkFactory& factory,
   if (options.rates.empty()) {
     throw std::invalid_argument("latency_sweep: no rates given");
   }
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t num_tasks = options.rates.size() + 1;  // + probe
+
+  SweepState state;
+  state.results.resize(num_tasks);
+  state.settled.assign(num_tasks, 0);
+  state.cancels.resize(num_tasks);
+
+  const unsigned threads =
+      std::min<unsigned>(std::max(1u, options.threads),
+                         static_cast<unsigned>(num_tasks));
+  exec::ThreadPool pool(threads);
+
+  // Every load point is one pool task over its own fresh network; task i
+  // derives injector stream i from the sweep's master seed, so the per-point
+  // simulation is a pure function of (factory, options, i) — identical for
+  // any thread count and any completion order.
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    tasks.push_back(pool.submit([&, i] {
+      const exec::CancellationToken token =
+          i == 0 ? exec::CancellationToken{} : state.cancels[i].token();
+      std::optional<RunResult> result;
+      if (!token.cancelled()) {
+        Injector::Params params = options.injector;
+        params.master_seed = derive_seed(options.master_seed, i);
+        const double rate =
+            i == 0 ? options.zero_load_rate : options.rates[i - 1];
+        RunResult r = run_fresh(factory, options.pattern, rate,
+                                options.phases, params, token);
+        if (!r.cancelled) result = std::move(r);
+      }
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.settled[i] = 1;
+      if (result) {
+        ++state.completed;
+        state.cycles += result->cycles_simulated;
+        state.results[i] = std::move(result);
+        if (options.progress) {
+          SweepProgress progress;
+          progress.completed = state.completed;
+          progress.total = static_cast<int>(num_tasks);
+          progress.rate =
+              i == 0 ? -1.0 : options.rates[i - 1];
+          progress.cycles_simulated = state.cycles;
+          progress.wall_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          options.progress(progress);
+        }
+      } else {
+        ++state.cancelled;
+      }
+      maybe_cancel_tail(state, options);
+    }));
+  }
+  // Rethrows the first task exception (factory failures etc.) in submission
+  // order, after every task settled.
+  for (std::future<void>& task : tasks) task.get();
+
+  // Serial assembly, identical to the historical one-point-at-a-time loop:
+  // visit rates ascending, stop at the first saturated point when asked.
+  // Speculative results past the knee are discarded here.
   SweepResult sweep;
-
-  const RunResult zero = run_fresh(factory, options.pattern,
-                                   options.zero_load_rate, options.phases,
-                                   options.injector);
-  sweep.zero_load_latency = zero.avg_latency;
-
+  sweep.zero_load_latency = state.results[0]->avg_latency;
   bool saturated = false;
-  for (const double rate : options.rates) {
+  for (std::size_t i = 0; i < options.rates.size(); ++i) {
     if (saturated && options.stop_after_saturation) break;
-    const RunResult r =
-        run_fresh(factory, options.pattern, rate, options.phases,
-                  options.injector);
-    sweep.points.push_back({rate, r});
-    const bool is_saturated =
-        !r.drained ||
-        r.avg_latency > options.saturation_factor * sweep.zero_load_latency;
-    if (!is_saturated) {
-      sweep.saturation_rate = rate;
+    const std::optional<RunResult>& r = state.results[i + 1];
+    if (!r) break;  // cancelled speculative tail
+    sweep.points.push_back({options.rates[i], *r});
+    if (!is_saturated(*r, sweep.zero_load_latency,
+                      options.saturation_factor)) {
+      sweep.saturation_rate = options.rates[i];
     } else {
       saturated = true;
     }
   }
+
+  sweep.telemetry.threads = threads;
+  sweep.telemetry.points_run = state.completed;
+  sweep.telemetry.points_cancelled = state.cancelled;
+  sweep.telemetry.cycles_simulated = state.cycles;
+  sweep.telemetry.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return sweep;
 }
 

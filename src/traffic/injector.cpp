@@ -15,7 +15,7 @@ Injector::Injector(Network* network, TrafficPattern pattern, Params params)
   }
   rngs_.reserve(static_cast<std::size_t>(network_->spec().num_nodes));
   for (NodeId n = 0; n < network_->spec().num_nodes; ++n) {
-    rngs_.emplace_back(params_.seed, static_cast<std::uint64_t>(n));
+    rngs_.emplace_back(params_.master_seed, static_cast<std::uint64_t>(n));
   }
 }
 

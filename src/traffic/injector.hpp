@@ -28,7 +28,11 @@ class Injector final : public Clocked {
     double rate = 0.1;        ///< offered load, flits/node/cycle
     int packet_flits = 4;
     std::uint32_t flit_bits = 128;
-    std::uint64_t seed = 1;
+    /// Master seed of this injector: per-node streams are derived from it
+    /// via the SplitMix64 stream scheme. Parallel sweeps derive a distinct
+    /// master seed per load point (see `SweepOptions::master_seed`) so no
+    /// two points ever share a stream.
+    std::uint64_t master_seed = 1;
   };
 
   Injector(Network* network, TrafficPattern pattern, Params params);

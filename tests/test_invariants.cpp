@@ -36,7 +36,7 @@ TEST_P(Invariants, ConservationAfterRandomizedRun) {
   TrafficPattern pattern(PatternKind::kUniform, param.cores);
   Injector::Params injector_params;
   injector_params.rate = 0.003;
-  injector_params.seed = 77;
+  injector_params.master_seed = 77;
   Injector injector(&net, pattern, injector_params);
   net.engine().add(&injector);
   RunPhases phases;

@@ -123,7 +123,7 @@ TEST(Injector, DeterministicAcrossRuns) {
     TrafficPattern pattern(PatternKind::kUniform, 8);
     Injector::Params params;
     params.rate = 0.15;
-    params.seed = 99;
+    params.master_seed = 99;
     Injector injector(&net, pattern, params);
     net.engine().add(&injector);
     net.engine().run(5000);
