@@ -30,7 +30,8 @@ int main() {
     Table table({"structure", "rings", "tuning_W_at_20uW"});
     auto row = [&](const char* name, const PhotonicBudget& budget) {
       table.add_row({name, std::to_string(budget.rings()),
-                     Table::num(budget.rings() * 20e-6, 2)});
+                     Table::num(static_cast<double>(budget.rings()) * 20e-6,
+                                2)});
     };
     row("OptXB-256 (64 rtr x 64 lambda x4)", mwsr_crossbar_budget(64, 64, 4));
     row("OptXB-1024 (256 rtr x 64 lambda x4)",
@@ -55,8 +56,8 @@ int main() {
     double scale_num = 0.0;
     double scale_den = 0.0;
     for (const auto& a : model.assignments()) {
-      scale_num += kTxEnergyShare * a.tech_epb_pj + a.rx_epb_pj;
-      scale_den += a.tx_epb_pj + a.rx_epb_pj;
+      scale_num += (kTxEnergyShare * a.tech_epb + a.rx_epb).in(1.0_pj_per_bit);
+      scale_den += (a.tx_epb + a.rx_epb).in(1.0_pj_per_bit);
     }
     const double no_ld_wireless =
         with_ld.power.wireless_link_w * (scale_num / scale_den);

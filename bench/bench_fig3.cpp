@@ -20,10 +20,10 @@ int main() {
   const std::vector<double> directivities = {0.0, 3.0, 6.0, 10.0};
   for (double rate_gbps : {32.0, 16.0}) {
     LinkBudget::Params params;
-    params.data_rate_bps = rate_gbps * 1e9;
+    params.data_rate = rate_gbps * 1.0_gbps;
     const LinkBudget budget(params);
     std::cout << "\n-- " << rate_gbps << " Gb/s OOK at 90 GHz (sensitivity "
-              << Table::num(budget.sensitivity_dbm(), 1) << " dBm) --\n";
+              << Table::num(budget.sensitivity().dbm(), 1) << " dBm) --\n";
     std::vector<std::string> header = {"distance_mm"};
     for (double d : directivities) {
       header.push_back("G=" + Table::num(d, 0) + "dBi");
@@ -32,7 +32,9 @@ int main() {
     for (double mm = 5.0; mm <= 50.0; mm += 5.0) {
       std::vector<std::string> row = {Table::num(mm, 0)};
       for (double d : directivities) {
-        row.push_back(Table::num(budget.required_tx_dbm(mm * 1e-3, d, d), 2));
+        const DbmPower tx =
+            budget.required_tx(mm * 1.0_mm, Decibels{d}, Decibels{d});
+        row.push_back(Table::num(tx.dbm(), 2));
       }
       table.add_row(std::move(row));
     }
@@ -41,16 +43,16 @@ int main() {
 
   const LinkBudget anchor;
   std::cout << "\nPaper anchor: isotropic 50 mm at 32 Gb/s needs "
-            << Table::num(anchor.required_tx_dbm(0.050), 2)
+            << Table::num(anchor.required_tx(50.0_mm).dbm(), 2)
             << " dBm (paper: >= 4 dBm).\n";
 
   std::cout << "\nOOK BER vs link margin (design point BER 1e-12 at 0 dB):\n";
   Table ber({"margin_dB", "BER"});
-  const double required = required_snr_db(1e-12);
+  const Decibels required = required_snr(1e-12);
   for (double margin = -3.0; margin <= 3.0; margin += 1.0) {
     std::ostringstream value;
     value.precision(2);
-    value << std::scientific << ber_at_margin(required, margin);
+    value << std::scientific << ber_at_margin(required, Decibels{margin});
     ber.add_row({Table::num(margin, 0), value.str()});
   }
   ber.print(std::cout);

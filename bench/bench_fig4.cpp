@@ -19,52 +19,55 @@ int main() {
   bench::print_header("Colpitts oscillator", "Fig 4a");
   const ColpittsOscillator osc;
   std::cout << "oscillation frequency: "
-            << Table::num(osc.frequency_hz() / 1e9, 2) << " GHz  (C_eff = "
-            << Table::num(osc.effective_capacitance_f() * 1e15, 1)
-            << " fF, DC power " << Table::num(osc.dc_power_w() * 1e3, 1)
+            << Table::num(osc.frequency().in(1.0_ghz), 2) << " GHz  (C_eff = "
+            << Table::num(osc.effective_capacitance().in(1.0_ff), 1)
+            << " fF, DC power " << Table::num(osc.dc_power().in(1.0_mw), 1)
             << " mW)\n";
   Table phase_noise({"offset", "phase_noise_dBc_Hz"});
-  for (double offset : {1e5, 3e5, 1e6, 3e6, 1e7, 3e7}) {
-    phase_noise.add_row({Table::num(offset / 1e6, 1) + " MHz",
-                         Table::num(osc.phase_noise_dbc_hz(offset), 1)});
+  for (double offset_mhz : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
+    const Frequency offset = offset_mhz * 1.0_mhz;
+    phase_noise.add_row({Table::num(offset_mhz, 1) + " MHz",
+                         Table::num(osc.phase_noise_dbc(offset).db(), 1)});
   }
   phase_noise.print(std::cout);
   std::cout << "PSD sweep 85-95 GHz (dBc/Hz):\n";
   Table psd({"freq_GHz", "PSD_dBc_Hz"});
-  for (const auto& [f, dbc] : osc.psd_sweep(85e9, 95e9, 11)) {
-    psd.add_row({Table::num(f / 1e9, 1), Table::num(dbc, 1)});
+  for (const auto& [f, dbc] : osc.psd_sweep(85.0_ghz, 95.0_ghz, 11)) {
+    psd.add_row({Table::num(f.in(1.0_ghz), 1), Table::num(dbc.db(), 1)});
   }
   psd.print(std::cout);
 
   bench::print_header("class-AB power amplifier", "Fig 4b");
   const ClassAbPa pa;
-  std::cout << "peak gain " << Table::num(pa.gain_db(90e9), 2)
+  std::cout << "peak gain " << Table::num(pa.gain(90.0_ghz).db(), 2)
             << " dB at 90 GHz, 2-dB bandwidth "
-            << Table::num(pa.bandwidth_hz(2.0) / 1e9, 1)
-            << " GHz, P1dB " << Table::num(pa.p1db_dbm(), 2)
-            << " dBm, DC " << Table::num(pa.params().dc_power_w * 1e3, 1)
+            << Table::num(pa.bandwidth(2.0_db).in(1.0_ghz), 1)
+            << " GHz, P1dB " << Table::num(pa.p1db().dbm(), 2)
+            << " dBm, DC " << Table::num(pa.params().dc_power.in(1.0_mw), 1)
             << " mW\n";
   Table compression({"Pin_dBm", "Pout_dBm", "gain_dB"});
   for (double pin = -15.0; pin <= 9.0; pin += 3.0) {
-    const double pout = pa.output_dbm(pin, 90e9);
-    compression.add_row({Table::num(pin, 0), Table::num(pout, 2),
-                         Table::num(pout - pin, 2)});
+    const DbmPower pout = pa.output(DbmPower{pin}, 90.0_ghz);
+    compression.add_row({Table::num(pin, 0), Table::num(pout.dbm(), 2),
+                         Table::num((pout - DbmPower{pin}).db(), 2)});
   }
   compression.print(std::cout);
   Table pa_gain({"freq_GHz", "gain_dB"});
-  for (double f = 78e9; f <= 102e9; f += 4e9) {
-    pa_gain.add_row({Table::num(f / 1e9, 0), Table::num(pa.gain_db(f), 2)});
+  for (double f = 78.0; f <= 102.0; f += 4.0) {
+    pa_gain.add_row(
+        {Table::num(f, 0), Table::num(pa.gain(f * 1.0_ghz).db(), 2)});
   }
   pa_gain.print(std::cout);
 
   bench::print_header("wideband LNA", "Fig 4c");
   const WidebandLna lna;
   Table lna_gain({"freq_GHz", "gain_dB"});
-  for (double f = 70e9; f <= 110e9; f += 5e9) {
-    lna_gain.add_row({Table::num(f / 1e9, 0), Table::num(lna.gain_db(f), 2)});
+  for (double f = 70.0; f <= 110.0; f += 5.0) {
+    lna_gain.add_row(
+        {Table::num(f, 0), Table::num(lna.gain(f * 1.0_ghz).db(), 2)});
   }
   lna_gain.print(std::cout);
-  std::cout << "NF " << Table::num(lna.noise_figure_db(), 1) << " dB, DC "
-            << Table::num(lna.dc_power_w() * 1e3, 1) << " mW\n";
+  std::cout << "NF " << Table::num(lna.noise_figure().db(), 1) << " dB, DC "
+            << Table::num(lna.dc_power().in(1.0_mw), 1) << " mW\n";
   return 0;
 }

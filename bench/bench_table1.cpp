@@ -22,7 +22,7 @@ int main() {
                    antenna_name(ch.src_antenna, ch.src_cluster),
                    antenna_name(ch.dst_antenna, ch.dst_cluster),
                    to_string(ch.distance),
-                   Table::num(distance_mm(ch.distance), 0),
+                   Table::num(distance_of(ch.distance).in(1.0_mm), 0),
                    Table::num(ld_factor(ch.distance), 2)});
   }
   table.print(std::cout);

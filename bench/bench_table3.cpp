@@ -20,9 +20,10 @@ int main() {
     Table table({"link", "center_GHz", "BW_GHz", "tech", "pJ/bit", "role"});
     for (const BandPlanLink& link : plan.links()) {
       table.add_row({std::to_string(link.index + 1),
-                     Table::num(link.center_ghz, 0),
-                     Table::num(link.bandwidth_ghz, 0), to_string(link.tech),
-                     Table::num(link.energy_pj_per_bit, 3),
+                     Table::num(link.center.in(1.0_ghz), 0),
+                     Table::num(link.bandwidth.in(1.0_ghz), 0),
+                     to_string(link.tech),
+                     Table::num(link.energy_per_bit.in(1.0_pj_per_bit), 3),
                      link.reconfiguration ? "reconfig" : "data"});
     }
     table.print(std::cout);

@@ -30,8 +30,10 @@ int main() {
       for (const auto& a : model.assignments()) {
         rows.add_row({std::to_string(a.channel_id), to_string(a.distance),
                       to_string(a.tech), std::to_string(a.band_link + 1),
-                      Table::num(a.freq_ghz, 0), Table::num(a.tech_epb_pj, 3),
-                      Table::num(a.tx_epb_pj, 3), Table::num(a.rx_epb_pj, 3)});
+                      Table::num(a.freq.in(1.0_ghz), 0),
+                      Table::num(a.tech_epb.in(1.0_pj_per_bit), 3),
+                      Table::num(a.tx_epb.in(1.0_pj_per_bit), 3),
+                      Table::num(a.rx_epb.in(1.0_pj_per_bit), 3)});
       }
       rows.print(std::cout);
     }

@@ -47,7 +47,7 @@ int main() {
                 const ChannelEnergyModel model(point.config, point.scenario);
                 double mean_epb = 0.0;
                 for (const auto& a : model.assignments()) {
-                  mean_epb += model.epb_pj(a.channel_id);
+                  mean_epb += model.epb(a.channel_id).in(1.0_pj_per_bit);
                 }
                 point.mean_epb =
                     mean_epb / static_cast<double>(model.assignments().size());

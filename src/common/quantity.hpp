@@ -1,0 +1,387 @@
+// Compile-time dimensional analysis for the physical models.
+//
+// Every analytic model in the repro (RF link budget, wireless technology
+// energies, photonic loss budget) used to pass raw `double`s for GHz, mm,
+// pJ/bit, dB and dBm; a GHz-vs-Hz or dB-vs-linear mix-up silently corrupted
+// the power numbers instead of failing to build. `Quantity<Dim>` makes unit
+// errors *statically impossible*:
+//
+//   - `Quantity<Dim<L,M,T,I,B>>` wraps a double holding the value in SI base
+//     units and tracks exponents of length, mass, time, current and data
+//     (bits) in the type. Addition requires identical dimensions;
+//     multiplication and division add/subtract exponents at compile time.
+//     Zero overhead: one double, everything constexpr and inlined.
+//   - User-defined literals (`100.0_ghz`, `60.0_mm`, `0.1_pj`, `32.0_gbps`)
+//     construct typed quantities; `q.in(1.0_mm)` reads one back out in a
+//     chosen unit.
+//   - `Decibels` and `DbmPower` are distinct log-domain types. They cannot be
+//     mixed with linear ratios or with each other except through the legal
+//     operations (dBm + dB = dBm, dBm - dBm = dB, ...); dBm + dBm is deleted.
+//     Conversions to/from the linear domain live in common/units.hpp.
+//
+// The dimension algebra is deliberately small (no ratios/π-radians, no
+// affine temperatures): it covers exactly what the paper's models need.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace ownsim {
+
+// ---- dimension ------------------------------------------------------------
+
+/// Exponents of the SI base dimensions used by the models: length (m),
+/// mass (kg), time (s), electric current (A), plus "data" (bits) so that
+/// J/bit and bit/s are first-class dimensions (J/bit x bit/s = W).
+template <int LengthExp, int MassExp, int TimeExp, int CurrentExp, int DataExp>
+struct Dim {
+  static constexpr int length = LengthExp;
+  static constexpr int mass = MassExp;
+  static constexpr int time = TimeExp;
+  static constexpr int current = CurrentExp;
+  static constexpr int data = DataExp;
+};
+
+template <typename A, typename B>
+using DimMultiply = Dim<A::length + B::length, A::mass + B::mass,
+                        A::time + B::time, A::current + B::current,
+                        A::data + B::data>;
+
+template <typename A, typename B>
+using DimDivide = Dim<A::length - B::length, A::mass - B::mass,
+                      A::time - B::time, A::current - B::current,
+                      A::data - B::data>;
+
+using DimensionlessDim = Dim<0, 0, 0, 0, 0>;
+
+// ---- quantity ----------------------------------------------------------------
+
+/// A double tagged with a compile-time dimension. The stored value is always
+/// in SI base units (Hz, m, s, J, W, ...); literals and `in()` do the scaling.
+template <typename D>
+class Quantity {
+ public:
+  using Dimension = D;
+
+  constexpr Quantity() = default;
+  // NB: not named `si_value` — that is a <signal.h> macro on glibc.
+  constexpr explicit Quantity(double raw_si) : value_(raw_si) {}
+
+  /// Raw value in SI base units.
+  constexpr double value() const { return value_; }
+
+  /// Value expressed in `unit`, e.g. `distance.in(1.0_mm)` or
+  /// `freq.in(1.0_ghz)`. The dimensions must match (enforced by the type).
+  constexpr double in(Quantity unit) const { return value_ / unit.value_; }
+
+  /// Dimensionless quantities convert back to plain double implicitly
+  /// (ratios fall out of divisions all the time).
+  constexpr operator double() const
+    requires(D::length == 0 && D::mass == 0 && D::time == 0 &&
+             D::current == 0 && D::data == 0)
+  {
+    return value_;
+  }
+
+  constexpr Quantity operator-() const { return Quantity{-value_}; }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator*(Quantity q, double scale) {
+    return Quantity{q.value_ * scale};
+  }
+  friend constexpr Quantity operator*(double scale, Quantity q) {
+    return Quantity{scale * q.value_};
+  }
+  friend constexpr Quantity operator/(Quantity q, double scale) {
+    return Quantity{q.value_ / scale};
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_;  // SI base units
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+template <typename DA, typename DB>
+constexpr Quantity<DimMultiply<DA, DB>> operator*(Quantity<DA> a,
+                                                  Quantity<DB> b) {
+  return Quantity<DimMultiply<DA, DB>>{a.value() * b.value()};
+}
+
+template <typename DA, typename DB>
+constexpr Quantity<DimDivide<DA, DB>> operator/(Quantity<DA> a,
+                                                Quantity<DB> b) {
+  return Quantity<DimDivide<DA, DB>>{a.value() / b.value()};
+}
+
+template <typename D>
+constexpr Quantity<DimDivide<DimensionlessDim, D>> operator/(double scale,
+                                                             Quantity<D> q) {
+  return Quantity<DimDivide<DimensionlessDim, D>>{scale / q.value()};
+}
+
+/// Dimension-aware square root: halves every exponent (so sqrt(L * C) is a
+/// Duration). Only defined for quantities whose exponents are all even.
+template <typename D>
+inline Quantity<Dim<D::length / 2, D::mass / 2, D::time / 2, D::current / 2,
+                    D::data / 2>>
+sqrt(Quantity<D> q) {
+  static_assert(D::length % 2 == 0 && D::mass % 2 == 0 && D::time % 2 == 0 &&
+                    D::current % 2 == 0 && D::data % 2 == 0,
+                "sqrt of a quantity with odd dimension exponents");
+  return Quantity<Dim<D::length / 2, D::mass / 2, D::time / 2, D::current / 2,
+                      D::data / 2>>{std::sqrt(q.value())};
+}
+
+// ---- named dimensions -----------------------------------------------------------
+
+using Dimensionless = Quantity<DimensionlessDim>;
+using Length = Quantity<Dim<1, 0, 0, 0, 0>>;          // m
+using Duration = Quantity<Dim<0, 0, 1, 0, 0>>;        // s
+using Frequency = Quantity<Dim<0, 0, -1, 0, 0>>;      // Hz
+using Speed = Quantity<Dim<1, 0, -1, 0, 0>>;          // m/s
+using Energy = Quantity<Dim<2, 1, -2, 0, 0>>;         // J
+using Power = Quantity<Dim<2, 1, -3, 0, 0>>;          // W
+using Voltage = Quantity<Dim<2, 1, -3, -1, 0>>;       // V
+using Current = Quantity<Dim<0, 0, 0, 1, 0>>;         // A
+using Capacitance = Quantity<Dim<-2, -1, 4, 2, 0>>;   // F
+using Inductance = Quantity<Dim<2, 1, -2, -2, 0>>;    // H
+using BitCount = Quantity<Dim<0, 0, 0, 0, 1>>;        // bit
+using DataRate = Quantity<Dim<0, 0, -1, 0, 1>>;       // bit/s
+using EnergyPerBit = Quantity<Dim<2, 1, -2, 0, -1>>;  // J/bit
+
+// ---- log-domain types --------------------------------------------------------------
+
+/// A *relative* power level in dB (also used for dBi directivity and dBc/Hz
+/// phase-noise densities, which are dB relative to a carrier). Deliberately
+/// not a `Quantity`: adding dB multiplies linear ratios, so the linear
+/// operators must not apply. Convert with units::to_db / units::to_ratio.
+class Decibels {
+ public:
+  constexpr Decibels() = default;
+  constexpr explicit Decibels(double db) : db_(db) {}
+
+  constexpr double db() const { return db_; }
+
+  constexpr Decibels operator-() const { return Decibels{-db_}; }
+  constexpr Decibels& operator+=(Decibels other) {
+    db_ += other.db_;
+    return *this;
+  }
+  constexpr Decibels& operator-=(Decibels other) {
+    db_ -= other.db_;
+    return *this;
+  }
+
+  /// Gains cascade: dB values add.
+  friend constexpr Decibels operator+(Decibels a, Decibels b) {
+    return Decibels{a.db_ + b.db_};
+  }
+  friend constexpr Decibels operator-(Decibels a, Decibels b) {
+    return Decibels{a.db_ - b.db_};
+  }
+  /// Scaling a dB figure (e.g. N identical stages) is legal.
+  friend constexpr Decibels operator*(Decibels d, double n) {
+    return Decibels{d.db_ * n};
+  }
+  friend constexpr Decibels operator*(double n, Decibels d) {
+    return Decibels{n * d.db_};
+  }
+
+  friend constexpr auto operator<=>(Decibels a, Decibels b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Decibels d) {
+    return os << d.db_ << " dB";
+  }
+
+ private:
+  double db_ = 0.0;
+};
+
+/// An *absolute* power level in dBm. Distinct from `Decibels`: absolute
+/// levels do not add (dBm + dBm is meaningless and deleted), but gains and
+/// losses apply (dBm +- dB = dBm) and two levels differ by a gain
+/// (dBm - dBm = dB). Convert with units::to_dbm / units::to_watts.
+class DbmPower {
+ public:
+  constexpr DbmPower() = default;
+  constexpr explicit DbmPower(double dbm) : dbm_(dbm) {}
+
+  constexpr double dbm() const { return dbm_; }
+
+  constexpr DbmPower operator-() const { return DbmPower{-dbm_}; }
+
+  /// Applying a gain or loss to an absolute level.
+  friend constexpr DbmPower operator+(DbmPower p, Decibels gain) {
+    return DbmPower{p.dbm_ + gain.db()};
+  }
+  friend constexpr DbmPower operator+(Decibels gain, DbmPower p) {
+    return DbmPower{p.dbm_ + gain.db()};
+  }
+  friend constexpr DbmPower operator-(DbmPower p, Decibels loss) {
+    return DbmPower{p.dbm_ - loss.db()};
+  }
+  /// The gain between two absolute levels.
+  friend constexpr Decibels operator-(DbmPower a, DbmPower b) {
+    return Decibels{a.dbm_ - b.dbm_};
+  }
+  /// Absolute levels do not add.
+  friend DbmPower operator+(DbmPower, DbmPower) = delete;
+
+  friend constexpr auto operator<=>(DbmPower a, DbmPower b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, DbmPower p) {
+    return os << p.dbm_ << " dBm";
+  }
+
+ private:
+  double dbm_ = 0.0;
+};
+
+/// Distributed loss (dB per unit length), e.g. waveguide propagation loss.
+/// Built by dividing a `Decibels` figure by the length it applies to;
+/// multiplying by a length yields the accumulated loss in dB.
+class DecibelsPerLength {
+ public:
+  constexpr DecibelsPerLength() = default;
+  /// Prefer building these as `Decibels{0.5} / 1.0_cm`.
+  constexpr explicit DecibelsPerLength(double db_per_m)
+      : db_per_m_(db_per_m) {}
+
+  friend constexpr Decibels operator*(DecibelsPerLength rate, Length length) {
+    return Decibels{rate.db_per_m_ * length.value()};
+  }
+  friend constexpr Decibels operator*(Length length, DecibelsPerLength rate) {
+    return Decibels{rate.db_per_m_ * length.value()};
+  }
+
+  constexpr double db_per_m() const { return db_per_m_; }
+
+  friend constexpr auto operator<=>(DecibelsPerLength a,
+                                    DecibelsPerLength b) = default;
+
+ private:
+  double db_per_m_ = 0.0;
+};
+
+/// Namespace-scope (not a hidden friend): neither operand is a
+/// DecibelsPerLength, so ADL would never find it inside the class.
+constexpr DecibelsPerLength operator/(Decibels db, Length per) {
+  return DecibelsPerLength{db.db() / per.value()};
+}
+
+// ---- literals -----------------------------------------------------------------------
+
+/// `inline` so every file in namespace ownsim sees the literals without a
+/// using-declaration; external consumers say `using namespace
+/// ownsim::literals`.
+inline namespace literals {
+
+// NOLINTBEGIN(readability-identifier-naming) — UDL suffixes are lower_case.
+#define OWNSIM_LITERAL(suffix, type, scale)                            \
+  constexpr type operator""_##suffix(long double v) {                  \
+    return type{static_cast<double>(v) * (scale)};                     \
+  }                                                                    \
+  constexpr type operator""_##suffix(unsigned long long v) {           \
+    return type{static_cast<double>(v) * (scale)};                     \
+  }
+
+OWNSIM_LITERAL(hz, Frequency, 1.0)
+OWNSIM_LITERAL(khz, Frequency, 1e3)
+OWNSIM_LITERAL(mhz, Frequency, 1e6)
+OWNSIM_LITERAL(ghz, Frequency, 1e9)
+OWNSIM_LITERAL(thz, Frequency, 1e12)
+
+OWNSIM_LITERAL(m, Length, 1.0)
+OWNSIM_LITERAL(cm, Length, 1e-2)
+OWNSIM_LITERAL(mm, Length, 1e-3)
+OWNSIM_LITERAL(um, Length, 1e-6)
+
+OWNSIM_LITERAL(s, Duration, 1.0)
+OWNSIM_LITERAL(ms, Duration, 1e-3)
+OWNSIM_LITERAL(us, Duration, 1e-6)
+OWNSIM_LITERAL(ns, Duration, 1e-9)
+OWNSIM_LITERAL(ps, Duration, 1e-12)
+
+OWNSIM_LITERAL(j, Energy, 1.0)
+OWNSIM_LITERAL(nj, Energy, 1e-9)
+OWNSIM_LITERAL(pj, Energy, 1e-12)
+OWNSIM_LITERAL(fj, Energy, 1e-15)
+
+OWNSIM_LITERAL(w, Power, 1.0)
+OWNSIM_LITERAL(mw, Power, 1e-3)
+OWNSIM_LITERAL(uw, Power, 1e-6)
+OWNSIM_LITERAL(nw, Power, 1e-9)
+
+OWNSIM_LITERAL(v, Voltage, 1.0)
+OWNSIM_LITERAL(a, Current, 1.0)
+OWNSIM_LITERAL(ma, Current, 1e-3)
+
+OWNSIM_LITERAL(pf, Capacitance, 1e-12)
+OWNSIM_LITERAL(ff, Capacitance, 1e-15)
+OWNSIM_LITERAL(nh, Inductance, 1e-9)
+OWNSIM_LITERAL(ph, Inductance, 1e-12)
+
+OWNSIM_LITERAL(bit, BitCount, 1.0)
+OWNSIM_LITERAL(bps, DataRate, 1.0)
+OWNSIM_LITERAL(mbps, DataRate, 1e6)
+OWNSIM_LITERAL(gbps, DataRate, 1e9)
+
+OWNSIM_LITERAL(pj_per_bit, EnergyPerBit, 1e-12)
+
+#undef OWNSIM_LITERAL
+
+constexpr Decibels operator""_db(long double v) {
+  return Decibels{static_cast<double>(v)};
+}
+constexpr Decibels operator""_db(unsigned long long v) {
+  return Decibels{static_cast<double>(v)};
+}
+/// Antenna directivity (dBi) is a gain relative to isotropic: plain dB.
+constexpr Decibels operator""_dbi(long double v) {
+  return Decibels{static_cast<double>(v)};
+}
+constexpr Decibels operator""_dbi(unsigned long long v) {
+  return Decibels{static_cast<double>(v)};
+}
+constexpr DbmPower operator""_dbm(long double v) {
+  return DbmPower{static_cast<double>(v)};
+}
+constexpr DbmPower operator""_dbm(unsigned long long v) {
+  return DbmPower{static_cast<double>(v)};
+}
+// NOLINTEND(readability-identifier-naming)
+
+}  // namespace literals
+
+/// One bit, for crossing between Energy and EnergyPerBit (E / kBit) or
+/// Frequency and DataRate (BW * kBitPerHz for 1 bit/s/Hz OOK).
+inline constexpr BitCount kBit{1.0};
+
+}  // namespace ownsim

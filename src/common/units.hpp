@@ -3,9 +3,16 @@
 // All analytic models (RF link budget, photonic loss budget, power model)
 // work in SI internally; these helpers make call sites read like the paper
 // ("32_gbps", "60 mm", "0.1 pJ/bit") and centralize dB conversions.
+//
+// The raw double conversions remain for the innards of formulas; model
+// *interfaces* use the typed quantities from common/quantity.hpp and the
+// typed bridges (`to_dbm`, `to_watts`, `to_db`, `to_ratio`, `wavelength`)
+// at the bottom of this header.
 #pragma once
 
 #include <cmath>
+
+#include "common/quantity.hpp"
 
 namespace ownsim::units {
 
@@ -46,5 +53,30 @@ inline double wavelength_m(double freq_hz) { return kSpeedOfLight / freq_hz; }
 inline double epb_to_power_w(double joules_per_bit, double bits_per_s) {
   return joules_per_bit * bits_per_s;
 }
+
+// ---- typed bridges ---------------------------------------------------------
+//
+// The only sanctioned crossings between the linear domain (Quantity) and the
+// log domain (Decibels / DbmPower). Everything else is a compile error.
+
+/// Speed of light as a typed quantity (m/s).
+inline constexpr Speed kC{kSpeedOfLight};
+
+/// Linear power -> absolute level in dBm.
+inline DbmPower to_dbm(Power power) {
+  return DbmPower{watts_to_dbm(power.value())};
+}
+
+/// Absolute level in dBm -> linear power.
+inline Power to_watts(DbmPower level) { return Power{dbm_to_watts(level.dbm())}; }
+
+/// Linear power ratio -> relative gain/loss in dB.
+inline Decibels to_db(double ratio) { return Decibels{ratio_to_db(ratio)}; }
+
+/// Relative gain/loss in dB -> linear power ratio.
+inline double to_ratio(Decibels db) { return db_to_ratio(db.db()); }
+
+/// Free-space wavelength of a carrier.
+inline constexpr Length wavelength(Frequency freq) { return kC / freq; }
 
 }  // namespace ownsim::units

@@ -7,12 +7,12 @@
 namespace ownsim {
 
 Channel::Channel(MediumType medium, int latency, int cycles_per_flit,
-                 int num_vcs, int buffer_depth, double distance_mm,
+                 int num_vcs, int buffer_depth, Length distance,
                  const std::vector<VcClassRange>* classes, std::string name)
     : medium_(medium),
       latency_(latency),
       cycles_per_flit_(cycles_per_flit),
-      distance_mm_(distance_mm),
+      distance_(distance),
       classes_(classes),
       name_(std::move(name)),
       credits_(static_cast<std::size_t>(num_vcs), buffer_depth),

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "common/types.hpp"
 #include "network/endpoints.hpp"
 #include "network/flit.hpp"
@@ -43,7 +44,7 @@ class Channel final : public Clocked {
   /// `num_vcs`/`buffer_depth` describe the downstream input port;
   /// `classes` maps vc_class -> VC range (shared network-wide).
   Channel(MediumType medium, int latency, int cycles_per_flit, int num_vcs,
-          int buffer_depth, double distance_mm,
+          int buffer_depth, Length distance,
           const std::vector<VcClassRange>* classes, std::string name);
 
   OutputEndpoint* out() { return &sender_; }
@@ -55,7 +56,7 @@ class Channel final : public Clocked {
   MediumType medium() const { return medium_; }
   int latency() const { return latency_; }
   int cycles_per_flit() const { return cycles_per_flit_; }
-  double distance_mm() const { return distance_mm_; }
+  Length distance() const { return distance_; }
   const std::string& name() const { return name_; }
   const LinkCounters& counters() const { return counters_; }
   int num_vcs() const { return static_cast<int>(credits_.size()); }
@@ -93,7 +94,7 @@ class Channel final : public Clocked {
   MediumType medium_;
   int latency_;
   int cycles_per_flit_;
-  double distance_mm_;
+  Length distance_;
   const std::vector<VcClassRange>* classes_;
   std::string name_;
 

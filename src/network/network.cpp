@@ -56,7 +56,7 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
   for (const LinkSpec& link : spec_.links) {
     auto channel = std::make_unique<Channel>(
         link.medium, link.latency, link.cycles_per_flit, spec_.num_vcs,
-        spec_.buffer_depth, link.distance_mm, &spec_.vc_classes, link.name);
+        spec_.buffer_depth, link.distance, &spec_.vc_classes, link.name);
     routers_[link.src_router]->connect_output(link.src_port, channel->out());
     routers_[link.dst_router]->connect_input(link.dst_port, channel->in());
     channels_.push_back(std::move(channel));
@@ -74,7 +74,7 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
     params.num_vcs = spec_.num_vcs;
     params.buffer_depth = spec_.buffer_depth;
     params.max_packet_flits = ms.max_packet_flits;
-    params.distance_mm = ms.distance_mm;
+    params.distance = ms.distance;
     params.multicast_rx = ms.multicast_rx;
     params.arbitration = ms.arbitration;
     params.name = ms.name;
@@ -103,12 +103,12 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
         static_cast<PortId>(spec_.routers[r].num_net_out + local);
 
     auto inject = std::make_unique<Channel>(
-        MediumType::kElectrical, 1, 1, spec_.num_vcs, spec_.buffer_depth, 0.0,
-        &spec_.vc_classes, "inj" + std::to_string(n));
+        MediumType::kElectrical, 1, 1, spec_.num_vcs, spec_.buffer_depth,
+        Length{}, &spec_.vc_classes, "inj" + std::to_string(n));
     routers_[r]->connect_input(in_port, inject->in());
     auto eject = std::make_unique<Channel>(
-        MediumType::kElectrical, 1, 1, spec_.num_vcs, spec_.buffer_depth, 0.0,
-        &spec_.vc_classes, "ej" + std::to_string(n));
+        MediumType::kElectrical, 1, 1, spec_.num_vcs, spec_.buffer_depth,
+        Length{}, &spec_.vc_classes, "ej" + std::to_string(n));
     routers_[r]->connect_output(out_port, eject->out());
     nic_->connect(n, inject->out(), eject->in());
     node_channels_.push_back(std::move(inject));

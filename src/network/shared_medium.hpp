@@ -68,7 +68,7 @@ class SharedMedium final : public Clocked {
     int num_vcs = 4;             ///< per reader input port
     int buffer_depth = 8;        ///< per reader VC
     int max_packet_flits = 8;    ///< writer staging capacity
-    double distance_mm = 0.0;
+    Length distance;
     bool multicast_rx = false;   ///< SWMR: every reader pays RX energy
     std::string name;
     /// Given a flit's destination, which reader index receives it.

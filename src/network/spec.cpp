@@ -33,8 +33,8 @@ void NetworkSpec::validate() const {
       fail(name, "node attached to missing router");
     }
   }
-  if (!router_xy_mm.empty() && static_cast<int>(router_xy_mm.size()) != nr) {
-    fail(name, "router_xy_mm size mismatch");
+  if (!router_xy.empty() && static_cast<int>(router_xy.size()) != nr) {
+    fail(name, "router_xy size mismatch");
   }
 
   // Every network port must be driven/consumed by exactly one link or medium

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "common/types.hpp"
 #include "network/flit.hpp"
 #include "network/router.hpp"
@@ -38,7 +39,7 @@ struct LinkSpec {
   MediumType medium = MediumType::kElectrical;
   int latency = 1;
   int cycles_per_flit = 1;
-  double distance_mm = 0.0;
+  Length distance;
   /// For wireless point-to-point links: index into the wireless band plan
   /// (Table III) used by the energy model. -1 for non-wireless links.
   int wireless_channel = -1;
@@ -53,7 +54,7 @@ struct MediumSpec {
   int latency = 1;
   int cycles_per_flit = 1;
   int max_packet_flits = 8;
-  double distance_mm = 0.0;
+  Length distance;
   bool multicast_rx = false;
   /// Which reader index receives a flit headed to (dst, dst_router).
   /// May be empty when there is exactly one reader.
@@ -70,9 +71,9 @@ struct NetworkSpec {
   int buffer_depth = 8;
 
   std::vector<RouterSpec> routers;
-  /// Optional die coordinates per router (mm); empty when the builder does
+  /// Optional die coordinates per router; empty when the builder does
   /// not provide a floorplan. Used by the thermal model (power/thermal.*).
-  std::vector<std::pair<double, double>> router_xy_mm;
+  std::vector<std::pair<Length, Length>> router_xy;
   std::vector<NodeAttach> nodes;       ///< size == num_nodes
   std::vector<LinkSpec> links;
   std::vector<MediumSpec> media;

@@ -14,29 +14,29 @@ LossBudget::LossBudget(OpticalLossParams params) : params_(params) {
   }
 }
 
-double LossBudget::path_loss_db(double length_cm, int rings_passed,
-                                int splitter_stages) const {
-  if (length_cm < 0 || rings_passed < 0 || splitter_stages < 0) {
+Decibels LossBudget::path_loss(Length length, int rings_passed,
+                               int splitter_stages) const {
+  if (length.value() < 0 || rings_passed < 0 || splitter_stages < 0) {
     throw std::invalid_argument("LossBudget: negative path element");
   }
-  return params_.coupler_db +
-         params_.splitter_db_per_stage * splitter_stages +
-         params_.waveguide_db_per_cm * length_cm +
-         params_.ring_through_db * rings_passed + params_.drop_db;
+  return params_.coupler +
+         params_.splitter_per_stage * static_cast<double>(splitter_stages) +
+         params_.waveguide_loss * length +
+         params_.ring_through * static_cast<double>(rings_passed) +
+         params_.drop;
 }
 
-double LossBudget::laser_power_per_lambda_w(double length_cm, int rings_passed,
-                                            int splitter_stages) const {
-  const double required_dbm =
-      params_.receiver_sensitivity_dbm +
-      path_loss_db(length_cm, rings_passed, splitter_stages);
-  return units::dbm_to_watts(required_dbm);
+Power LossBudget::laser_power_per_lambda(Length length, int rings_passed,
+                                         int splitter_stages) const {
+  const DbmPower required = params_.receiver_sensitivity +
+                            path_loss(length, rings_passed, splitter_stages);
+  return units::to_watts(required);
 }
 
-double LossBudget::laser_wallplug_w(double length_cm, int rings_passed,
-                                    int splitter_stages, int lambdas) const {
-  return laser_power_per_lambda_w(length_cm, rings_passed, splitter_stages) *
-         lambdas / params_.laser_wallplug_efficiency;
+Power LossBudget::laser_wallplug(Length length, int rings_passed,
+                                 int splitter_stages, int lambdas) const {
+  return laser_power_per_lambda(length, rings_passed, splitter_stages) *
+         static_cast<double>(lambdas) / params_.laser_wallplug_efficiency;
 }
 
 }  // namespace ownsim

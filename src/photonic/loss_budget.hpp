@@ -6,17 +6,22 @@
 // receiver sensitivity after the worst-case loss, divided by the wall-plug
 // efficiency — this static power is what makes photonic links' energy/bit
 // effectively distance-independent but never zero.
+//
+// Losses are typed log-domain `Decibels` (propagation loss as dB per unit
+// length), sensitivities `DbmPower`, laser outputs linear `Power`.
 #pragma once
+
+#include "common/quantity.hpp"
 
 namespace ownsim {
 
 struct OpticalLossParams {
-  double coupler_db = 1.0;          ///< fiber-to-chip coupling
-  double splitter_db_per_stage = 0.5;
-  double waveguide_db_per_cm = 0.5;
-  double ring_through_db = 0.01;    ///< per ring passed while off-resonance
-  double drop_db = 0.5;             ///< resonant drop into the detector
-  double receiver_sensitivity_dbm = -17.0;
+  Decibels coupler{1.0};  ///< fiber-to-chip coupling
+  Decibels splitter_per_stage{0.5};
+  DecibelsPerLength waveguide_loss = Decibels{0.5} / 1.0_cm;
+  Decibels ring_through{0.01};  ///< per ring passed while off-resonance
+  Decibels drop{0.5};           ///< resonant drop into the detector
+  DbmPower receiver_sensitivity{-17.0};
   double laser_wallplug_efficiency = 0.3;
 };
 
@@ -25,19 +30,19 @@ class LossBudget {
   LossBudget() : LossBudget(OpticalLossParams{}) {}
   explicit LossBudget(OpticalLossParams params);
 
-  /// Worst-case path loss for a waveguide of `length_cm` passing
+  /// Worst-case path loss for a waveguide of `length` passing
   /// `rings_passed` off-resonance rings, fed through a `splitter_stages`-deep
-  /// star splitter, dB.
-  double path_loss_db(double length_cm, int rings_passed,
-                      int splitter_stages) const;
+  /// star splitter.
+  Decibels path_loss(Length length, int rings_passed,
+                     int splitter_stages) const;
 
-  /// Required laser output per wavelength for that path, W.
-  double laser_power_per_lambda_w(double length_cm, int rings_passed,
-                                  int splitter_stages) const;
+  /// Required laser output per wavelength for that path.
+  Power laser_power_per_lambda(Length length, int rings_passed,
+                               int splitter_stages) const;
 
-  /// Wall-plug laser power for a full waveguide bundle, W.
-  double laser_wallplug_w(double length_cm, int rings_passed,
-                          int splitter_stages, int lambdas) const;
+  /// Wall-plug laser power for a full waveguide bundle.
+  Power laser_wallplug(Length length, int rings_passed, int splitter_stages,
+                       int lambdas) const;
 
   const OpticalLossParams& params() const { return params_; }
 

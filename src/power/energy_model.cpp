@@ -68,8 +68,8 @@ PowerBreakdown EnergyModel::compute(const Network& network,
     switch (channel.medium()) {
       case MediumType::kElectrical:
         breakdown.electrical_link_w += bits * params_.wire_pj_per_bit_mm *
-                                       channel.distance_mm() * units::kPico /
-                                       seconds;
+                                       channel.distance().in(1.0_mm) *
+                                       units::kPico / seconds;
         break;
       case MediumType::kPhotonic: {
         breakdown.photonic_link_w +=
@@ -77,8 +77,10 @@ PowerBreakdown EnergyModel::compute(const Network& network,
         const int lambdas =
             lambdas_for(channel.cycles_per_flit(), params_.lambda_rate_gbps,
                         clock_ghz, flit_bits);
-        breakdown.photonic_laser_w += loss_budget_.laser_wallplug_w(
-            channel.distance_mm() / 10.0, lambdas, 3, lambdas);
+        breakdown.photonic_laser_w +=
+            loss_budget_
+                .laser_wallplug(channel.distance(), lambdas, 3, lambdas)
+                .value();
         breakdown.photonic_laser_w +=
             params_.ring_tuning_uw * 2.0 * lambdas * units::kMicro;
         break;
@@ -87,8 +89,8 @@ PowerBreakdown EnergyModel::compute(const Network& network,
         double tx_epb;
         double rx_epb;
         if (link.wireless_channel >= 0 && own_channels_.has_value()) {
-          tx_epb = own_channels_->tx_epb_pj(link.wireless_channel);
-          rx_epb = own_channels_->rx_epb_pj(link.wireless_channel);
+          tx_epb = own_channels_->tx_epb(link.wireless_channel).in(1.0_pj_per_bit);
+          rx_epb = own_channels_->rx_epb(link.wireless_channel).in(1.0_pj_per_bit);
         } else {
           tx_epb = kTxEnergyShare * params_.legacy_wireless_pj_per_bit;
           rx_epb = (1.0 - kTxEnergyShare) * params_.legacy_wireless_pj_per_bit;
@@ -117,17 +119,19 @@ PowerBreakdown EnergyModel::compute(const Network& network,
                       flit_bits);
       const int rings_passed =
           static_cast<int>(ms.writers.size()) * lambdas;  // off-resonance
-      breakdown.photonic_laser_w += loss_budget_.laser_wallplug_w(
-          ms.distance_mm / 10.0, rings_passed,
-          /*splitter_stages=*/4, lambdas);
+      breakdown.photonic_laser_w +=
+          loss_budget_
+              .laser_wallplug(ms.distance, rings_passed,
+                              /*splitter_stages=*/4, lambdas)
+              .value();
       breakdown.photonic_laser_w += params_.ring_tuning_uw *
                                     (rings_passed + lambdas) * units::kMicro;
     } else if (ms.medium == MediumType::kWireless) {
       double tx_epb;
       double rx_epb;
       if (ms.wireless_channel >= 0 && own_channels_.has_value()) {
-        tx_epb = own_channels_->tx_epb_pj(ms.wireless_channel);
-        rx_epb = own_channels_->rx_epb_pj(ms.wireless_channel);
+        tx_epb = own_channels_->tx_epb(ms.wireless_channel).in(1.0_pj_per_bit);
+        rx_epb = own_channels_->rx_epb(ms.wireless_channel).in(1.0_pj_per_bit);
       } else {
         tx_epb = kTxEnergyShare * params_.legacy_wireless_pj_per_bit;
         rx_epb = (1.0 - kTxEnergyShare) * params_.legacy_wireless_pj_per_bit;

@@ -52,7 +52,7 @@ std::vector<double> per_router_power(const Network& network,
     const double bits = static_cast<double>(channel.counters().bits);
     if (channel.medium() == MediumType::kElectrical) {
       const double w = bits * params.wire_pj_per_bit_mm *
-                       channel.distance_mm() * units::kPico / seconds;
+                       channel.distance().in(1.0_mm) * units::kPico / seconds;
       power[link.src_router] += w / 2;
       power[link.dst_router] += w / 2;
     } else if (channel.medium() == MediumType::kPhotonic) {
@@ -64,8 +64,8 @@ std::vector<double> per_router_power(const Network& network,
       double tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
       double rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
       if (link.wireless_channel >= 0 && own_channels != nullptr) {
-        tx_epb = own_channels->tx_epb_pj(link.wireless_channel);
-        rx_epb = own_channels->rx_epb_pj(link.wireless_channel);
+        tx_epb = own_channels->tx_epb(link.wireless_channel).in(1.0_pj_per_bit);
+        rx_epb = own_channels->rx_epb(link.wireless_channel).in(1.0_pj_per_bit);
       }
       const double half_static =
           params.wireless_static_mw_per_channel * units::kMilli / 2.0;
@@ -99,8 +99,8 @@ std::vector<double> per_router_power(const Network& network,
       double tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
       double rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
       if (ms.wireless_channel >= 0 && own_channels != nullptr) {
-        tx_epb = own_channels->tx_epb_pj(ms.wireless_channel);
-        rx_epb = own_channels->rx_epb_pj(ms.wireless_channel);
+        tx_epb = own_channels->tx_epb(ms.wireless_channel).in(1.0_pj_per_bit);
+        rx_epb = own_channels->rx_epb(ms.wireless_channel).in(1.0_pj_per_bit);
       }
       const double tx_w =
           static_cast<double>(c.tx_bits) * tx_epb * units::kPico / seconds +
@@ -120,7 +120,7 @@ std::vector<double> per_router_power(const Network& network,
 }
 
 ThermalMap::ThermalMap(Params params) : params_(params) {
-  if (params_.grid < 2 || params_.die_mm <= 0 || params_.iterations < 1 ||
+  if (params_.grid < 2 || params_.die.value() <= 0 || params_.iterations < 1 ||
       params_.k_lateral <= 0 || params_.sink_leak <= 0 ||
       4.0 * params_.k_lateral + params_.sink_leak >= 1.0 ||
       params_.source_gain_c_per_w <= 0) {
@@ -131,15 +131,15 @@ ThermalMap::ThermalMap(Params params) : params_(params) {
 
 void ThermalMap::deposit(const NetworkSpec& spec,
                          const std::vector<double>& power_w) {
-  if (spec.router_xy_mm.empty()) {
+  if (spec.router_xy.empty()) {
     throw std::invalid_argument("ThermalMap: spec has no floorplan");
   }
-  if (power_w.size() != spec.router_xy_mm.size()) {
+  if (power_w.size() != spec.router_xy.size()) {
     throw std::invalid_argument("ThermalMap: power/floorplan size mismatch");
   }
-  const double cell = params_.die_mm / params_.grid;
+  const Length cell = params_.die / static_cast<double>(params_.grid);
   for (std::size_t r = 0; r < power_w.size(); ++r) {
-    const auto [x, y] = spec.router_xy_mm[r];
+    const auto [x, y] = spec.router_xy[r];
     const int cx = std::clamp(static_cast<int>(x / cell), 0, params_.grid - 1);
     const int cy = std::clamp(static_cast<int>(y / cell), 0, params_.grid - 1);
     source_w_[static_cast<std::size_t>(cy) * params_.grid + cx] += power_w[r];
@@ -181,8 +181,8 @@ ThermalStats ThermalMap::solve() const {
       sum += t;
       if (t > stats.peak_c) {
         stats.peak_c = t;
-        stats.peak_x_mm = (x + 0.5) * params_.die_mm / n;
-        stats.peak_y_mm = (y + 0.5) * params_.die_mm / n;
+        stats.peak_x = (x + 0.5) * params_.die / static_cast<double>(n);
+        stats.peak_y = (y + 0.5) * params_.die / static_cast<double>(n);
       }
     }
   }

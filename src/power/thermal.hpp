@@ -11,7 +11,7 @@
 //     modulation/detection split across a medium's participants (laser power
 //     is off-chip and excluded).
 //  2. `ThermalMap` deposits those sources on a die grid (positions from
-//     NetworkSpec::router_xy_mm) and relaxes a discrete steady-state heat
+//     NetworkSpec::router_xy) and relaxes a discrete steady-state heat
 //     equation with an ambient boundary, yielding a temperature-rise proxy.
 //     It is a lumped-RC style estimate, not a calibrated thermal solver —
 //     adequate for *comparing placements*, which is all §III.A needs.
@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "network/network.hpp"
 #include "power/energy_model.hpp"
 #include "power/params.hpp"
@@ -36,14 +37,14 @@ struct ThermalStats {
   double peak_c = 0.0;    ///< hottest cell, degC above ambient
   double mean_c = 0.0;
   double stddev_c = 0.0;  ///< spatial imbalance
-  double peak_x_mm = 0.0;
-  double peak_y_mm = 0.0;
+  Length peak_x;
+  Length peak_y;
 };
 
 class ThermalMap {
  public:
   struct Params {
-    double die_mm = 50.0;     ///< square die edge
+    Length die = 50.0_mm;     ///< square die edge
     int grid = 32;            ///< cells per edge
     double k_lateral = 0.20;  ///< inter-cell conduction weight
     double sink_leak = 0.05;  ///< per-step fraction lost to the heat sink
@@ -55,7 +56,7 @@ class ThermalMap {
   explicit ThermalMap(Params params);
 
   /// Deposits `power_w[r]` at the position of router r. The spec must carry
-  /// a floorplan (`router_xy_mm`), else std::invalid_argument.
+  /// a floorplan (`router_xy`), else std::invalid_argument.
   void deposit(const NetworkSpec& spec, const std::vector<double>& power_w);
 
   /// Relaxes to steady state and returns the temperature-rise field

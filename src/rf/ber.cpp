@@ -11,19 +11,18 @@ double q_function(double x) {
   return 0.5 * std::erfc(x / std::sqrt(2.0));
 }
 
-double ook_ber(double snr_db) {
-  const double snr = units::db_to_ratio(snr_db);
-  return q_function(std::sqrt(snr));
+double ook_ber(Decibels snr) {
+  return q_function(std::sqrt(units::to_ratio(snr)));
 }
 
-double required_snr_db(double target_ber) {
+Decibels required_snr(double target_ber) {
   if (!(target_ber > 0.0) || !(target_ber < 0.5)) {
-    throw std::invalid_argument("required_snr_db: target must be in (0, 0.5)");
+    throw std::invalid_argument("required_snr: target must be in (0, 0.5)");
   }
-  double lo = -10.0;
-  double hi = 40.0;
+  Decibels lo{-10.0};
+  Decibels hi{40.0};
   for (int i = 0; i < 200; ++i) {
-    const double mid = (lo + hi) / 2.0;
+    const Decibels mid = (lo + hi) * 0.5;
     if (ook_ber(mid) > target_ber) {
       lo = mid;
     } else {
@@ -33,8 +32,8 @@ double required_snr_db(double target_ber) {
   return hi;
 }
 
-double ber_at_margin(double snr_required_db, double margin_db) {
-  return ook_ber(snr_required_db + margin_db);
+double ber_at_margin(Decibels snr_required, Decibels margin) {
+  return ook_ber(snr_required + margin);
 }
 
 }  // namespace ownsim

@@ -8,9 +8,12 @@
 //                                  threshold; SNR = average-power based)
 //
 // The inverse problem — the SNR required for a target BER — is what the
-// link budget's `snr_required_db` encodes; `required_snr_db(1e-12)` ~= 17 dB
-// reproduces the constant used there.
+// link budget's `snr_required` encodes; `required_snr(1e-12)` ~= 17 dB
+// reproduces the constant used there. SNRs and margins are log-domain
+// `Decibels`; BERs are plain probabilities.
 #pragma once
+
+#include "common/quantity.hpp"
 
 namespace ownsim {
 
@@ -18,15 +21,15 @@ namespace ownsim {
 /// error function; accurate over the range relevant to BER work (x in 0..10).
 double q_function(double x);
 
-/// OOK bit-error rate at `snr_db` (average-power SNR, dB).
-double ook_ber(double snr_db);
+/// OOK bit-error rate at `snr` (average-power SNR).
+double ook_ber(Decibels snr);
 
-/// Smallest SNR (dB) achieving `target_ber` (bisection on the monotone BER
+/// Smallest SNR achieving `target_ber` (bisection on the monotone BER
 /// curve). Throws std::invalid_argument for target_ber outside (0, 0.5).
-double required_snr_db(double target_ber);
+Decibels required_snr(double target_ber);
 
 /// BER of a link budget operating point: margin over sensitivity translates
 /// into SNR above the required minimum.
-double ber_at_margin(double snr_required_db, double margin_db);
+double ber_at_margin(Decibels snr_required, Decibels margin);
 
 }  // namespace ownsim

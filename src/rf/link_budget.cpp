@@ -8,46 +8,47 @@
 namespace ownsim {
 
 LinkBudget::LinkBudget(Params params) : params_(params) {
-  if (params_.freq_hz <= 0 || params_.data_rate_bps <= 0) {
+  if (params_.freq.value() <= 0 || params_.data_rate.value() <= 0) {
     throw std::invalid_argument("LinkBudget: bad frequency/data rate");
   }
 }
 
-double LinkBudget::fspl_db(double distance_m) const {
-  if (distance_m <= 0) {
+Decibels LinkBudget::fspl(Length distance) const {
+  if (distance.value() <= 0) {
     throw std::invalid_argument("LinkBudget: distance must be > 0");
   }
+  // Friis: (4 pi d / lambda)^2, with lambda = c / f. The Quantity division
+  // proves the argument of log10 is dimensionless.
   const double ratio =
-      4.0 * units::kPi * distance_m * params_.freq_hz / units::kSpeedOfLight;
-  return 20.0 * std::log10(ratio);
+      4.0 * units::kPi * (distance / units::wavelength(params_.freq));
+  return Decibels{20.0 * std::log10(ratio)};
 }
 
-double LinkBudget::sensitivity_dbm() const {
+DbmPower LinkBudget::sensitivity() const {
   // Thermal noise floor kTB expressed per Hz is -174 dBm/Hz at 290 K.
-  const double noise_floor_dbm =
-      -174.0 + 10.0 * std::log10(params_.data_rate_bps);
-  return noise_floor_dbm + params_.noise_figure_db + params_.snr_required_db;
+  const DbmPower noise_floor{-174.0 +
+                             10.0 * std::log10(params_.data_rate.value())};
+  return noise_floor + params_.noise_figure + params_.snr_required;
 }
 
-double LinkBudget::required_tx_dbm(double distance_m, double tx_directivity_dbi,
-                                   double rx_directivity_dbi) const {
-  return sensitivity_dbm() + fspl_db(distance_m) - tx_directivity_dbi -
-         rx_directivity_dbi + params_.margin_db;
+DbmPower LinkBudget::required_tx(Length distance, Decibels tx_directivity,
+                                 Decibels rx_directivity) const {
+  return sensitivity() + fspl(distance) - tx_directivity - rx_directivity +
+         params_.margin;
 }
 
-double LinkBudget::received_dbm(double tx_dbm, double distance_m,
-                                double tx_directivity_dbi,
-                                double rx_directivity_dbi) const {
-  return tx_dbm + tx_directivity_dbi + rx_directivity_dbi -
-         fspl_db(distance_m) - params_.margin_db;
+DbmPower LinkBudget::received(DbmPower tx, Length distance,
+                              Decibels tx_directivity,
+                              Decibels rx_directivity) const {
+  return tx + tx_directivity + rx_directivity - fspl(distance) -
+         params_.margin;
 }
 
-double LinkBudget::margin_db(double tx_dbm, double distance_m,
-                             double tx_directivity_dbi,
-                             double rx_directivity_dbi) const {
-  return received_dbm(tx_dbm, distance_m, tx_directivity_dbi,
-                      rx_directivity_dbi) -
-         sensitivity_dbm();
+Decibels LinkBudget::margin(DbmPower tx, Length distance,
+                            Decibels tx_directivity,
+                            Decibels rx_directivity) const {
+  return received(tx, distance, tx_directivity, rx_directivity) -
+         sensitivity();
 }
 
 }  // namespace ownsim

@@ -10,42 +10,48 @@
 // implementation margin) this reproduces the paper's anchor: a 32 Gb/s link
 // at 90 GHz over 50 mm with isotropic antennas needs >= 4 dBm of transmit
 // power (§IV.A).
+//
+// All interfaces are dimensionally typed (common/quantity.hpp): distances
+// are `Length`, absolute powers `DbmPower`, gains/losses `Decibels` — mixing
+// them up is a compile error.
 #pragma once
+
+#include "common/quantity.hpp"
 
 namespace ownsim {
 
 class LinkBudget {
  public:
   struct Params {
-    double freq_hz = 90e9;
-    double data_rate_bps = 32e9;
-    double noise_figure_db = 8.0;
-    double snr_required_db = 17.0;  ///< OOK at BER 1e-12 (Q ~= 7)
-    double margin_db = 2.5;         ///< implementation losses
+    Frequency freq = 90.0_ghz;
+    DataRate data_rate = 32.0_gbps;
+    Decibels noise_figure{8.0};
+    Decibels snr_required{17.0};  ///< OOK at BER 1e-12 (Q ~= 7)
+    Decibels margin{2.5};         ///< implementation losses
   };
 
   LinkBudget() : LinkBudget(Params{}) {}
   explicit LinkBudget(Params params);
 
-  /// Free-space path loss over `distance_m`, dB.
-  double fspl_db(double distance_m) const;
+  /// Free-space path loss over `distance`.
+  Decibels fspl(Length distance) const;
 
-  /// Receiver sensitivity, dBm.
-  double sensitivity_dbm() const;
+  /// Receiver sensitivity.
+  DbmPower sensitivity() const;
 
-  /// Transmit power required to close the link, dBm. Directivities in dBi.
-  double required_tx_dbm(double distance_m, double tx_directivity_dbi = 0.0,
-                         double rx_directivity_dbi = 0.0) const;
+  /// Transmit power required to close the link. Directivities in dBi.
+  DbmPower required_tx(Length distance, Decibels tx_directivity = Decibels{},
+                       Decibels rx_directivity = Decibels{}) const;
 
-  /// Received power for a given transmit power, dBm.
-  double received_dbm(double tx_dbm, double distance_m,
-                      double tx_directivity_dbi = 0.0,
-                      double rx_directivity_dbi = 0.0) const;
+  /// Received power for a given transmit power.
+  DbmPower received(DbmPower tx, Length distance,
+                    Decibels tx_directivity = Decibels{},
+                    Decibels rx_directivity = Decibels{}) const;
 
-  /// Link margin (received - sensitivity), dB.
-  double margin_db(double tx_dbm, double distance_m,
-                   double tx_directivity_dbi = 0.0,
-                   double rx_directivity_dbi = 0.0) const;
+  /// Link margin (received - sensitivity).
+  Decibels margin(DbmPower tx, Length distance,
+                  Decibels tx_directivity = Decibels{},
+                  Decibels rx_directivity = Decibels{}) const;
 
   const Params& params() const { return params_; }
 

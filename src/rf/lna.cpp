@@ -6,16 +6,15 @@
 namespace ownsim {
 
 WidebandLna::WidebandLna(Params params) : params_(params) {
-  if (params_.center_freq_hz <= 0 || params_.gain_bw_hz <= 0) {
+  if (params_.center_freq.value() <= 0 || params_.gain_bw.value() <= 0) {
     throw std::invalid_argument("WidebandLna: bad parameters");
   }
 }
 
-double WidebandLna::gain_db(double freq_hz) const {
+Decibels WidebandLna::gain(Frequency freq) const {
   // Parabolic band-pass calibrated for -3 dB at +-BW/2.
-  const double x =
-      (freq_hz - params_.center_freq_hz) / (params_.gain_bw_hz / 2.0);
-  return params_.peak_gain_db - 3.0 * x * x;
+  const double x = (freq - params_.center_freq) / (params_.gain_bw / 2.0);
+  return params_.peak_gain - Decibels{3.0 * x * x};
 }
 
 }  // namespace ownsim

@@ -6,29 +6,31 @@
 // the link budget.
 #pragma once
 
+#include "common/quantity.hpp"
+
 namespace ownsim {
 
 class WidebandLna {
  public:
   struct Params {
-    double center_freq_hz = 90e9;
-    double peak_gain_db = 10.0;
-    double gain_bw_hz = 30e9;      ///< 3-dB bandwidth
-    double noise_figure_db = 6.0;
-    double dc_power_w = 9e-3;
+    Frequency center_freq = 90.0_ghz;
+    Decibels peak_gain{10.0};
+    Frequency gain_bw = 30.0_ghz;  ///< 3-dB bandwidth
+    Decibels noise_figure{6.0};
+    Power dc_power = 9.0_mw;
   };
 
   WidebandLna() : WidebandLna(Params{}) {}
   explicit WidebandLna(Params params);
 
-  /// Gain at `freq_hz`, dB (second-order band-pass).
-  double gain_db(double freq_hz) const;
+  /// Gain at `freq` (second-order band-pass).
+  Decibels gain(Frequency freq) const;
 
-  double noise_figure_db() const { return params_.noise_figure_db; }
-  double dc_power_w() const { return params_.dc_power_w; }
+  Decibels noise_figure() const { return params_.noise_figure; }
+  Power dc_power() const { return params_.dc_power; }
 
-  /// Width of the band where gain >= peak - 3 dB, Hz.
-  double bandwidth_3db_hz() const { return params_.gain_bw_hz; }
+  /// Width of the band where gain >= peak - 3 dB.
+  Frequency bandwidth_3db() const { return params_.gain_bw; }
 
   const Params& params() const { return params_; }
 

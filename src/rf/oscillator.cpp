@@ -8,58 +8,59 @@
 namespace ownsim {
 
 ColpittsOscillator::ColpittsOscillator(Params params) : params_(params) {
-  if (params_.inductance_h <= 0 || params_.cgs_f <= 0 || params_.cgd_f <= 0 ||
-      params_.loaded_q <= 0) {
+  if (params_.inductance.value() <= 0 || params_.cgs.value() <= 0 ||
+      params_.cgd.value() <= 0 || params_.loaded_q <= 0) {
     throw std::invalid_argument("ColpittsOscillator: bad tank parameters");
   }
 }
 
-double ColpittsOscillator::effective_capacitance_f() const {
-  return params_.cgs_f * params_.cgd_f / (params_.cgs_f + params_.cgd_f);
+Capacitance ColpittsOscillator::effective_capacitance() const {
+  return params_.cgs * params_.cgd / (params_.cgs + params_.cgd);
 }
 
-double ColpittsOscillator::frequency_hz() const {
+Frequency ColpittsOscillator::frequency() const {
+  // sqrt(L * C) carries dimension sqrt(H * F) = s; 1 / (2 pi s) is Hz.
   return 1.0 /
          (2.0 * units::kPi *
-          std::sqrt(params_.inductance_h * effective_capacitance_f()));
+          ownsim::sqrt(params_.inductance * effective_capacitance()));
 }
 
-double ColpittsOscillator::phase_noise_dbc_hz(double offset_hz) const {
-  if (offset_hz <= 0) {
+Decibels ColpittsOscillator::phase_noise_dbc(Frequency offset) const {
+  if (offset.value() <= 0) {
     throw std::invalid_argument("phase_noise: offset must be > 0");
   }
-  const double f0 = frequency_hz();
-  const double leeson =
-      2.0 * params_.noise_factor * units::kBoltzmann * units::kRoomTempK /
-      params_.signal_power_w *
-      (1.0 + std::pow(f0 / (2.0 * params_.loaded_q * offset_hz), 2));
-  return 10.0 * std::log10(leeson);
+  const Frequency f0 = frequency();
+  const double carrier_ratio = f0 / (2.0 * params_.loaded_q * offset);
+  const double leeson = 2.0 * params_.noise_factor * units::kBoltzmann *
+                        units::kRoomTempK / params_.signal_power.value() *
+                        (1.0 + carrier_ratio * carrier_ratio);
+  return Decibels{10.0 * std::log10(leeson)};
 }
 
-double ColpittsOscillator::dc_power_w() const {
-  return params_.supply_v * params_.bias_current_a;
+Power ColpittsOscillator::dc_power() const {
+  return params_.supply * params_.bias_current;  // V * A = W, by dimension
 }
 
-double ColpittsOscillator::psd_dbc_hz(double freq_hz) const {
-  const double f0 = frequency_hz();
-  const double offset = std::abs(freq_hz - f0);
+Decibels ColpittsOscillator::psd_dbc(Frequency freq) const {
+  const Frequency f0 = frequency();
+  const Frequency offset{std::abs((freq - f0).value())};
   // Inside the (synthetic) 100 kHz carrier linewidth, clamp to the peak so
   // the plot shows a finite carrier line.
-  const double kLinewidth = 1e5;
-  return phase_noise_dbc_hz(std::max(offset, kLinewidth));
+  const Frequency linewidth = 100.0_khz;
+  return phase_noise_dbc(std::max(offset, linewidth));
 }
 
-std::vector<std::pair<double, double>> ColpittsOscillator::psd_sweep(
-    double f_lo, double f_hi, int points) const {
+std::vector<std::pair<Frequency, Decibels>> ColpittsOscillator::psd_sweep(
+    Frequency f_lo, Frequency f_hi, int points) const {
   if (points < 2 || f_hi <= f_lo) {
     throw std::invalid_argument("psd_sweep: bad range");
   }
-  std::vector<std::pair<double, double>> sweep;
+  std::vector<std::pair<Frequency, Decibels>> sweep;
   sweep.reserve(static_cast<std::size_t>(points));
-  const double step = (f_hi - f_lo) / (points - 1);
+  const Frequency step = (f_hi - f_lo) / (points - 1);
   for (int i = 0; i < points; ++i) {
-    const double f = f_lo + step * i;
-    sweep.emplace_back(f, psd_dbc_hz(f));
+    const Frequency f = f_lo + step * static_cast<double>(i);
+    sweep.emplace_back(f, psd_dbc(f));
   }
   return sweep;
 }

@@ -9,47 +9,54 @@
 // Phase noise follows Leeson's model around the carrier and is used to
 // synthesize the PSD plot. Defaults are tuned to the published anchors:
 // 90 GHz oscillation at 1 V and about -86 dBc/Hz at 1 MHz offset.
+//
+// Phase-noise figures are dBc/Hz — decibels relative to the carrier in a
+// 1 Hz bin — typed as the relative `Decibels`.
 #pragma once
 
+#include <utility>
 #include <vector>
+
+#include "common/quantity.hpp"
 
 namespace ownsim {
 
 class ColpittsOscillator {
  public:
   struct Params {
-    double inductance_h = 100e-12;  ///< tank inductor L
-    double cgs_f = 75e-15;          ///< gate-source capacitance of M1
-    double cgd_f = 53.5e-15;        ///< gate-drain capacitance of M1
-    double loaded_q = 3.5;          ///< on-chip LC tank quality factor
-    double noise_factor = 2.0;      ///< Leeson excess-noise factor F
-    double signal_power_w = 1e-3;   ///< carrier power at 1 V supply
-    double supply_v = 1.0;
-    double bias_current_a = 4e-3;
+    Inductance inductance = 100.0_ph;  ///< tank inductor L
+    Capacitance cgs = 75.0_ff;         ///< gate-source capacitance of M1
+    Capacitance cgd = 53.5_ff;         ///< gate-drain capacitance of M1
+    double loaded_q = 3.5;             ///< on-chip LC tank quality factor
+    double noise_factor = 2.0;         ///< Leeson excess-noise factor F
+    Power signal_power = 1.0_mw;       ///< carrier power at 1 V supply
+    Voltage supply = 1.0_v;
+    Current bias_current = 4.0_ma;
   };
 
   ColpittsOscillator() : ColpittsOscillator(Params{}) {}
   explicit ColpittsOscillator(Params params);
 
-  /// Effective series tank capacitance (F).
-  double effective_capacitance_f() const;
+  /// Effective series tank capacitance.
+  Capacitance effective_capacitance() const;
 
-  /// Oscillation frequency (Hz).
-  double frequency_hz() const;
+  /// Oscillation frequency.
+  Frequency frequency() const;
 
-  /// Leeson phase noise at `offset_hz` from the carrier, dBc/Hz.
-  double phase_noise_dbc_hz(double offset_hz) const;
+  /// Leeson phase noise at `offset` from the carrier, dBc/Hz.
+  Decibels phase_noise_dbc(Frequency offset) const;
 
-  /// DC power drawn from the supply (W).
-  double dc_power_w() const;
+  /// DC power drawn from the supply.
+  Power dc_power() const;
 
-  /// One PSD sample at absolute frequency `freq_hz`, dBc/Hz relative to the
+  /// One PSD sample at absolute frequency `freq`, dBc/Hz relative to the
   /// carrier (carrier modeled as a narrow Lorentzian line).
-  double psd_dbc_hz(double freq_hz) const;
+  Decibels psd_dbc(Frequency freq) const;
 
   /// PSD sweep across [f_lo, f_hi] with `points` samples (for Fig 4a).
-  std::vector<std::pair<double, double>> psd_sweep(double f_lo, double f_hi,
-                                                   int points) const;
+  std::vector<std::pair<Frequency, Decibels>> psd_sweep(Frequency f_lo,
+                                                        Frequency f_hi,
+                                                        int points) const;
 
   const Params& params() const { return params_; }
 

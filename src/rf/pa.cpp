@@ -8,47 +8,48 @@
 namespace ownsim {
 
 ClassAbPa::ClassAbPa(Params params) : params_(params) {
-  if (params_.center_freq_hz <= 0 || params_.gain_bw_hz <= 0 ||
-      params_.rapp_p <= 0 || params_.dc_power_w <= 0) {
+  if (params_.center_freq.value() <= 0 || params_.gain_bw.value() <= 0 ||
+      params_.rapp_p <= 0 || params_.dc_power.value() <= 0) {
     throw std::invalid_argument("ClassAbPa: bad parameters");
   }
 }
 
-double ClassAbPa::gain_db(double freq_hz) const {
+Decibels ClassAbPa::gain(Frequency freq) const {
   // Parabolic roll-off calibrated so gain is (peak - 2 dB) at +-BW/2.
-  const double x = (freq_hz - params_.center_freq_hz) / (params_.gain_bw_hz / 2.0);
-  return params_.peak_gain_db - 2.0 * x * x;
+  const double x = (freq - params_.center_freq) / (params_.gain_bw / 2.0);
+  return params_.peak_gain - Decibels{2.0 * x * x};
 }
 
-double ClassAbPa::output_dbm(double input_dbm, double freq_hz) const {
-  const double gain = units::db_to_ratio(gain_db(freq_hz));
-  const double pin_w = units::dbm_to_watts(input_dbm);
-  const double psat_w = units::dbm_to_watts(params_.psat_dbm);
-  const double linear_w = gain * pin_w;
+DbmPower ClassAbPa::output(DbmPower input, Frequency freq) const {
+  const double gain_ratio = units::to_ratio(gain(freq));
+  const Power pin = units::to_watts(input);
+  const Power psat = units::to_watts(params_.psat);
+  const Power linear = gain_ratio * pin;
   const double p = params_.rapp_p;
-  const double out_w =
-      linear_w / std::pow(1.0 + std::pow(linear_w / psat_w, 2.0 * p),
-                          1.0 / (2.0 * p));
-  return units::watts_to_dbm(out_w);
+  const Power out =
+      linear / std::pow(1.0 + std::pow(linear / psat, 2.0 * p),
+                        1.0 / (2.0 * p));
+  return units::to_dbm(out);
 }
 
-double ClassAbPa::p1db_dbm() const {
+DbmPower ClassAbPa::p1db() const {
   // Scan input power for the point where gain has dropped by exactly 1 dB.
-  const double f0 = params_.center_freq_hz;
-  for (double pin = -30.0; pin < 30.0; pin += 0.01) {
-    const double pout = output_dbm(pin, f0);
-    if ((pin + gain_db(f0)) - pout >= 1.0) return pout;
+  const Frequency f0 = params_.center_freq;
+  for (double pin_dbm = -30.0; pin_dbm < 30.0; pin_dbm += 0.01) {
+    const DbmPower pin{pin_dbm};
+    const DbmPower pout = output(pin, f0);
+    if ((pin + gain(f0)) - pout >= Decibels{1.0}) return pout;
   }
-  return params_.psat_dbm;
+  return params_.psat;
 }
 
-double ClassAbPa::efficiency(double output_dbm_value) const {
-  return units::dbm_to_watts(output_dbm_value) / params_.dc_power_w;
+double ClassAbPa::efficiency(DbmPower output) const {
+  return units::to_watts(output) / params_.dc_power;
 }
 
-double ClassAbPa::bandwidth_hz(double drop_db) const {
-  // gain_db drops by `drop_db` at x = sqrt(drop/2) band-halves.
-  return params_.gain_bw_hz * std::sqrt(drop_db / 2.0);
+Frequency ClassAbPa::bandwidth(Decibels drop) const {
+  // gain drops by `drop` at x = sqrt(drop/2) band-halves.
+  return params_.gain_bw * std::sqrt(drop.db() / 2.0);
 }
 
 }  // namespace ownsim

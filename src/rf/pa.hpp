@@ -11,37 +11,39 @@
 // requires, at 14 mW DC dissipation from a 1 V supply.
 #pragma once
 
+#include "common/quantity.hpp"
+
 namespace ownsim {
 
 class ClassAbPa {
  public:
   struct Params {
-    double center_freq_hz = 90e9;
-    double peak_gain_db = 3.5;
-    double gain_bw_hz = 20e9;    ///< width of the 2-dB-down band
-    double psat_dbm = 6.5;       ///< saturated output power (>= 4 mW target)
-    double rapp_p = 2.0;         ///< Rapp knee sharpness
-    double dc_power_w = 14e-3;   ///< class-AB bias at 1 V
+    Frequency center_freq = 90.0_ghz;
+    Decibels peak_gain{3.5};
+    Frequency gain_bw = 20.0_ghz;  ///< width of the 2-dB-down band
+    DbmPower psat{6.5};            ///< saturated output power (>= 4 mW target)
+    double rapp_p = 2.0;           ///< Rapp knee sharpness
+    Power dc_power = 14.0_mw;      ///< class-AB bias at 1 V
   };
 
   ClassAbPa() : ClassAbPa(Params{}) {}
   explicit ClassAbPa(Params params);
 
-  /// Small-signal gain at `freq_hz`, dB.
-  double gain_db(double freq_hz) const;
+  /// Small-signal gain at `freq`.
+  Decibels gain(Frequency freq) const;
 
-  /// Output power for `input_dbm` at `freq_hz`, dBm (Rapp compression).
-  double output_dbm(double input_dbm, double freq_hz) const;
+  /// Output power for `input` at `freq` (Rapp compression).
+  DbmPower output(DbmPower input, Frequency freq) const;
 
-  /// Output-referred 1-dB compression point at the center frequency, dBm
+  /// Output-referred 1-dB compression point at the center frequency
   /// (found numerically).
-  double p1db_dbm() const;
+  DbmPower p1db() const;
 
-  /// Drain efficiency when delivering `output_dbm` of RF power.
-  double efficiency(double output_dbm) const;
+  /// Drain efficiency when delivering `output` of RF power.
+  double efficiency(DbmPower output) const;
 
-  /// Width of the band where gain >= peak - `drop_db`, Hz.
-  double bandwidth_hz(double drop_db) const;
+  /// Width of the band where gain >= peak - `drop`.
+  Frequency bandwidth(Decibels drop) const;
 
   const Params& params() const { return params_; }
 

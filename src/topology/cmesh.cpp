@@ -65,8 +65,8 @@ NetworkSpec build_cmesh(const TopologyOptions& options) {
   // Bisection: a vertical cut crosses k links per direction = 2k channels.
   const int cpf = resolve_cpf(options.electrical_cpf, 2.0 * k, options);
   // 50 mm die at 256 cores, 100 mm MCM at 1024; hop length = edge / k.
-  const double edge_mm = options.num_cores <= 256 ? 50.0 : 100.0;
-  const double hop_mm = edge_mm / k;
+  const Length edge = options.num_cores <= 256 ? 50.0_mm : 100.0_mm;
+  const Length hop = edge / static_cast<double>(k);
 
   auto add_link = [&](RouterId src, Direction sd, RouterId dst, Direction dd) {
     LinkSpec link;
@@ -77,7 +77,7 @@ NetworkSpec build_cmesh(const TopologyOptions& options) {
     link.medium = MediumType::kElectrical;
     link.latency = 1;
     link.cycles_per_flit = cpf;
-    link.distance_mm = hop_mm;
+    link.distance = hop;
     link.name = "mesh" + std::to_string(src) + "-" + std::to_string(dst);
     spec.links.push_back(link);
   };
@@ -97,9 +97,10 @@ NetworkSpec build_cmesh(const TopologyOptions& options) {
   }
 
   // Floorplan: routers at grid-cell centers.
-  spec.router_xy_mm.resize(static_cast<std::size_t>(num_routers));
+  spec.router_xy.resize(static_cast<std::size_t>(num_routers));
   for (int r = 0; r < num_routers; ++r) {
-    spec.router_xy_mm[r] = {(r % k + 0.5) * hop_mm, (r / k + 0.5) * hop_mm};
+    spec.router_xy[static_cast<std::size_t>(r)] = {(r % k + 0.5) * hop,
+                                                   (r / k + 0.5) * hop};
   }
 
   // Dimension-order routing tables. Primary: XY. With O1TURN enabled a

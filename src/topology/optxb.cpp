@@ -32,7 +32,7 @@ NetworkSpec build_optxb(const TopologyOptions& options) {
   // far-side writers of a waveguide carry cut-crossing traffic).
   const int cpf =
       resolve_cpf(options.photonic_cpf, 0.5 * num_routers, options);
-  const double snake_mm = options.num_cores <= 256 ? 50.0 : 100.0;
+  const Length snake = options.num_cores <= 256 ? 50.0_mm : 100.0_mm;
 
   spec.media.reserve(static_cast<std::size_t>(num_routers));
   for (RouterId home = 0; home < num_routers; ++home) {
@@ -48,7 +48,7 @@ NetworkSpec build_optxb(const TopologyOptions& options) {
     wg.latency = 2;  // ~50 mm snake at ~15 ps/mm, plus O/E conversion
     wg.cycles_per_flit = cpf;
     wg.max_packet_flits = options.max_packet_flits;
-    wg.distance_mm = snake_mm;
+    wg.distance = snake;
     wg.name = "optxb-wg" + std::to_string(home);
     spec.media.push_back(std::move(wg));
   }
@@ -56,10 +56,11 @@ NetworkSpec build_optxb(const TopologyOptions& options) {
   // Floorplan: concentrated routers on a square grid under the snake.
   {
     const int k = static_cast<int>(std::lround(std::sqrt(num_routers)));
-    const double cell = snake_mm / std::max(1, k);
-    spec.router_xy_mm.resize(static_cast<std::size_t>(num_routers));
+    const Length cell = snake / static_cast<double>(std::max(1, k));
+    spec.router_xy.resize(static_cast<std::size_t>(num_routers));
     for (int r = 0; r < num_routers; ++r) {
-      spec.router_xy_mm[r] = {(r % k + 0.5) * cell, (r / k + 0.5) * cell};
+      spec.router_xy[static_cast<std::size_t>(r)] = {(r % k + 0.5) * cell,
+                                                     (r / k + 0.5) * cell};
     }
   }
 

@@ -41,7 +41,7 @@ void add_cluster_waveguides(NetworkSpec& spec, int group, int cluster,
     wg.latency = 2;  // ~25 mm snake at ~15 ps/mm plus O/E conversion
     wg.cycles_per_flit = cpf;
     wg.max_packet_flits = max_packet_flits;
-    wg.distance_mm = 25.0;
+    wg.distance = 25.0_mm;
     wg.name = "wg-g" + std::to_string(group) + "c" + std::to_string(cluster) +
               "t" + std::to_string(home);
     spec.media.push_back(std::move(wg));
@@ -68,9 +68,9 @@ std::array<int, 4> placement_tiles(AntennaPlacement placement, int cluster) {
 
 // Die coordinates: 2x2 clusters of 25 mm; tiles on a 4x4 grid per cluster.
 void fill_own_positions(NetworkSpec& spec, int groups) {
-  const double cluster_mm = 25.0;
-  const double tile_mm = cluster_mm / 4.0;
-  spec.router_xy_mm.resize(spec.routers.size());
+  const Length cluster_edge = 25.0_mm;
+  const Length tile_edge = cluster_edge / 4.0;
+  spec.router_xy.resize(spec.routers.size());
   for (std::size_t r = 0; r < spec.routers.size(); ++r) {
     const int group = static_cast<int>(r) /
                       (kOwnTilesPerCluster * kOwnClustersPerGroup);
@@ -88,12 +88,14 @@ void fill_own_positions(NetworkSpec& spec, int groups) {
     };
     const auto [gx, gy] = quadrant(group % 4);
     const auto [cx, cy] = quadrant(cluster);
-    const double group_mm = 2.0 * cluster_mm;
-    const double x = (groups > 1 ? gx * group_mm : 0.0) + cx * cluster_mm +
-                     (tile % 4) * tile_mm + tile_mm / 2.0;
-    const double y = (groups > 1 ? gy * group_mm : 0.0) + cy * cluster_mm +
-                     (tile / 4) * tile_mm + tile_mm / 2.0;
-    spec.router_xy_mm[r] = {x, y};
+    const Length group_edge = 2.0 * cluster_edge;
+    const Length x = (groups > 1 ? gx * group_edge : Length{}) +
+                     cx * cluster_edge + (tile % 4) * tile_edge +
+                     tile_edge / 2.0;
+    const Length y = (groups > 1 ? gy * group_edge : Length{}) +
+                     cy * cluster_edge + (tile / 4) * tile_edge +
+                     tile_edge / 2.0;
+    spec.router_xy[r] = {x, y};
   }
 }
 
@@ -156,7 +158,7 @@ NetworkSpec build_own256_impl(const TopologyOptions& options,
     link.medium = MediumType::kWireless;
     link.latency = 2;  // OOK modulation + propagation (< 1 cycle at 60 mm)
     link.cycles_per_flit = wireless_cpf;
-    link.distance_mm = distance_mm(ch.distance);
+    link.distance = distance_of(ch.distance);
     link.wireless_channel = ch.id;
     link.name = "wl" + std::to_string(ch.id);
     spec.links.push_back(link);
@@ -247,7 +249,7 @@ NetworkSpec build_own1024(const TopologyOptions& options) {
     medium.latency = 2;
     medium.cycles_per_flit = wireless_cpf;
     medium.max_packet_flits = options.max_packet_flits;
-    medium.distance_mm = distance_mm(ch.distance);
+    medium.distance = distance_of(ch.distance);
     medium.multicast_rx = true;  // every listening cluster pays RX energy
     medium.wireless_channel = ch.id;
     medium.select_reader = [](NodeId, RouterId dst_router) {

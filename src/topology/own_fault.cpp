@@ -119,7 +119,7 @@ NetworkSpec build_own256_faulted(const TopologyOptions& options,
       wg.latency = 2;
       wg.cycles_per_flit = photonic_cpf;
       wg.max_packet_flits = options.max_packet_flits;
-      wg.distance_mm = 25.0;
+      wg.distance = 25.0_mm;
       wg.name = "wg-c" + std::to_string(c) + "t" + std::to_string(home);
       spec.media.push_back(std::move(wg));
     }
@@ -138,7 +138,7 @@ NetworkSpec build_own256_faulted(const TopologyOptions& options,
     link.medium = MediumType::kWireless;
     link.latency = 2;
     link.cycles_per_flit = wireless_cpf;
-    link.distance_mm = distance_mm(ch.distance);
+    link.distance = distance_of(ch.distance);
     link.wireless_channel = ch.id;
     link.name = "wl" + std::to_string(ch.id);
     spec.links.push_back(link);

@@ -158,7 +158,7 @@ NetworkSpec build_own256_reconfig(const TopologyOptions& options,
       wg.latency = 2;
       wg.cycles_per_flit = photonic_cpf;
       wg.max_packet_flits = options.max_packet_flits;
-      wg.distance_mm = 25.0;
+      wg.distance = 25.0_mm;
       wg.name = "wg-c" + std::to_string(c) + "t" + std::to_string(home);
       spec.media.push_back(std::move(wg));
     }
@@ -175,7 +175,7 @@ NetworkSpec build_own256_reconfig(const TopologyOptions& options,
     link.medium = MediumType::kWireless;
     link.latency = 2;
     link.cycles_per_flit = wireless_cpf;
-    link.distance_mm = distance_mm(distance);
+    link.distance = distance_of(distance);
     link.wireless_channel = channel;
     link.name = "wl" + std::to_string(channel);
     spec.links.push_back(link);

@@ -34,7 +34,7 @@ NetworkSpec build_pclos(const TopologyOptions& options) {
   // leaf<->middle pairs straddle the cut).
   const int cpf = resolve_cpf(options.photonic_cpf,
                               0.5 * static_cast<double>(s) * s, options);
-  const double stage_mm = options.num_cores <= 256 ? 30.0 : 60.0;
+  const Length stage = options.num_cores <= 256 ? 30.0_mm : 60.0_mm;
 
   auto add_link = [&](RouterId src, PortId sp, RouterId dst, PortId dp,
                       const char* tag) {
@@ -46,7 +46,7 @@ NetworkSpec build_pclos(const TopologyOptions& options) {
     link.medium = MediumType::kPhotonic;
     link.latency = 2;
     link.cycles_per_flit = cpf;
-    link.distance_mm = stage_mm;
+    link.distance = stage;
     link.name = std::string(tag) + std::to_string(src) + "-" +
                 std::to_string(dst);
     spec.links.push_back(link);
@@ -61,11 +61,12 @@ NetworkSpec build_pclos(const TopologyOptions& options) {
 
   // Floorplan: leaves along the die bottom, middle switches along the top.
   {
-    const double die = options.num_cores <= 256 ? 50.0 : 100.0;
-    spec.router_xy_mm.resize(static_cast<std::size_t>(2 * s));
+    const Length die = options.num_cores <= 256 ? 50.0_mm : 100.0_mm;
+    spec.router_xy.resize(static_cast<std::size_t>(2 * s));
     for (int i = 0; i < s; ++i) {
-      spec.router_xy_mm[i] = {(i + 0.5) * die / s, die * 0.25};
-      spec.router_xy_mm[s + i] = {(i + 0.5) * die / s, die * 0.75};
+      const Length x = (i + 0.5) * die / static_cast<double>(s);
+      spec.router_xy[static_cast<std::size_t>(i)] = {x, die * 0.25};
+      spec.router_xy[static_cast<std::size_t>(s + i)] = {x, die * 0.75};
     }
   }
 

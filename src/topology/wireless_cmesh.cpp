@@ -61,11 +61,12 @@ NetworkSpec build_wireless_cmesh(const TopologyOptions& options) {
   const int e_cpf = options.electrical_cpf > 0 ? options.electrical_cpf : 4;
   // A vertical cut crosses kw wireless rows in each direction.
   const int w_cpf = resolve_cpf(options.wireless_cpf, 2.0 * kw, options);
-  const double edge_mm = options.num_cores <= 256 ? 50.0 : 100.0;
-  const double whop_mm = edge_mm / kw;
+  const Length edge = options.num_cores <= 256 ? 50.0_mm : 100.0_mm;
+  const Length whop = edge / static_cast<double>(kw);
 
   auto add_link = [&](RouterId src, PortId sp, RouterId dst, PortId dp,
-                      MediumType medium, int cpf, double mm, int latency) {
+                      MediumType medium, int cpf, Length distance,
+                      int latency) {
     LinkSpec link;
     link.src_router = src;
     link.src_port = sp;
@@ -74,7 +75,7 @@ NetworkSpec build_wireless_cmesh(const TopologyOptions& options) {
     link.medium = medium;
     link.latency = latency;
     link.cycles_per_flit = cpf;
-    link.distance_mm = mm;
+    link.distance = distance;
     link.name = (medium == MediumType::kWireless ? "wl" : "el") +
                 std::to_string(src) + "-" + std::to_string(dst);
     spec.links.push_back(link);
@@ -86,7 +87,7 @@ NetworkSpec build_wireless_cmesh(const TopologyOptions& options) {
       for (int b = 0; b < kClusterSize; ++b) {
         if (a == b) continue;
         add_link(c * kClusterSize + a, xbar_port(a, b), c * kClusterSize + b,
-                 xbar_port(b, a), MediumType::kElectrical, e_cpf, 6.0, 1);
+                 xbar_port(b, a), MediumType::kElectrical, e_cpf, 6.0_mm, 1);
       }
     }
   }
@@ -98,30 +99,31 @@ NetworkSpec build_wireless_cmesh(const TopologyOptions& options) {
       if (cx + 1 < kw) {
         const RouterId e = head(cx + 1, cy);
         add_link(r, dir_port[r][kEast], e, dir_port[e][kWest],
-                 MediumType::kWireless, w_cpf, whop_mm, 2);
+                 MediumType::kWireless, w_cpf, whop, 2);
         add_link(e, dir_port[e][kWest], r, dir_port[r][kEast],
-                 MediumType::kWireless, w_cpf, whop_mm, 2);
+                 MediumType::kWireless, w_cpf, whop, 2);
       }
       if (cy + 1 < kw) {
         const RouterId s = head(cx, cy + 1);
         add_link(r, dir_port[r][kSouth], s, dir_port[s][kNorth],
-                 MediumType::kWireless, w_cpf, whop_mm, 2);
+                 MediumType::kWireless, w_cpf, whop, 2);
         add_link(s, dir_port[s][kNorth], r, dir_port[r][kSouth],
-                 MediumType::kWireless, w_cpf, whop_mm, 2);
+                 MediumType::kWireless, w_cpf, whop, 2);
       }
     }
   }
 
   // Floorplan: clusters on a kw x kw grid, the 4 routers of a cluster on a
   // small 2x2 inside their cell.
-  spec.router_xy_mm.resize(static_cast<std::size_t>(num_routers));
+  spec.router_xy.resize(static_cast<std::size_t>(num_routers));
   for (int r = 0; r < num_routers; ++r) {
     const int cluster = r / kClusterSize;
     const int local = r % kClusterSize;
-    const double base_x = (cluster % kw) * whop_mm;
-    const double base_y = (cluster / kw) * whop_mm;
-    spec.router_xy_mm[r] = {base_x + (local % 2 + 0.5) * whop_mm / 2.0,
-                            base_y + (local / 2 + 0.5) * whop_mm / 2.0};
+    const Length base_x = (cluster % kw) * whop;
+    const Length base_y = (cluster / kw) * whop;
+    spec.router_xy[static_cast<std::size_t>(r)] = {
+        base_x + (local % 2 + 0.5) * whop / 2.0,
+        base_y + (local / 2 + 0.5) * whop / 2.0};
   }
 
   // Routing: intra-cluster direct; otherwise local head -> wireless XY DOR ->

@@ -6,25 +6,24 @@
 namespace ownsim {
 
 BandPlan::BandPlan(Scenario scenario) : scenario_(scenario) {
-  const double bw = channel_bandwidth_ghz(scenario);
-  const double spacing = bw + guard_band_ghz(scenario);
+  const Frequency bw = channel_bandwidth(scenario);
+  const Frequency spacing = bw + guard_band(scenario);
   links_.reserve(kNumLinks);
   for (int i = 0; i < kNumLinks; ++i) {
     BandPlanLink link;
     link.index = i;
-    link.center_ghz = 100.0 + spacing * i;
-    link.bandwidth_ghz = bw;
+    link.center = 100.0_ghz + spacing * static_cast<double>(i);
+    link.bandwidth = bw;
     // Technology feasibility: 4 CMOS channels at the bottom of the plan,
     // SiGe-HBT-only above ~300 GHz, BiCMOS between.
     if (i < 4) {
       link.tech = WirelessTech::kCmos;
-    } else if (link.center_ghz <= 300.0) {
+    } else if (link.center <= 300.0_ghz) {
       link.tech = WirelessTech::kBiCmos;
     } else {
       link.tech = WirelessTech::kSiGeHbt;
     }
-    link.energy_pj_per_bit =
-        energy_per_bit_pj(link.tech, scenario, link.center_ghz);
+    link.energy_per_bit = energy_per_bit(link.tech, scenario, link.center);
     link.reconfiguration = i >= kNumDataLinks;
     links_.push_back(link);
   }
@@ -46,7 +45,8 @@ const BandPlanLink& BandPlan::nth_link_of(WirelessTech tech, int nth) const {
   if (tech == WirelessTech::kSiGeHbt) {
     std::reverse(indices.begin(), indices.end());
   }
-  return links_[indices[static_cast<std::size_t>(nth) % indices.size()]];
+  return links_[static_cast<std::size_t>(
+      indices[static_cast<std::size_t>(nth) % indices.size()])];
 }
 
 }  // namespace ownsim

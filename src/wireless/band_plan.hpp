@@ -13,17 +13,18 @@
 
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "wireless/technology.hpp"
 
 namespace ownsim {
 
 struct BandPlanLink {
-  int index = 0;           ///< 0..15 (paper rows 1..16)
-  double center_ghz = 0.0;
-  double bandwidth_ghz = 0.0;
+  int index = 0;  ///< 0..15 (paper rows 1..16)
+  Frequency center;
+  Frequency bandwidth;
   WirelessTech tech = WirelessTech::kCmos;
-  double energy_pj_per_bit = 0.0;  ///< E(f) at this link's center frequency
-  bool reconfiguration = false;    ///< links 13-16 in the paper's numbering
+  EnergyPerBit energy_per_bit;   ///< E(f) at this link's center frequency
+  bool reconfiguration = false;  ///< links 13-16 in the paper's numbering
 };
 
 class BandPlan {
@@ -32,7 +33,7 @@ class BandPlan {
 
   Scenario scenario() const { return scenario_; }
   const std::vector<BandPlanLink>& links() const { return links_; }
-  const BandPlanLink& link(int index) const { return links_.at(index); }
+  const BandPlanLink& link(int index) const { return links_.at(static_cast<std::size_t>(index)); }
 
   /// Indices of the links built from `tech`, ascending frequency.
   std::vector<int> links_of(WirelessTech tech) const;

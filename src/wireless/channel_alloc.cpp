@@ -97,13 +97,13 @@ double ld_factor(DistanceClass distance) {
   return 1.0;
 }
 
-double distance_mm(DistanceClass distance) {
+Length distance_of(DistanceClass distance) {
   switch (distance) {
-    case DistanceClass::kC2C: return 60.0;
-    case DistanceClass::kE2E: return 30.0;
-    case DistanceClass::kSR: return 10.0;
+    case DistanceClass::kC2C: return 60.0_mm;
+    case DistanceClass::kE2E: return 30.0_mm;
+    case DistanceClass::kSR: return 10.0_mm;
   }
-  return 0.0;
+  return Length{};
 }
 
 int antenna_tile(Antenna antenna) {

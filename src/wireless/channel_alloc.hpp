@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "common/types.hpp"
 
 namespace ownsim {
@@ -38,8 +39,8 @@ const char* to_string(DistanceClass distance);
 /// Paper Table I / §IV: radiated-power scaling with link distance.
 double ld_factor(DistanceClass distance);
 
-/// Representative physical length of each class, mm.
-double distance_mm(DistanceClass distance);
+/// Representative physical length of each class (60/30/10 mm).
+Length distance_of(DistanceClass distance);
 
 /// Antenna letters A..D map to the four corner tiles of a 4x4-tile cluster.
 enum class Antenna : int { kA = 0, kB = 1, kC = 2, kD = 3 };

@@ -83,8 +83,8 @@ ChannelEnergyModel::ChannelEnergyModel(OwnConfig config, Scenario scenario,
                                             : own1024_sdm_groups()) {}
 
 ChannelEnergyModel::ChannelEnergyModel(OwnConfig config, Scenario scenario,
-                                       std::vector<DistanceClass> distance,
-                                       std::vector<int> sdm)
+                                       const std::vector<DistanceClass>& distance,
+                                       const std::vector<int>& sdm)
     : config_(config), scenario_(scenario), plan_(scenario) {
   if (distance.empty() || distance.size() != sdm.size()) {
     throw std::invalid_argument(
@@ -100,10 +100,10 @@ ChannelEnergyModel::ChannelEnergyModel(OwnConfig config, Scenario scenario,
 
   assignments_.reserve(static_cast<std::size_t>(num_channels));
   for (int id = 0; id < num_channels; ++id) {
-    const DistanceClass dc = distance[id];
+    const DistanceClass dc = distance[static_cast<std::size_t>(id)];
     const WirelessTech tech = config_tech(config, dc);
     int band_index;
-    const int set = sdm[id];
+    const int set = sdm[static_cast<std::size_t>(id)];
     auto it = set_link.find(set);
     if (it != set_link.end() &&
         plan_.link(it->second).tech == tech) {
@@ -119,10 +119,10 @@ ChannelEnergyModel::ChannelEnergyModel(OwnConfig config, Scenario scenario,
     a.distance = dc;
     a.tech = tech;
     a.band_link = band_index;
-    a.freq_ghz = link.center_ghz;
-    a.tech_epb_pj = link.energy_pj_per_bit;
-    a.tx_epb_pj = kTxEnergyShare * a.tech_epb_pj * ld_factor(dc);
-    a.rx_epb_pj = (1.0 - kTxEnergyShare) * a.tech_epb_pj;
+    a.freq = link.center;
+    a.tech_epb = link.energy_per_bit;
+    a.tx_epb = kTxEnergyShare * a.tech_epb * ld_factor(dc);
+    a.rx_epb = (1.0 - kTxEnergyShare) * a.tech_epb;
     assignments_.push_back(a);
   }
 }

@@ -53,10 +53,10 @@ class ChannelEnergyModel {
     DistanceClass distance = DistanceClass::kC2C;
     WirelessTech tech = WirelessTech::kCmos;
     int band_link = 0;           ///< Table III link index used
-    double freq_ghz = 0.0;
-    double tech_epb_pj = 0.0;    ///< E(f) before distance scaling
-    double tx_epb_pj = 0.0;      ///< transmit share x LD factor
-    double rx_epb_pj = 0.0;      ///< per-listener receive share
+    Frequency freq;
+    EnergyPerBit tech_epb;       ///< E(f) before distance scaling
+    EnergyPerBit tx_epb;         ///< transmit share x LD factor
+    EnergyPerBit rx_epb;         ///< per-listener receive share
   };
 
   /// `num_channels`: 12 for OWN-256, 16 for OWN-1024 (the four extra
@@ -66,21 +66,23 @@ class ChannelEnergyModel {
   /// Explicit layout (e.g. OWN-256 + reconfiguration channels): one distance
   /// class per channel and the SDM reuse-set id per channel.
   ChannelEnergyModel(OwnConfig config, Scenario scenario,
-                     std::vector<DistanceClass> distances,
-                     std::vector<int> sdm_groups);
+                     const std::vector<DistanceClass>& distances,
+                     const std::vector<int>& sdm_groups);
 
   OwnConfig config() const { return config_; }
   Scenario scenario() const { return scenario_; }
   const std::vector<Assignment>& assignments() const { return assignments_; }
-  const Assignment& channel(int id) const { return assignments_.at(id); }
-
-  /// Total energy to move one bit over channel `id`, pJ (TX + one RX).
-  double epb_pj(int id) const {
-    const Assignment& a = assignments_.at(id);
-    return a.tx_epb_pj + a.rx_epb_pj;
+  const Assignment& channel(int id) const {
+    return assignments_.at(static_cast<std::size_t>(id));
   }
-  double tx_epb_pj(int id) const { return assignments_.at(id).tx_epb_pj; }
-  double rx_epb_pj(int id) const { return assignments_.at(id).rx_epb_pj; }
+
+  /// Total energy to move one bit over channel `id` (TX + one RX).
+  EnergyPerBit epb(int id) const {
+    const Assignment& a = channel(id);
+    return a.tx_epb + a.rx_epb;
+  }
+  EnergyPerBit tx_epb(int id) const { return channel(id).tx_epb; }
+  EnergyPerBit rx_epb(int id) const { return channel(id).rx_epb; }
 
  private:
   OwnConfig config_;

@@ -31,49 +31,50 @@ WirelessTech parse_tech(const std::string& name) {
   throw std::invalid_argument("unknown wireless technology: " + name);
 }
 
-double base_efficiency_pj(WirelessTech tech) {
+EnergyPerBit base_efficiency(WirelessTech tech) {
   switch (tech) {
-    case WirelessTech::kCmos: return 0.1;
-    case WirelessTech::kBiCmos: return 0.3;
-    case WirelessTech::kSiGeHbt: return 0.5;
+    case WirelessTech::kCmos: return 0.1_pj_per_bit;
+    case WirelessTech::kBiCmos: return 0.3_pj_per_bit;
+    case WirelessTech::kSiGeHbt: return 0.5_pj_per_bit;
   }
-  return 0.0;
+  return EnergyPerBit{};
 }
 
-double efficiency_ramp_pj(WirelessTech tech, Scenario scenario) {
+EnergyPerBit efficiency_ramp(WirelessTech tech, Scenario scenario) {
   if (scenario == Scenario::kIdeal) {
     switch (tech) {
-      case WirelessTech::kCmos: return 0.05;
-      case WirelessTech::kBiCmos: return 0.07;
-      case WirelessTech::kSiGeHbt: return 0.10;
+      case WirelessTech::kCmos: return 0.05_pj_per_bit;
+      case WirelessTech::kBiCmos: return 0.07_pj_per_bit;
+      case WirelessTech::kSiGeHbt: return 0.10_pj_per_bit;
     }
   } else {
     switch (tech) {
-      case WirelessTech::kCmos: return 0.05;
-      case WirelessTech::kBiCmos: return 0.06;
-      case WirelessTech::kSiGeHbt: return 0.07;
+      case WirelessTech::kCmos: return 0.05_pj_per_bit;
+      case WirelessTech::kBiCmos: return 0.06_pj_per_bit;
+      case WirelessTech::kSiGeHbt: return 0.07_pj_per_bit;
     }
   }
-  return 0.0;
+  return EnergyPerBit{};
 }
 
-double energy_per_bit_pj(WirelessTech tech, Scenario scenario,
-                         double freq_ghz) {
-  const double above_anchor_100ghz = std::max(0.0, freq_ghz - 100.0) / 100.0;
-  return base_efficiency_pj(tech) +
-         efficiency_ramp_pj(tech, scenario) * above_anchor_100ghz;
+EnergyPerBit energy_per_bit(WirelessTech tech, Scenario scenario,
+                            Frequency freq) {
+  // (f - 100 GHz) / 100 GHz is a dimensionless ramp position.
+  const double ramp_position = (freq - 100.0_ghz) / 100.0_ghz;
+  const double above_anchor = std::max(0.0, ramp_position);
+  return base_efficiency(tech) + efficiency_ramp(tech, scenario) * above_anchor;
 }
 
-double channel_bandwidth_ghz(Scenario scenario) {
-  return scenario == Scenario::kIdeal ? 32.0 : 16.0;
+Frequency channel_bandwidth(Scenario scenario) {
+  return scenario == Scenario::kIdeal ? 32.0_ghz : 16.0_ghz;
 }
 
-double guard_band_ghz(Scenario scenario) {
-  return scenario == Scenario::kIdeal ? 8.0 : 4.0;
+Frequency guard_band(Scenario scenario) {
+  return scenario == Scenario::kIdeal ? 8.0_ghz : 4.0_ghz;
 }
 
-double channel_rate_gbps(Scenario scenario) {
-  return channel_bandwidth_ghz(scenario);  // 1 bit/s/Hz OOK
+DataRate channel_rate(Scenario scenario) {
+  return channel_bandwidth(scenario) * kBit;  // 1 bit/s/Hz OOK
 }
 
 }  // namespace ownsim

@@ -18,6 +18,8 @@
 
 #include <string>
 
+#include "common/quantity.hpp"
+
 namespace ownsim {
 
 enum class WirelessTech { kCmos, kBiCmos, kSiGeHbt };
@@ -32,23 +34,23 @@ const char* to_string(Scenario scenario);
 /// Parses "cmos" / "bicmos" / "sige"/"hbt"; throws on unknown names.
 WirelessTech parse_tech(const std::string& name);
 
-/// Base efficiency at the 100 GHz anchor, pJ/bit.
-double base_efficiency_pj(WirelessTech tech);
+/// Base efficiency at the 100 GHz anchor.
+EnergyPerBit base_efficiency(WirelessTech tech);
 
-/// Efficiency ramp, pJ/bit per 100 GHz above the anchor.
-double efficiency_ramp_pj(WirelessTech tech, Scenario scenario);
+/// Efficiency ramp per 100 GHz above the anchor.
+EnergyPerBit efficiency_ramp(WirelessTech tech, Scenario scenario);
 
-/// E(f): energy per bit for a transceiver of `tech` at `freq_ghz`.
-double energy_per_bit_pj(WirelessTech tech, Scenario scenario,
-                         double freq_ghz);
+/// E(f): energy per bit for a transceiver of `tech` at `freq`.
+EnergyPerBit energy_per_bit(WirelessTech tech, Scenario scenario,
+                            Frequency freq);
 
 /// Channel bandwidth per scenario: 32 GHz ideal / 16 GHz conservative.
-double channel_bandwidth_ghz(Scenario scenario);
+Frequency channel_bandwidth(Scenario scenario);
 
 /// Guard band between adjacent channels: 8 GHz ideal / 4 GHz conservative.
-double guard_band_ghz(Scenario scenario);
+Frequency guard_band(Scenario scenario);
 
-/// Channel data rate in Gb/s (1 bit/s/Hz OOK: 32 or 16 Gb/s).
-double channel_rate_gbps(Scenario scenario);
+/// Channel data rate (1 bit/s/Hz OOK: 32 or 16 Gb/s).
+DataRate channel_rate(Scenario scenario);
 
 }  // namespace ownsim

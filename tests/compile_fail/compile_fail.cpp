@@ -1,0 +1,54 @@
+// Negative-compilation cases for the quantity/dimension system.
+//
+// Each CASE_* macro selects one snippet that MUST fail to compile; CTest
+// builds the matching object target and asserts failure (WILL_FAIL). CASE_OK
+// is the positive control proving the harness itself builds — if it breaks,
+// every WILL_FAIL case would "pass" vacuously.
+#include "common/quantity.hpp"
+#include "common/units.hpp"
+
+using namespace ownsim;
+
+#if defined(CASE_OK)
+
+// Positive control: dimensionally sound arithmetic compiles.
+constexpr Length d = 2.0 * 25.0_mm + 1.0_cm;
+constexpr Frequency f = 60.0_ghz;
+constexpr Length lambda = units::wavelength(f);
+constexpr Decibels gain = 3.0_db + 2.0_dbi;
+constexpr DbmPower tx = 4.0_dbm + gain;
+constexpr Decibels delta = tx - 0.0_dbm;
+constexpr double ratio = d / lambda;  // Dimensionless -> double is implicit
+static_assert(ratio > 0.0);
+static_assert(delta.db() > 0.0);
+
+#elif defined(CASE_HZ_PLUS_METERS)
+
+// Frequency + Length has no meaning; operator+ requires matching dimensions.
+constexpr auto bad = 60.0_ghz + 5.0_mm;
+
+#elif defined(CASE_DB_AS_LINEAR_RATIO)
+
+// Decibels is log-domain; it must not scale a linear quantity directly.
+constexpr Power bad = Power{1.0} * 3.0_db;
+
+#elif defined(CASE_DBM_PLUS_DBM)
+
+// Adding two absolute power levels is deleted (dBm + dBm is nonsense;
+// dBm + dB is the sanctioned form).
+constexpr auto bad = 4.0_dbm + 4.0_dbm;
+
+#elif defined(CASE_QUANTITY_TO_DOUBLE)
+
+// Dimensioned quantities never decay to double implicitly; call sites must
+// pick a unit with .in(...) or take the SI value with .value().
+constexpr double bad = 60.0_ghz;
+
+#elif defined(CASE_LENGTH_FOR_FREQUENCY)
+
+// wavelength() takes a Frequency; a Length argument must not convert.
+constexpr Length bad = units::wavelength(5.0_mm);
+
+#else
+#error "compile_fail.cpp requires exactly one CASE_* macro"
+#endif

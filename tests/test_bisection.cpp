@@ -58,8 +58,9 @@ TEST(Bisection, AllTopologiesPresentComparableBisection) {
     double crossing_gbps = 0.0;
     const double full = options.flit_bits * options.clock_ghz;  // Gb/s
     auto side = [&](RouterId r) {
-      if (!spec.router_xy_mm.empty()) {
-        return spec.router_xy_mm[r].first < 25.0 ? 0 : 1;
+      if (!spec.router_xy.empty()) {
+        return spec.router_xy[static_cast<std::size_t>(r)].first < 25.0_mm ? 0
+                                                                           : 1;
       }
       // Fallback: split router ids in half (valid for the row-major grids
       // and for p-Clos leaves).

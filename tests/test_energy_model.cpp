@@ -34,7 +34,7 @@ TEST(EnergyModelExact, ElectricalLinkEnergy) {
   EnergyModel model(params);
   const PowerBreakdown breakdown = model.compute(s.net);
 
-  const double seconds = s.net.engine().now() / 2e9;
+  const double seconds = static_cast<double>(s.net.engine().now()) / 2e9;
   // All 40 flits crossed the single forward link; distance is 0 in the test
   // spec, so electrical link energy is 0 with any wire constant.
   EXPECT_DOUBLE_EQ(breakdown.electrical_link_w, 0.0);
@@ -52,8 +52,8 @@ TEST(EnergyModelExact, ElectricalLinkEnergy) {
   const auto& c0 = s.net.router(0).counters();
   const auto& c1 = s.net.router(1).counters();
   expected_pj += params.alloc_pj_per_op *
-                 (c0.vc_allocations + c0.switch_allocations +
-                  c1.vc_allocations + c1.switch_allocations);
+                 static_cast<double>(c0.vc_allocations + c0.switch_allocations +
+                                     c1.vc_allocations + c1.switch_allocations);
   EXPECT_NEAR(breakdown.router_dynamic_w, expected_pj * 1e-12 / seconds,
               1e-12);
 }
@@ -75,7 +75,7 @@ TEST(EnergyModelExact, EnergyPerPacketConsistent) {
   TwoRouterRun s;
   EnergyModel model{PowerParams{}};
   const PowerBreakdown breakdown = model.compute(s.net);
-  const double seconds = s.net.engine().now() / 2e9;
+  const double seconds = static_cast<double>(s.net.engine().now()) / 2e9;
   const double expected =
       breakdown.total_w() * seconds / TwoRouterRun::kPackets / units::kPico;
   EXPECT_NEAR(model.energy_per_packet_pj(s.net), expected, 1e-9);
@@ -98,10 +98,10 @@ TEST(EnergyModelExact, WirelessChannelTagging) {
   const ChannelEnergyModel channels(OwnConfig::kConfig4, Scenario::kIdeal);
   EnergyModel model(params, channels);
   const PowerBreakdown breakdown = model.compute(net);
-  const double seconds = net.engine().now() / 2e9;
+  const double seconds = static_cast<double>(net.engine().now()) / 2e9;
   const double bits = 5.0 * 4 * 128;
   const double expected_w =
-      bits * channels.epb_pj(0) * units::kPico / seconds;
+      bits * channels.epb(0).in(1.0_pj_per_bit) * units::kPico / seconds;
   EXPECT_NEAR(breakdown.wireless_link_w, expected_w, 1e-12);
 }
 
@@ -116,7 +116,7 @@ TEST(EnergyModelExact, LegacyWirelessFallback) {
   params.wireless_static_mw_per_channel = 0.0;
   EnergyModel model(params);  // no channel model at all
   const PowerBreakdown breakdown = model.compute(net);
-  const double seconds = net.engine().now() / 2e9;
+  const double seconds = static_cast<double>(net.engine().now()) / 2e9;
   const double bits = 4.0 * 128;
   EXPECT_NEAR(breakdown.wireless_link_w,
               bits * params.legacy_wireless_pj_per_bit * units::kPico / seconds,
@@ -127,7 +127,7 @@ TEST(EnergyModelExact, PhotonicLinkDynamicAndLaser) {
   NetworkSpec spec = testing::two_router_spec();
   spec.links[0].medium = MediumType::kPhotonic;
   spec.links[0].cycles_per_flit = 32;  // 8 Gb/s -> 1 lambda
-  spec.links[0].distance_mm = 50.0;
+  spec.links[0].distance = 50.0_mm;
   Network net(std::move(spec));
   net.nic().enqueue_packet(0, 1, 1, 4, 128, 0, 0, true);
   ASSERT_TRUE(testing::drain(net, 3000));
@@ -135,15 +135,15 @@ TEST(EnergyModelExact, PhotonicLinkDynamicAndLaser) {
   PowerParams params;
   EnergyModel model(params);
   const PowerBreakdown breakdown = model.compute(net);
-  const double seconds = net.engine().now() / 2e9;
+  const double seconds = static_cast<double>(net.engine().now()) / 2e9;
   EXPECT_NEAR(breakdown.photonic_link_w,
               4.0 * 128 * params.photonic_dynamic_pj_per_bit * units::kPico /
                   seconds,
               1e-12);
   // Laser: 5 cm path, 1 lambda, 3 splitter stages.
   LossBudget loss;
-  EXPECT_NEAR(breakdown.photonic_laser_w, loss.laser_wallplug_w(5.0, 1, 3, 1),
-              1e-12);
+  EXPECT_NEAR(breakdown.photonic_laser_w,
+              loss.laser_wallplug(50.0_mm, 1, 3, 1).value(), 1e-12);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ TEST(NicEdge, RejectsBadWiring) {
   Network net(testing::two_router_spec());
   // Nodes are wired by the Network constructor; double-wiring throws.
   std::vector<VcClassRange> classes = {{0, 4}};
-  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, 0.0, &classes, "x");
+  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, Length{}, &classes, "x");
   EXPECT_THROW(net.nic().connect(0, channel.out(), channel.in()),
                std::logic_error);
 }

@@ -48,23 +48,23 @@ TEST(RingBudget, RejectsDegenerateInputs) {
 
 TEST(LossBudget, AccumulatesAllComponents) {
   LossBudget budget;
-  const double loss = budget.path_loss_db(2.5, 60, 4);
+  const Decibels loss = budget.path_loss(2.5_cm, 60, 4);
   // 1 coupler + 2 splitter + 1.25 waveguide + 0.6 rings + 0.5 drop = 5.35 dB.
-  EXPECT_NEAR(loss, 5.35, 1e-9);
+  EXPECT_NEAR(loss.db(), 5.35, 1e-9);
 }
 
 TEST(LossBudget, LaserPowerCoversLossAndWallplug) {
   LossBudget budget;
-  const double per_lambda = budget.laser_power_per_lambda_w(2.5, 60, 4);
+  const Power per_lambda = budget.laser_power_per_lambda(2.5_cm, 60, 4);
   // -17 dBm sensitivity + 5.35 dB loss = -11.65 dBm ~ 68 uW.
-  EXPECT_NEAR(per_lambda * 1e6, 68.4, 1.0);
-  EXPECT_NEAR(budget.laser_wallplug_w(2.5, 60, 4, 4),
-              4.0 * per_lambda / 0.3, 1e-9);
+  EXPECT_NEAR(per_lambda.in(1.0_uw), 68.4, 1.0);
+  EXPECT_NEAR(budget.laser_wallplug(2.5_cm, 60, 4, 4).value(),
+              4.0 * per_lambda.value() / 0.3, 1e-9);
 }
 
 TEST(LossBudget, MoreRingsMoreLoss) {
   LossBudget budget;
-  EXPECT_GT(budget.path_loss_db(5.0, 4032, 6), budget.path_loss_db(5.0, 63, 6));
+  EXPECT_GT(budget.path_loss(5.0_cm, 4032, 6), budget.path_loss(5.0_cm, 63, 6));
 }
 
 }  // namespace

@@ -116,7 +116,7 @@ TEST(ReconfigEnergy, SixteenChannelModelResolves) {
                                  reconfig_sdm_groups());
   EXPECT_EQ(model.assignments().size(), 16u);
   for (int id = 12; id < 16; ++id) {
-    EXPECT_GT(model.epb_pj(id), 0.0);
+    EXPECT_GT(model.epb(id).value(), 0.0);
   }
 }
 

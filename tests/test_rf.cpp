@@ -17,110 +17,113 @@ TEST(LinkBudget, PaperAnchor32GbpsIsotropic50mm) {
   // "the maximum power required for an OOK transmitter is >= 4 dBm for a
   //  maximum distance of 50 mm" at 32 Gb/s, 90 GHz, 0 dB directivity.
   LinkBudget budget;
-  const double tx = budget.required_tx_dbm(0.050);
-  EXPECT_GE(tx, 4.0);
-  EXPECT_LE(tx, 6.0);  // and not wildly above
+  const DbmPower tx = budget.required_tx(50.0_mm);
+  EXPECT_GE(tx.dbm(), 4.0);
+  EXPECT_LE(tx.dbm(), 6.0);  // and not wildly above
 }
 
 TEST(LinkBudget, PowerGrowsWithDistance) {
   LinkBudget budget;
-  double prev = -100;
+  DbmPower prev{-100.0};
   for (double mm = 5; mm <= 50; mm += 5) {
-    const double tx = budget.required_tx_dbm(mm * 1e-3);
-    EXPECT_GT(tx, prev);
+    const DbmPower tx = budget.required_tx(mm * 1.0_mm);
+    EXPECT_GT(tx.dbm(), prev.dbm());
     prev = tx;
   }
   // Free space: +6 dB per doubling.
-  EXPECT_NEAR(budget.required_tx_dbm(0.040) - budget.required_tx_dbm(0.020),
-              6.02, 0.01);
+  const Decibels doubling =
+      budget.required_tx(40.0_mm) - budget.required_tx(20.0_mm);
+  EXPECT_NEAR(doubling.db(), 6.02, 0.01);
 }
 
 TEST(LinkBudget, DirectivityReducesRequiredPower) {
   LinkBudget budget;
-  const double iso = budget.required_tx_dbm(0.050, 0.0, 0.0);
-  const double directional = budget.required_tx_dbm(0.050, 3.0, 3.0);
-  EXPECT_NEAR(iso - directional, 6.0, 1e-9);
+  const DbmPower iso = budget.required_tx(50.0_mm, Decibels{}, Decibels{});
+  const DbmPower directional =
+      budget.required_tx(50.0_mm, 3.0_dbi, 3.0_dbi);
+  EXPECT_NEAR((iso - directional).db(), 6.0, 1e-9);
 }
 
 TEST(LinkBudget, SensitivityScalesWithRate) {
   LinkBudget::Params p16;
-  p16.data_rate_bps = 16e9;
-  const double s32 = LinkBudget().sensitivity_dbm();
-  const double s16 = LinkBudget(p16).sensitivity_dbm();
-  EXPECT_NEAR(s32 - s16, 3.01, 0.01);  // half the rate = 3 dB more sensitive
+  p16.data_rate = 16.0_gbps;
+  const DbmPower s32 = LinkBudget().sensitivity();
+  const DbmPower s16 = LinkBudget(p16).sensitivity();
+  EXPECT_NEAR((s32 - s16).db(), 3.01, 0.01);  // half the rate = 3 dB more sensitive
 }
 
 TEST(LinkBudget, MarginClosesAtRequiredPower) {
   LinkBudget budget;
-  const double tx = budget.required_tx_dbm(0.030);
-  EXPECT_NEAR(budget.margin_db(tx, 0.030), 0.0, 1e-9);
-  EXPECT_GT(budget.margin_db(tx + 2.0, 0.030), 1.9);
+  const DbmPower tx = budget.required_tx(30.0_mm);
+  EXPECT_NEAR(budget.margin(tx, 30.0_mm).db(), 0.0, 1e-9);
+  EXPECT_GT(budget.margin(tx + 2.0_db, 30.0_mm).db(), 1.9);
 }
 
 // ---- Fig 4a: Colpitts oscillator ------------------------------------------------
 
 TEST(Oscillator, OscillatesAt90GHz) {
   ColpittsOscillator osc;
-  EXPECT_NEAR(osc.frequency_hz() / 1e9, 90.0, 1.0);
+  EXPECT_NEAR(osc.frequency().in(1.0_ghz), 90.0, 1.0);
 }
 
 TEST(Oscillator, PhaseNoiseMatchesPaperAnchor) {
   // "phase noise at 1 MHz offset is observed to be around -86 dBc/Hz".
   ColpittsOscillator osc;
-  EXPECT_NEAR(osc.phase_noise_dbc_hz(1e6), -86.0, 2.0);
+  EXPECT_NEAR(osc.phase_noise_dbc(1.0_mhz).db(), -86.0, 2.0);
 }
 
 TEST(Oscillator, PhaseNoiseFallsWithOffset) {
   ColpittsOscillator osc;
-  EXPECT_LT(osc.phase_noise_dbc_hz(10e6), osc.phase_noise_dbc_hz(1e6));
+  EXPECT_LT(osc.phase_noise_dbc(10.0_mhz).db(), osc.phase_noise_dbc(1.0_mhz).db());
   // -20 dB/decade in the 1/f^2 region.
-  EXPECT_NEAR(osc.phase_noise_dbc_hz(1e6) - osc.phase_noise_dbc_hz(10e6), 20.0,
-              0.5);
+  const Decibels decade =
+      osc.phase_noise_dbc(1.0_mhz) - osc.phase_noise_dbc(10.0_mhz);
+  EXPECT_NEAR(decade.db(), 20.0, 0.5);
 }
 
 TEST(Oscillator, PsdPeaksAtCarrier) {
   ColpittsOscillator osc;
-  const auto sweep = osc.psd_sweep(80e9, 100e9, 201);
-  double best_f = 0;
-  double best = -1e9;
+  const auto sweep = osc.psd_sweep(80.0_ghz, 100.0_ghz, 201);
+  Frequency best_f;
+  Decibels best{-1e9};
   for (const auto& [f, dbc] : sweep) {
     if (dbc > best) {
       best = dbc;
       best_f = f;
     }
   }
-  EXPECT_NEAR(best_f / 1e9, 90.0, 0.2);
+  EXPECT_NEAR(best_f.in(1.0_ghz), 90.0, 0.2);
 }
 
 TEST(Oscillator, FrequencyFollowsTank) {
   ColpittsOscillator::Params params;
-  params.inductance_h *= 4.0;  // f ~ 1/sqrt(LC): halve the frequency
+  params.inductance *= 4.0;  // f ~ 1/sqrt(LC): halve the frequency
   ColpittsOscillator slow(params);
-  EXPECT_NEAR(slow.frequency_hz() / 1e9, 45.0, 1.0);
+  EXPECT_NEAR(slow.frequency().in(1.0_ghz), 45.0, 1.0);
 }
 
 // ---- Fig 4b: class-AB PA --------------------------------------------------------
 
 TEST(Pa, GainPeaksAt90GHzWith20GHzBand) {
   ClassAbPa pa;
-  EXPECT_NEAR(pa.gain_db(90e9), 3.5, 1e-9);
+  EXPECT_NEAR(pa.gain(90.0_ghz).db(), 3.5, 1e-9);
   // ~20 GHz wide at 2 dB gain (i.e. 1.5 dB below peak... paper quotes the
   // band where gain >= 2 dB).
-  EXPECT_NEAR(pa.gain_db(80e9), 2.0, 0.6);
-  EXPECT_NEAR(pa.gain_db(100e9), 2.0, 0.6);
+  EXPECT_NEAR(pa.gain(80.0_ghz).db(), 2.0, 0.6);
+  EXPECT_NEAR(pa.gain(100.0_ghz).db(), 2.0, 0.6);
 }
 
 TEST(Pa, CompressionPointNearPaperValue) {
   // "1-dB compression point of ~5 dBm".
   ClassAbPa pa;
-  EXPECT_NEAR(pa.p1db_dbm(), 5.0, 1.0);
+  EXPECT_NEAR(pa.p1db().dbm(), 5.0, 1.0);
 }
 
 TEST(Pa, DeliversRequiredRfPower) {
   // Link budget needs >= 4 dBm (~2.5 mW); saturated PA delivers it.
   ClassAbPa pa;
-  const double saturated = pa.output_dbm(20.0, 90e9);
-  EXPECT_GE(saturated, 4.0);
+  const DbmPower saturated = pa.output(20.0_dbm, 90.0_ghz);
+  EXPECT_GE(saturated.dbm(), 4.0);
   // At 14 mW DC this is a plausible class-AB efficiency.
   EXPECT_GT(pa.efficiency(saturated), 0.15);
   EXPECT_LT(pa.efficiency(saturated), 0.5);
@@ -128,23 +131,23 @@ TEST(Pa, DeliversRequiredRfPower) {
 
 TEST(Pa, SmallSignalIsLinear) {
   ClassAbPa pa;
-  const double g1 = pa.output_dbm(-20.0, 90e9) - (-20.0);
-  const double g2 = pa.output_dbm(-30.0, 90e9) - (-30.0);
-  EXPECT_NEAR(g1, g2, 0.05);
-  EXPECT_NEAR(g1, 3.5, 0.1);
+  const Decibels g1 = pa.output(-20.0_dbm, 90.0_ghz) - (-20.0_dbm);
+  const Decibels g2 = pa.output(-30.0_dbm, 90.0_ghz) - (-30.0_dbm);
+  EXPECT_NEAR(g1.db(), g2.db(), 0.05);
+  EXPECT_NEAR(g1.db(), 3.5, 0.1);
 }
 
 // ---- Fig 4c: LNA -----------------------------------------------------------------
 
 TEST(Lna, TenDbGainAround90GHz) {
   WidebandLna lna;
-  EXPECT_NEAR(lna.gain_db(90e9), 10.0, 1e-9);
-  EXPECT_NEAR(lna.gain_db(90e9 + lna.bandwidth_3db_hz() / 2), 7.0, 0.01);
+  EXPECT_NEAR(lna.gain(90.0_ghz).db(), 10.0, 1e-9);
+  EXPECT_NEAR(lna.gain(90.0_ghz + lna.bandwidth_3db() / 2.0).db(), 7.0, 0.01);
 }
 
 TEST(Lna, RejectsBadParams) {
   WidebandLna::Params params;
-  params.gain_bw_hz = 0;
+  params.gain_bw = Frequency{};
   EXPECT_THROW(WidebandLna{params}, std::invalid_argument);
 }
 
@@ -159,7 +162,7 @@ TEST(Ber, QFunctionKnownValues) {
 TEST(Ber, MonotoneInSnr) {
   double prev = 1.0;
   for (double snr = 0.0; snr <= 20.0; snr += 2.0) {
-    const double ber = ook_ber(snr);
+    const double ber = ook_ber(Decibels{snr});
     EXPECT_LT(ber, prev);
     prev = ber;
   }
@@ -167,19 +170,19 @@ TEST(Ber, MonotoneInSnr) {
 
 TEST(Ber, RequiredSnrMatchesLinkBudgetConstant) {
   // The link budget uses 17 dB for BER 1e-12; the BER model must agree.
-  EXPECT_NEAR(required_snr_db(1e-12), 17.0, 0.3);
-  EXPECT_NEAR(ook_ber(required_snr_db(1e-9)), 1e-9, 2e-10);
+  EXPECT_NEAR(required_snr(1e-12).db(), 17.0, 0.3);
+  EXPECT_NEAR(ook_ber(required_snr(1e-9)), 1e-9, 2e-10);
 }
 
 TEST(Ber, MarginImprovesBerSharply) {
-  const double required = required_snr_db(1e-12);
-  EXPECT_LT(ber_at_margin(required, 1.0), 1e-12);
-  EXPECT_GT(ber_at_margin(required, -3.0), 1e-8);
+  const Decibels required = required_snr(1e-12);
+  EXPECT_LT(ber_at_margin(required, 1.0_db), 1e-12);
+  EXPECT_GT(ber_at_margin(required, -3.0_db), 1e-8);
 }
 
 TEST(Ber, RejectsBadTargets) {
-  EXPECT_THROW(required_snr_db(0.0), std::invalid_argument);
-  EXPECT_THROW(required_snr_db(0.7), std::invalid_argument);
+  EXPECT_THROW(required_snr(0.0), std::invalid_argument);
+  EXPECT_THROW(required_snr(0.7), std::invalid_argument);
 }
 
 }  // namespace

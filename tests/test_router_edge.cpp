@@ -37,7 +37,7 @@ TEST(RouterEdge, DoubleWiringThrows) {
     RouteEntry route(RouterId, const Flit&) const override { return {}; }
   } oracle;
   Router router(params, &classes, &oracle);
-  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, 0.0, &classes, "c");
+  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, Length{}, &classes, "c");
   router.connect_input(0, channel.in());
   EXPECT_THROW(router.connect_input(0, channel.in()), std::logic_error);
   router.connect_output(0, channel.out());
@@ -112,19 +112,19 @@ TEST(RouterEdge, RadixReportsMaxOfInOut) {
 
 TEST(ChannelEdge, ConstructionValidation) {
   std::vector<VcClassRange> classes = {{0, 4}};
-  EXPECT_THROW(Channel(MediumType::kElectrical, 0, 1, 4, 8, 0, &classes, "x"),
+  EXPECT_THROW(Channel(MediumType::kElectrical, 0, 1, 4, 8, Length{}, &classes, "x"),
                std::invalid_argument);
-  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 0, 4, 8, 0, &classes, "x"),
+  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 0, 4, 8, Length{}, &classes, "x"),
                std::invalid_argument);
-  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 1, 0, 8, 0, &classes, "x"),
+  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 1, 0, 8, Length{}, &classes, "x"),
                std::invalid_argument);
-  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 1, 4, 8, 0, nullptr, "x"),
+  EXPECT_THROW(Channel(MediumType::kElectrical, 1, 1, 4, 8, Length{}, nullptr, "x"),
                std::invalid_argument);
 }
 
 TEST(ChannelEdge, VcAllocationRoundRobinsWithinClass) {
   std::vector<VcClassRange> classes = {{0, 4}};
-  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, 0, &classes, "rr");
+  Channel channel(MediumType::kElectrical, 1, 1, 4, 8, Length{}, &classes, "rr");
   // Allocate twice: distinct VCs while both packets are open.
   const VcId a = channel.out()->alloc_vc(0, 0);
   const VcId b = channel.out()->alloc_vc(0, 0);
@@ -139,7 +139,7 @@ TEST(ChannelEdge, VcAllocationRoundRobinsWithinClass) {
 
 TEST(ChannelEdge, SerializationGatesAcceptance) {
   std::vector<VcClassRange> classes = {{0, 2}};
-  Channel channel(MediumType::kElectrical, 1, 4, 2, 8, 0, &classes, "slow");
+  Channel channel(MediumType::kElectrical, 1, 4, 2, 8, Length{}, &classes, "slow");
   Flit flit;
   flit.vc = channel.out()->alloc_vc(0, 0);
   flit.head = true;
@@ -152,7 +152,7 @@ TEST(ChannelEdge, SerializationGatesAcceptance) {
 
 TEST(ChannelEdge, FlitArrivesAfterLatency) {
   std::vector<VcClassRange> classes = {{0, 2}};
-  Channel channel(MediumType::kElectrical, 3, 1, 2, 8, 0, &classes, "lat");
+  Channel channel(MediumType::kElectrical, 3, 1, 2, 8, Length{}, &classes, "lat");
   Flit flit;
   flit.vc = channel.out()->alloc_vc(0, 0);
   flit.head = true;
@@ -169,7 +169,7 @@ TEST(ChannelEdge, FlitArrivesAfterLatency) {
 
 TEST(ChannelEdge, CreditReturnsAfterOneCycle) {
   std::vector<VcClassRange> classes = {{0, 2}};
-  Channel channel(MediumType::kElectrical, 1, 1, 2, 3, 0, &classes, "cr");
+  Channel channel(MediumType::kElectrical, 1, 1, 2, 3, Length{}, &classes, "cr");
   EXPECT_EQ(channel.credits(0), 3);
   Flit flit;
   flit.vc = channel.out()->alloc_vc(0, 0);

@@ -60,16 +60,16 @@ TEST(PerRouterPower, GatewaysAreTheHottestRouters) {
 
 TEST(ThermalMap, PeakSitsAtTheSource) {
   ThermalMap::Params params;
-  params.die_mm = 50.0;
+  params.die = 50.0_mm;
   params.grid = 10;
   ThermalMap map(params);
   NetworkSpec spec;
   spec.routers.resize(2);
-  spec.router_xy_mm = {{5.0, 5.0}, {45.0, 45.0}};
+  spec.router_xy = {{5.0_mm, 5.0_mm}, {45.0_mm, 45.0_mm}};
   map.deposit(spec, {1.0, 0.1});
   const ThermalStats stats = map.solve();
-  EXPECT_LT(stats.peak_x_mm, 10.0);
-  EXPECT_LT(stats.peak_y_mm, 10.0);
+  EXPECT_LT(stats.peak_x, 10.0_mm);
+  EXPECT_LT(stats.peak_y, 10.0_mm);
   EXPECT_GT(stats.peak_c, stats.mean_c);
 }
 
@@ -82,11 +82,17 @@ TEST(ThermalMap, AdjacentSourcesReinforce) {
   spec.routers.resize(4);
 
   ThermalMap spread(params);
-  spec.router_xy_mm = {{2, 2}, {48, 2}, {2, 48}, {48, 48}};
+  spec.router_xy = {{2.0_mm, 2.0_mm},
+                    {48.0_mm, 2.0_mm},
+                    {2.0_mm, 48.0_mm},
+                    {48.0_mm, 48.0_mm}};
   spread.deposit(spec, {0.25, 0.25, 0.25, 0.25});
 
   ThermalMap packed(params);
-  spec.router_xy_mm = {{24, 24}, {26, 24}, {24, 26}, {26, 26}};
+  spec.router_xy = {{24.0_mm, 24.0_mm},
+                    {26.0_mm, 24.0_mm},
+                    {24.0_mm, 26.0_mm},
+                    {26.0_mm, 26.0_mm}};
   packed.deposit(spec, {0.25, 0.25, 0.25, 0.25});
 
   EXPECT_GT(packed.solve().peak_c, 1.5 * spread.solve().peak_c);
@@ -97,7 +103,7 @@ TEST(ThermalMap, LinearInPower) {
   params.grid = 8;
   NetworkSpec spec;
   spec.routers.resize(1);
-  spec.router_xy_mm = {{25, 25}};
+  spec.router_xy = {{25.0_mm, 25.0_mm}};
   ThermalMap one(params);
   one.deposit(spec, {1.0});
   ThermalMap two(params);

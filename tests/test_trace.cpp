@@ -100,7 +100,8 @@ TEST(BurstyTrace, LocalityBiasesDestinations) {
     const int fwd = (rec.dst - rec.src + params.num_nodes) % params.num_nodes;
     if (fwd >= 1 && fwd <= params.neighborhood) ++local;
   }
-  EXPECT_GT(static_cast<double>(local) / trace.size(), 0.8);
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(trace.size()),
+            0.8);
 }
 
 TEST(TraceInjector, ReplaysIntoNetwork) {

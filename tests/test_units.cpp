@@ -1,0 +1,156 @@
+// Unit tests for common/units.hpp and the common/quantity.hpp dimension
+// system: conversion round-trips, literal scaling, dimension arithmetic and
+// the log-domain (Decibels / DbmPower) algebra.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/quantity.hpp"
+#include "common/units.hpp"
+
+namespace ownsim {
+namespace {
+
+// ---- scalar conversion round-trips ----------------------------------------
+
+TEST(UnitsTest, WattsDbmRoundTrip) {
+  for (double watts : {1e-6, 1e-3, 0.5, 1.0, 25.0}) {
+    EXPECT_NEAR(units::dbm_to_watts(units::watts_to_dbm(watts)), watts,
+                1e-12 * watts);
+  }
+  for (double dbm : {-40.0, -10.0, 0.0, 4.0, 30.0}) {
+    EXPECT_NEAR(units::watts_to_dbm(units::dbm_to_watts(dbm)), dbm, 1e-9);
+  }
+  EXPECT_NEAR(units::watts_to_dbm(1e-3), 0.0, 1e-12);  // 1 mW == 0 dBm
+  EXPECT_NEAR(units::dbm_to_watts(30.0), 1.0, 1e-12);  // 30 dBm == 1 W
+}
+
+TEST(UnitsTest, DbRatioRoundTrip) {
+  for (double ratio : {1e-3, 0.5, 1.0, 2.0, 1e6}) {
+    EXPECT_NEAR(units::db_to_ratio(units::ratio_to_db(ratio)), ratio,
+                1e-12 * ratio);
+  }
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 20.0}) {
+    EXPECT_NEAR(units::ratio_to_db(units::db_to_ratio(db)), db, 1e-9);
+  }
+  EXPECT_NEAR(units::db_to_ratio(3.0), 1.9953, 1e-4);
+  EXPECT_NEAR(units::ratio_to_db(100.0), 20.0, 1e-12);
+}
+
+TEST(UnitsTest, WavelengthAt60GhzIsAbout5mm) {
+  // The paper's mm-wave anchor: lambda(60 GHz) ~ 5 mm.
+  EXPECT_NEAR(units::wavelength_m(60e9) * 1e3, 5.0, 0.01);
+  const Length lambda = units::wavelength(60.0_ghz);
+  EXPECT_NEAR(lambda.in(1.0_mm), 4.9965, 1e-3);
+  // Typed and raw paths agree exactly.
+  EXPECT_DOUBLE_EQ(lambda.value(), units::wavelength_m(60e9));
+}
+
+TEST(UnitsTest, TypedBridgesMatchScalarHelpers) {
+  const DbmPower level = units::to_dbm(Power{2.5e-3});
+  EXPECT_NEAR(level.dbm(), units::watts_to_dbm(2.5e-3), 1e-12);
+  EXPECT_NEAR(units::to_watts(level).value(), 2.5e-3, 1e-15);
+  EXPECT_NEAR(units::to_ratio(units::to_db(42.0)), 42.0, 1e-9);
+}
+
+// ---- literals --------------------------------------------------------------
+
+TEST(QuantityTest, LiteralsScaleToSiBaseUnits) {
+  EXPECT_DOUBLE_EQ((100.0_ghz).value(), 100e9);
+  EXPECT_DOUBLE_EQ((2.4_mhz).value(), 2.4e6);
+  EXPECT_DOUBLE_EQ((60.0_mm).value(), 0.060);
+  EXPECT_DOUBLE_EQ((2.5_cm).value(), 0.025);
+  EXPECT_DOUBLE_EQ((3.0_um).value(), 3.0e-6);
+  EXPECT_DOUBLE_EQ((0.1_pj).value(), 0.1e-12);
+  EXPECT_DOUBLE_EQ((14.0_mw).value(), 14e-3);
+  EXPECT_DOUBLE_EQ((32.0_gbps).value(), 32e9);
+  EXPECT_DOUBLE_EQ((1.23_pj_per_bit).value(), 1.23e-12);
+  EXPECT_DOUBLE_EQ((3.0_db).db(), 3.0);
+  EXPECT_DOUBLE_EQ((10.0_dbi).db(), 10.0);
+  EXPECT_DOUBLE_EQ((4.0_dbm).dbm(), 4.0);
+}
+
+TEST(QuantityTest, InConvertsToRequestedUnit) {
+  EXPECT_DOUBLE_EQ((90.0_ghz).in(1.0_ghz), 90.0);
+  EXPECT_DOUBLE_EQ((90.0_ghz).in(1.0_mhz), 90e3);
+  EXPECT_DOUBLE_EQ((50.0_mm).in(1.0_cm), 5.0);
+  EXPECT_DOUBLE_EQ((0.5_pj).in(1.0_fj), 500.0);
+}
+
+// ---- dimension arithmetic --------------------------------------------------
+
+TEST(QuantityTest, SameDimensionAddSub) {
+  const Length d = 30.0_mm + 2.0_cm;
+  EXPECT_DOUBLE_EQ(d.in(1.0_mm), 50.0);
+  EXPECT_DOUBLE_EQ((d - 50.0_mm).value(), 0.0);
+}
+
+TEST(QuantityTest, MultiplicationComposesDimensions) {
+  // E = P * t, P = E * f, v = d * f: static types below only compile if the
+  // dimension algebra is right.
+  const Energy e = 14.0_mw * 2.0_ns;
+  EXPECT_NEAR(e.in(1.0_pj), 28.0, 1e-9);
+  const Power p = 0.1_pj * 10.0_ghz;
+  EXPECT_NEAR(p.in(1.0_mw), 1.0, 1e-12);
+  const Speed v = 5.0_mm * 60.0_ghz;
+  EXPECT_NEAR(v.value(), 3.0e8, 1e-4 * 3.0e8);
+  const EnergyPerBit epb = 32.0_mw / 32.0_gbps;
+  EXPECT_NEAR(epb.in(1.0_pj_per_bit), 1.0, 1e-12);
+}
+
+TEST(QuantityTest, DivisionOfSameDimensionIsDimensionless) {
+  const Dimensionless ratio = 50.0_mm / 5.0_mm;
+  const double as_double = ratio;  // implicit only for Dimensionless
+  EXPECT_DOUBLE_EQ(as_double, 10.0);
+  EXPECT_EQ(static_cast<int>(100.0_mm / 25.0_mm), 4);
+  static_assert(!std::is_convertible_v<Length, double>,
+                "dimensioned quantities must not decay to double");
+  static_assert(!std::is_convertible_v<Frequency, double>,
+                "dimensioned quantities must not decay to double");
+}
+
+TEST(QuantityTest, ScalarScalingAndComparison) {
+  const Length hop = 100.0_mm / 8.0;
+  EXPECT_DOUBLE_EQ(hop.in(1.0_mm), 12.5);
+  EXPECT_DOUBLE_EQ((2.0 * hop).in(1.0_mm), 25.0);
+  EXPECT_LT(5.0_mm, 1.0_cm);
+  EXPECT_GT(300.0_ghz, 90.0_ghz);
+  EXPECT_EQ(10.0_mm, 1.0_cm);
+}
+
+TEST(QuantityTest, ConstexprThroughout) {
+  // The whole dimension system is usable at compile time.
+  static_assert((60.0_ghz).in(1.0_mhz) == 60e3);
+  static_assert((25.0_mm + 25.0_mm).value() == 0.05);
+  static_assert(units::wavelength(60.0_ghz).value() > 0.0);
+  static_assert((4.0_dbm + 3.0_db).dbm() == 7.0);
+}
+
+// ---- log-domain algebra ----------------------------------------------------
+
+TEST(QuantityTest, DecibelsAlgebra) {
+  const Decibels sum = 3.0_db + 2.0_db;
+  EXPECT_DOUBLE_EQ(sum.db(), 5.0);
+  EXPECT_DOUBLE_EQ((sum - 1.0_db).db(), 4.0);
+  EXPECT_DOUBLE_EQ((-sum).db(), -5.0);
+  EXPECT_DOUBLE_EQ((2.0 * 3.0_db).db(), 6.0);  // dB scale by pure number
+  EXPECT_LT(3.0_db, 6.0_db);
+}
+
+TEST(QuantityTest, DbmPowerAlgebra) {
+  const DbmPower tx = 4.0_dbm;
+  EXPECT_DOUBLE_EQ((tx + 6.0_db).dbm(), 10.0);   // gain raises the level
+  EXPECT_DOUBLE_EQ((tx - 10.0_db).dbm(), -6.0);  // loss lowers it
+  const Decibels margin = 10.0_dbm - tx;         // level difference is dB
+  EXPECT_DOUBLE_EQ(margin.db(), 6.0);
+  EXPECT_LT(-40.0_dbm, tx);
+}
+
+TEST(QuantityTest, DecibelsPerLengthScalesWithDistance) {
+  const DecibelsPerLength alpha = 1.0_db / 1.0_cm;
+  const Decibels total = alpha * 5.0_cm;
+  EXPECT_DOUBLE_EQ(total.db(), 5.0);
+}
+
+}  // namespace
+}  // namespace ownsim

@@ -15,33 +15,36 @@ namespace {
 // ---- technology -----------------------------------------------------------------
 
 TEST(Technology, BaseEfficienciesFromPaper) {
-  EXPECT_DOUBLE_EQ(base_efficiency_pj(WirelessTech::kCmos), 0.1);
-  EXPECT_DOUBLE_EQ(base_efficiency_pj(WirelessTech::kSiGeHbt), 0.5);
-  EXPECT_DOUBLE_EQ(base_efficiency_pj(WirelessTech::kBiCmos), 0.3);
+  EXPECT_DOUBLE_EQ(base_efficiency(WirelessTech::kCmos).in(1.0_pj_per_bit), 0.1);
+  EXPECT_DOUBLE_EQ(base_efficiency(WirelessTech::kSiGeHbt).in(1.0_pj_per_bit), 0.5);
+  EXPECT_DOUBLE_EQ(base_efficiency(WirelessTech::kBiCmos).in(1.0_pj_per_bit), 0.3);
 }
 
 TEST(Technology, RampsFromPaper) {
-  EXPECT_DOUBLE_EQ(efficiency_ramp_pj(WirelessTech::kCmos, Scenario::kIdeal), 0.05);
-  EXPECT_DOUBLE_EQ(efficiency_ramp_pj(WirelessTech::kBiCmos, Scenario::kIdeal), 0.07);
-  EXPECT_DOUBLE_EQ(efficiency_ramp_pj(WirelessTech::kSiGeHbt, Scenario::kIdeal), 0.10);
-  EXPECT_DOUBLE_EQ(
-      efficiency_ramp_pj(WirelessTech::kSiGeHbt, Scenario::kConservative), 0.07);
+  const auto ramp_pj = [](WirelessTech tech, Scenario scenario) {
+    return efficiency_ramp(tech, scenario).in(1.0_pj_per_bit);
+  };
+  EXPECT_DOUBLE_EQ(ramp_pj(WirelessTech::kCmos, Scenario::kIdeal), 0.05);
+  EXPECT_DOUBLE_EQ(ramp_pj(WirelessTech::kBiCmos, Scenario::kIdeal), 0.07);
+  EXPECT_DOUBLE_EQ(ramp_pj(WirelessTech::kSiGeHbt, Scenario::kIdeal), 0.10);
+  EXPECT_DOUBLE_EQ(ramp_pj(WirelessTech::kSiGeHbt, Scenario::kConservative),
+                   0.07);
 }
 
 TEST(Technology, EnergyRampsWithFrequency) {
-  const double at100 =
-      energy_per_bit_pj(WirelessTech::kCmos, Scenario::kIdeal, 100);
-  const double at200 =
-      energy_per_bit_pj(WirelessTech::kCmos, Scenario::kIdeal, 200);
-  EXPECT_DOUBLE_EQ(at100, 0.1);
-  EXPECT_DOUBLE_EQ(at200, 0.15);
+  const EnergyPerBit at100 =
+      energy_per_bit(WirelessTech::kCmos, Scenario::kIdeal, 100.0_ghz);
+  const EnergyPerBit at200 =
+      energy_per_bit(WirelessTech::kCmos, Scenario::kIdeal, 200.0_ghz);
+  EXPECT_DOUBLE_EQ(at100.in(1.0_pj_per_bit), 0.1);
+  EXPECT_DOUBLE_EQ(at200.in(1.0_pj_per_bit), 0.15);
 }
 
 TEST(Technology, ScenarioBandwidths) {
-  EXPECT_DOUBLE_EQ(channel_bandwidth_ghz(Scenario::kIdeal), 32.0);
-  EXPECT_DOUBLE_EQ(channel_bandwidth_ghz(Scenario::kConservative), 16.0);
-  EXPECT_DOUBLE_EQ(guard_band_ghz(Scenario::kIdeal), 8.0);
-  EXPECT_DOUBLE_EQ(guard_band_ghz(Scenario::kConservative), 4.0);
+  EXPECT_DOUBLE_EQ(channel_bandwidth(Scenario::kIdeal).in(1.0_ghz), 32.0);
+  EXPECT_DOUBLE_EQ(channel_bandwidth(Scenario::kConservative).in(1.0_ghz), 16.0);
+  EXPECT_DOUBLE_EQ(guard_band(Scenario::kIdeal).in(1.0_ghz), 8.0);
+  EXPECT_DOUBLE_EQ(guard_band(Scenario::kConservative).in(1.0_ghz), 4.0);
 }
 
 // ---- band plan (Table III) --------------------------------------------------------
@@ -51,13 +54,13 @@ class BandPlanTest : public ::testing::TestWithParam<Scenario> {};
 TEST_P(BandPlanTest, SixteenIsolatedChannels) {
   const BandPlan plan(GetParam());
   ASSERT_EQ(plan.links().size(), 16u);
-  const double guard = guard_band_ghz(GetParam());
+  const Frequency guard = guard_band(GetParam());
   for (int i = 1; i < 16; ++i) {
     const auto& a = plan.link(i - 1);
     const auto& b = plan.link(i);
-    const double gap =
-        (b.center_ghz - b.bandwidth_ghz / 2) - (a.center_ghz + a.bandwidth_ghz / 2);
-    EXPECT_NEAR(gap, guard, 1e-9) << "link " << i;
+    const Frequency gap =
+        (b.center - b.bandwidth / 2.0) - (a.center + a.bandwidth / 2.0);
+    EXPECT_NEAR(gap.in(1.0_ghz), guard.in(1.0_ghz), 1e-9) << "link " << i;
   }
 }
 
@@ -70,10 +73,10 @@ TEST_P(BandPlanTest, ExactlyFourCmosChannels) {
 TEST_P(BandPlanTest, HbtOnlyAboveAbout300GHz) {
   const BandPlan plan(GetParam());
   for (const auto& link : plan.links()) {
-    if (link.center_ghz > 300.0) {
-      EXPECT_EQ(link.tech, WirelessTech::kSiGeHbt) << link.center_ghz;
+    if (link.center > 300.0_ghz) {
+      EXPECT_EQ(link.tech, WirelessTech::kSiGeHbt) << link.center;
     } else {
-      EXPECT_NE(link.tech, WirelessTech::kSiGeHbt) << link.center_ghz;
+      EXPECT_NE(link.tech, WirelessTech::kSiGeHbt) << link.center;
     }
   }
 }
@@ -82,10 +85,10 @@ TEST_P(BandPlanTest, EnergyIncreasesWithFrequencyWithinTech) {
   const BandPlan plan(GetParam());
   for (WirelessTech tech : {WirelessTech::kCmos, WirelessTech::kBiCmos,
                             WirelessTech::kSiGeHbt}) {
-    double prev = -1;
+    EnergyPerBit prev{-1.0};
     for (int index : plan.links_of(tech)) {
-      EXPECT_GT(plan.link(index).energy_pj_per_bit, prev);
-      prev = plan.link(index).energy_pj_per_bit;
+      EXPECT_GT(plan.link(index).energy_per_bit, prev);
+      prev = plan.link(index).energy_per_bit;
     }
   }
 }
@@ -106,10 +109,10 @@ INSTANTIATE_TEST_SUITE_P(BothScenarios, BandPlanTest,
 
 TEST(BandPlan, IdealSpans100To700GHz) {
   const BandPlan plan(Scenario::kIdeal);
-  EXPECT_DOUBLE_EQ(plan.link(0).center_ghz, 100.0);
-  EXPECT_DOUBLE_EQ(plan.link(15).center_ghz, 700.0);
+  EXPECT_DOUBLE_EQ(plan.link(0).center.in(1.0_ghz), 100.0);
+  EXPECT_DOUBLE_EQ(plan.link(15).center.in(1.0_ghz), 700.0);
   const BandPlan cons(Scenario::kConservative);
-  EXPECT_DOUBLE_EQ(cons.link(15).center_ghz, 400.0);
+  EXPECT_DOUBLE_EQ(cons.link(15).center.in(1.0_ghz), 400.0);
 }
 
 // ---- channel allocation (Tables I, II) ----------------------------------------------
@@ -139,9 +142,9 @@ TEST(ChannelAlloc, LdFactorsAndDistancesMatchPaper) {
   EXPECT_DOUBLE_EQ(ld_factor(DistanceClass::kC2C), 1.0);
   EXPECT_DOUBLE_EQ(ld_factor(DistanceClass::kE2E), 0.5);
   EXPECT_DOUBLE_EQ(ld_factor(DistanceClass::kSR), 0.15);
-  EXPECT_DOUBLE_EQ(distance_mm(DistanceClass::kC2C), 60.0);
-  EXPECT_DOUBLE_EQ(distance_mm(DistanceClass::kE2E), 30.0);
-  EXPECT_DOUBLE_EQ(distance_mm(DistanceClass::kSR), 10.0);
+  EXPECT_DOUBLE_EQ(distance_of(DistanceClass::kC2C).in(1.0_mm), 60.0);
+  EXPECT_DOUBLE_EQ(distance_of(DistanceClass::kE2E).in(1.0_mm), 30.0);
+  EXPECT_DOUBLE_EQ(distance_of(DistanceClass::kSR).in(1.0_mm), 10.0);
 }
 
 TEST(ChannelAlloc, ShortRangeUsesCAntennas) {
@@ -186,8 +189,8 @@ TEST(Configurations, AssignsTwelveChannelsBothScenarios) {
       ChannelEnergyModel model(config, scenario);
       EXPECT_EQ(model.assignments().size(), 12u);
       for (const auto& a : model.assignments()) {
-        EXPECT_GT(a.tx_epb_pj, 0.0);
-        EXPECT_GT(a.rx_epb_pj, 0.0);
+        EXPECT_GT(a.tx_epb.value(), 0.0);
+        EXPECT_GT(a.rx_epb.value(), 0.0);
       }
     }
   }
@@ -204,7 +207,9 @@ TEST(Configurations, AssignedLinkTechMatchesConfig) {
 
 double mean_epb(const ChannelEnergyModel& model) {
   double sum = 0;
-  for (const auto& a : model.assignments()) sum += model.epb_pj(a.channel_id);
+  for (const auto& a : model.assignments()) {
+    sum += model.epb(a.channel_id).in(1.0_pj_per_bit);
+  }
   return sum / static_cast<double>(model.assignments().size());
 }
 
@@ -225,9 +230,13 @@ TEST(Configurations, Fig5OrderingCmosConfigsCheapest) {
 TEST(Configurations, LdFactorScalesTxOnly) {
   ChannelEnergyModel model(OwnConfig::kConfig1, Scenario::kIdeal);
   for (const auto& a : model.assignments()) {
-    EXPECT_NEAR(a.tx_epb_pj,
-                kTxEnergyShare * a.tech_epb_pj * ld_factor(a.distance), 1e-12);
-    EXPECT_NEAR(a.rx_epb_pj, (1.0 - kTxEnergyShare) * a.tech_epb_pj, 1e-12);
+    EXPECT_NEAR(a.tx_epb.in(1.0_pj_per_bit),
+                (kTxEnergyShare * ld_factor(a.distance) * a.tech_epb)
+                    .in(1.0_pj_per_bit),
+                1e-12);
+    EXPECT_NEAR(a.rx_epb.in(1.0_pj_per_bit),
+                ((1.0 - kTxEnergyShare) * a.tech_epb).in(1.0_pj_per_bit),
+                1e-12);
   }
 }
 

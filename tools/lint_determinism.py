@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Determinism lint: forbid nondeterministic randomness and wall-clock seeding.
+
+The simulator's reproducibility contract (DESIGN.md) is that every random
+decision flows from ownsim::Rng seeded via derive_seed(master, stream). This
+lint fails if first-party code reintroduces a nondeterministic source:
+
+  * C randomness:      rand(), srand()
+  * C time seeding:    time(NULL)-style calls
+  * <random> engines:  std::random_device, std::mt19937[_64],
+                       std::default_random_engine, std::minstd_rand[0]
+  * wall clocks:       std::chrono system_clock / high_resolution_clock
+
+steady_clock is allowed, but only in the telemetry paths (src/exec,
+src/metrics) where it measures elapsed wall time and never feeds a seed or a
+simulated decision.
+
+Run:  python3 tools/lint_determinism.py        (from the repo root)
+Exit: 0 clean, 1 violations found.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
+
+# Pattern -> human-readable rule. Patterns are matched per line after comment
+# stripping.
+FORBIDDEN: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"\bstd::rand\s*\(|(?<![\w:])rand\s*\(\s*\)"),
+     "rand() is nondeterministic across platforms; use ownsim::Rng"),
+    (re.compile(r"\bsrand\s*\("),
+     "srand() reseeds global state; use derive_seed(master, stream)"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "time() must not feed simulation state; seeds come from config"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic; use ownsim::Rng"),
+    (re.compile(r"\bstd::(mt19937(_64)?|default_random_engine|"
+                r"minstd_rand0?|ranlux\w+|knuth_b)\b"),
+     "std <random> engines are not part of the seed-derivation scheme; "
+     "use ownsim::Rng"),
+    (re.compile(r"\bstd::chrono::(system_clock|high_resolution_clock)\b"),
+     "wall clocks are nondeterministic; steady_clock telemetry only"),
+]
+
+STEADY_CLOCK = re.compile(r"\bstd::chrono::steady_clock\b")
+STEADY_CLOCK_ALLOWED_PREFIXES = ("src/exec/", "src/metrics/")
+
+# An Rng constructed from a literal in src/ would silently correlate streams;
+# require derive_seed (tests/bench may pin literal seeds on purpose).
+RNG_LITERAL_SEED = re.compile(r"\bRng\s*[({]\s*\d")
+
+
+def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
+    """Remove // and /* */ comment text from one line."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+        elif line.startswith("//", i):
+            break
+        elif line.startswith("/*", i):
+            in_block = True
+            i += 2
+        else:
+            out.append(line[i])
+            i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path: Path) -> list[str]:
+    rel = path.relative_to(ROOT).as_posix()
+    errors = []
+    in_block = False
+    for lineno, raw in enumerate(path.read_text(errors="replace").splitlines(),
+                                 start=1):
+        line, in_block = strip_comments(raw, in_block)
+        if "lint:allow-nondeterminism" in raw:
+            continue
+        for pattern, rule in FORBIDDEN:
+            if pattern.search(line):
+                errors.append(f"{rel}:{lineno}: {rule}\n    {raw.strip()}")
+        if STEADY_CLOCK.search(line) and not rel.startswith(
+                STEADY_CLOCK_ALLOWED_PREFIXES):
+            errors.append(
+                f"{rel}:{lineno}: steady_clock is only allowed in telemetry "
+                f"code under src/exec/ or src/metrics/\n    {raw.strip()}")
+        if rel.startswith("src/") and RNG_LITERAL_SEED.search(line):
+            if "rng.hpp" not in rel:  # the default-arg declaration itself
+                errors.append(
+                    f"{rel}:{lineno}: Rng in src/ must be seeded via "
+                    f"derive_seed(master, stream), not a literal\n"
+                    f"    {raw.strip()}")
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    scanned = 0
+    for d in SCAN_DIRS:
+        for path in sorted((ROOT / d).rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                scanned += 1
+                errors.extend(lint_file(path))
+    if errors:
+        print(f"determinism lint: {len(errors)} violation(s) "
+              f"in {scanned} files:\n")
+        print("\n".join(errors))
+        return 1
+    print(f"determinism lint: OK ({scanned} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every first-party translation unit listed in
+# compile_commands.json. Usage:
+#   tools/run_clang_tidy.sh [build-dir]
+# The build dir must have been configured by CMake (compile_commands.json is
+# exported unconditionally by the top-level CMakeLists).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -f "$ROOT/$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: $TIDY not found; install clang-tidy or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+RUNNER="$(command -v run-clang-tidy || true)"
+cd "$ROOT"
+FILES=$(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/_deps/" in f or "/CMakeFiles/" in f:
+        continue
+    print(f)
+EOF
+)
+
+if [[ -n "$RUNNER" ]]; then
+  # shellcheck disable=SC2086
+  "$RUNNER" -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet $FILES
+else
+  # shellcheck disable=SC2086
+  "$TIDY" -p "$BUILD_DIR" --quiet $FILES
+fi
