@@ -9,19 +9,33 @@
 #include <iostream>
 
 #include "driver/simulate.hpp"
+#include "metrics/bench_json.hpp"
 #include "metrics/table_io.hpp"
 
 namespace ownsim::bench {
 
 /// Standard measurement phases for the simulation-backed figures: long
 /// enough for tight averages, short enough that the whole harness runs in
-/// minutes on a laptop.
+/// minutes on a laptop. With OWNSIM_BENCH_QUICK set the phases shrink to a
+/// CI-smoke preset — numbers shift (shorter averaging window) but stay
+/// deterministic, so each preset diffs cleanly against its own baseline.
 inline RunPhases default_phases() {
   RunPhases phases;
+  if (bench_quick_mode()) {
+    phases.warmup = 400;
+    phases.measure = 1200;
+    phases.drain_limit = 8000;
+    return phases;
+  }
   phases.warmup = 1500;
   phases.measure = 4000;
   phases.drain_limit = 30000;
   return phases;
+}
+
+/// Tag for BenchRecord::config so baselines for the two presets never mix.
+inline const char* phase_preset_name() {
+  return bench_quick_mode() ? "quick" : "full";
 }
 
 /// Baseline experiment at `cores` on `topology`, uniform traffic, a

@@ -20,6 +20,7 @@ int main() {
   using namespace ownsim;
   bench::print_header("256-core saturation throughput (flits/node/cycle)",
                       "Fig 7a");
+  const WallTimer timer;
 
   const std::vector<PatternKind> patterns = paper_patterns();
   const std::vector<TopologyKind> topologies = paper_topologies();
@@ -48,5 +49,23 @@ int main() {
   table.print(std::cout);
   std::cout << "\nOffered load " << bench::overdrive_rate(256)
             << " flits/node/cycle (beyond saturation for every network).\n";
+
+  BenchRecord record;
+  record.bench = "bench_fig7a";
+  record.paper_ref = "Fig 7a";
+  record.config = bench::phase_preset_name();
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      record.metrics.push_back(
+          {std::string("throughput.") + to_string(topologies[t]) + '.' +
+               to_string(patterns[p]),
+           cells[t * patterns.size() + p], "flits/node/cycle",
+           /*deterministic=*/true, "higher"});
+    }
+  }
+  record.metrics.push_back(
+      {"wall_seconds", timer.seconds(), "s", /*deterministic=*/false,
+       "lower"});
+  emit_bench_json(record);
   return 0;
 }

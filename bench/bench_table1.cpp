@@ -13,7 +13,7 @@ int main() {
 
   auto antenna_name = [](Antenna a, int cluster) {
     const char letter = static_cast<char>('A' + static_cast<int>(a));
-    return std::string(1, letter) + std::to_string(cluster);
+    return letter + std::to_string(cluster);
   };
 
   Table table({"channel", "from", "to", "class", "distance_mm", "LD_factor"});

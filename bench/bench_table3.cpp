@@ -12,6 +12,11 @@
 
 int main() {
   using namespace ownsim;
+  const WallTimer timer;
+  BenchRecord record;
+  record.bench = "bench_table3";
+  record.paper_ref = "Table III";
+  record.config = "analytic";
   for (Scenario scenario : {Scenario::kIdeal, Scenario::kConservative}) {
     bench::print_header(
         (std::string("wireless band plan, ") + to_string(scenario)).c_str(),
@@ -27,6 +32,14 @@ int main() {
                      link.reconfiguration ? "reconfig" : "data"});
     }
     table.print(std::cout);
+    double mean_pj = 0.0;
+    for (const BandPlanLink& link : plan.links()) {
+      mean_pj += link.energy_per_bit.in(1.0_pj_per_bit);
+    }
+    mean_pj /= static_cast<double>(plan.links().size());
+    record.metrics.push_back(
+        {std::string("mean_energy_pj_per_bit.") + to_string(scenario), mean_pj,
+         "pJ/bit", /*deterministic=*/true, "lower"});
   }
 
   bench::print_header("photonic component budgets", "Section I / Section V.B");
@@ -44,5 +57,17 @@ int main() {
   row("OWN-256 photonics (4 clusters, 4 lambda)", own_photonic_budget(4, 4));
   row("OWN-1024 photonics (16 clusters, 4 lambda)", own_photonic_budget(16, 4));
   budget.print(std::cout);
+
+  record.metrics.push_back({"rings.own256",
+                            static_cast<double>(own_photonic_budget(4, 4).rings()),
+                            "rings", /*deterministic=*/true, "lower"});
+  record.metrics.push_back(
+      {"rings.own1024",
+       static_cast<double>(own_photonic_budget(16, 4).rings()), "rings",
+       /*deterministic=*/true, "lower"});
+  record.metrics.push_back(
+      {"wall_seconds", timer.seconds(), "s", /*deterministic=*/false,
+       "lower"});
+  emit_bench_json(record);
   return 0;
 }

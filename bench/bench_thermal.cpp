@@ -54,7 +54,7 @@ int main() {
                                                  : "cluster center",
          Table::num(stats.peak_c, 2), Table::num(stats.mean_c, 2),
          Table::num(stats.stddev_c, 2),
-         "(" + Table::num(stats.peak_x.in(1.0_mm), 0) + "," +
+         '(' + Table::num(stats.peak_x.in(1.0_mm), 0) + ',' +
              Table::num(stats.peak_y.in(1.0_mm), 0) + ")mm",
          Table::num(max_power / mean_power, 2) + "x"});
   }

@@ -68,8 +68,9 @@ int main() {
     channels.add_row(
         {std::to_string(ch.id),
          ch.intra_group() ? "group " + std::to_string(ch.src_group)
-                          : "g" + std::to_string(ch.src_group),
-         ch.intra_group() ? "(intra)" : "g" + std::to_string(ch.dst_group),
+                          : 'g' + std::to_string(ch.src_group),
+         ch.intra_group() ? std::string("(intra)")
+                          : 'g' + std::to_string(ch.dst_group),
          std::string(1, static_cast<char>('A' + static_cast<int>(ch.antenna))),
          to_string(ch.distance)});
   }

@@ -9,7 +9,9 @@
 // `sweep=r1:r2:...` switches to a latency sweep over those offered loads,
 // fanned across `threads` workers (also accepted as `--threads N`).
 // Run with `help=1` for the key list.
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "exec/thread_pool.hpp"
 #include "metrics/report.hpp"
 #include "metrics/table_io.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -39,7 +42,13 @@ void print_help() {
       "             (seed becomes the sweep master seed)\n"
       "  threads    workers for the sweep (--threads N also accepted)\n"
       "             [hardware concurrency]\n"
-      "  progress   1: print per-point progress lines to stderr  [0]\n";
+      "  progress   1: print per-point progress lines to stderr  [0]\n"
+      "  trace_out  write a Chrome trace_event JSON of the run to this\n"
+      "             path (single-point mode; load in ui.perfetto.dev;\n"
+      "             --trace-out PATH also accepted)\n"
+      "  counters   1: dump the obs counter registry as JSON after the\n"
+      "             summary (single-point mode)  [0]\n"
+      "  profile    1: print the run's wall-clock self-profile  [0]\n";
 }
 
 /// Parses "0.001:0.002:0.004" into rates; throws on junk.
@@ -77,6 +86,10 @@ int main(int argc, char** argv) {
       if (arg.find('=') == std::string::npos && i + 1 < argc) {
         arg += '=';
         arg += argv[++i];
+      }
+      // "--trace-out=x" -> "trace_out=x": keys use underscores internally.
+      for (std::size_t k = 0; k < arg.size() && arg[k] != '='; ++k) {
+        if (arg[k] == '-') arg[k] = '_';
       }
     }
     joined << arg << ' ';
@@ -168,7 +181,29 @@ int main(int argc, char** argv) {
     injector_params.rate = config.rate;
     Injector injector(&network, pattern, injector_params);
     network.engine().add(&injector);
+
+    // Tracing is runtime-opt-in: attaching the writer must not (and does
+    // not — test_obs asserts it) change any simulated result.
+    std::unique_ptr<obs::TraceWriter> trace;
+    const std::string trace_out = args.get_string("trace_out", "");
+    if (!trace_out.empty()) {
+      trace = std::make_unique<obs::TraceWriter>();
+      network.set_trace(trace.get());
+    }
+
     const RunResult run = run_load_point(network, injector, config.phases);
+
+    if (trace) {
+      network.flush_trace();
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "cannot open trace output: " << trace_out << "\n";
+        return 1;
+      }
+      trace->write_json(out);
+      std::cout << "trace: " << trace->size() << " events -> " << trace_out
+                << " (load in ui.perfetto.dev)\n";
+    }
     EnergyModel energy(config.power,
                        own_channel_energy(config.topology,
                                           config.options.num_cores,
@@ -194,6 +229,14 @@ int main(int argc, char** argv) {
         {"energy/packet (pJ)",
          Table::num(energy.energy_per_packet_pj(network), 0)});
     summary.print(std::cout);
+
+    if (args.get_bool("profile", false)) {
+      std::cout << "\nprofile: " << run_profile_summary(run) << '\n';
+    }
+    if (args.get_bool("counters", false)) {
+      std::cout << "\ncounters:\n";
+      network.obs().write_json(std::cout);
+    }
 
     const std::string report = args.get_string("report", "none");
     if (report != "none") {

@@ -71,6 +71,11 @@ NetworkReport::NetworkReport(const Network& network) {
         static_cast<double>(activity.crossbar_flits) / cycles;
     routers_.push_back(activity);
   }
+
+  counters_.reserve(network.obs().size());
+  network.obs().for_each([this](const std::string& name, std::int64_t value) {
+    counters_.emplace_back(name, value);
+  });
 }
 
 const ChannelUtilization& NetworkReport::hottest_channel() const {
@@ -139,7 +144,12 @@ void NetworkReport::write_json(std::ostream& os) const {
        << ", \"crossbar_flits\": " << r.crossbar_flits
        << ", \"crossbar_load\": " << r.crossbar_load << "}";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ],\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    \"" << counters_[i].first
+       << "\": " << counters_[i].second;
+  }
+  os << "\n  }\n}\n";
 }
 
 std::string sweep_telemetry_summary(const SweepTelemetry& telemetry) {
@@ -162,6 +172,34 @@ void write_sweep_telemetry_json(std::ostream& os,
      << ", \"points_cancelled\": " << telemetry.points_cancelled
      << ", \"cycles_simulated\": " << telemetry.cycles_simulated
      << ", \"wall_seconds\": " << telemetry.wall_seconds << "}\n";
+}
+
+std::string run_profile_summary(const RunResult& result) {
+  const RunProfile& p = result.profile;
+  std::ostringstream os;
+  os << compact_count(result.cycles_simulated) << " cycles in " << std::fixed
+     << std::setprecision(2) << p.wall_seconds << " s ("
+     << compact_count(static_cast<std::int64_t>(p.cycles_per_second))
+     << " cycles/s)";
+  if (p.peak_rss_bytes > 0) {
+    os << ", peak RSS " << std::setprecision(1)
+       << static_cast<double>(p.peak_rss_bytes) / (1024.0 * 1024.0) << " MB";
+  }
+  os << " [warmup " << std::setprecision(2) << p.warmup_seconds
+     << " / measure " << p.measure_seconds << " / drain " << p.drain_seconds
+     << " s]";
+  return os.str();
+}
+
+void write_run_profile_json(std::ostream& os, const RunResult& result) {
+  const RunProfile& p = result.profile;
+  os << "{\"wall_seconds\": " << p.wall_seconds
+     << ", \"warmup_seconds\": " << p.warmup_seconds
+     << ", \"measure_seconds\": " << p.measure_seconds
+     << ", \"drain_seconds\": " << p.drain_seconds
+     << ", \"cycles_simulated\": " << result.cycles_simulated
+     << ", \"cycles_per_second\": " << p.cycles_per_second
+     << ", \"peak_rss_bytes\": " << p.peak_rss_bytes << "}\n";
 }
 
 std::string sweep_progress_line(const SweepProgress& progress) {

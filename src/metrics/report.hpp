@@ -6,8 +6,10 @@
 // fully consumed — the quantity the bisection normalization reasons about.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metrics/sweep.hpp"
@@ -37,6 +39,11 @@ class NetworkReport {
 
   const std::vector<ChannelUtilization>& channels() const { return channels_; }
   const std::vector<RouterActivity>& routers() const { return routers_; }
+  /// Snapshot of the network's obs counter registry (name-sorted; empty when
+  /// the registry is compiled out with OWNSIM_OBS=OFF).
+  const std::vector<std::pair<std::string, std::int64_t>>& counters() const {
+    return counters_;
+  }
 
   /// Most-utilized channel (the bottleneck candidate).
   const ChannelUtilization& hottest_channel() const;
@@ -57,6 +64,7 @@ class NetworkReport {
   Cycle elapsed_ = 0;
   std::vector<ChannelUtilization> channels_;
   std::vector<RouterActivity> routers_;
+  std::vector<std::pair<std::string, std::int64_t>> counters_;
 };
 
 /// One-line human summary of a sweep's execution telemetry, e.g.
@@ -70,5 +78,13 @@ void write_sweep_telemetry_json(std::ostream& os,
 /// One-line progress report for `SweepOptions::progress` callbacks, e.g.
 /// "[ 3/9] rate 0.0030  1.2M cycles  0.84 s".
 std::string sweep_progress_line(const SweepProgress& progress);
+
+/// One-line human summary of a run's self-profile, e.g.
+/// "11.5k cycles in 0.21 s (54.8k cycles/s), peak RSS 38.1 MB
+///  [warmup 0.04 / measure 0.11 / drain 0.06 s]".
+std::string run_profile_summary(const RunResult& result);
+
+/// Profile as a flat JSON object (per-phase wall seconds, cycles/sec, RSS).
+void write_run_profile_json(std::ostream& os, const RunResult& result);
 
 }  // namespace ownsim

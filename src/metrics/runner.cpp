@@ -1,9 +1,15 @@
 #include "metrics/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace ownsim {
 namespace {
@@ -12,6 +18,27 @@ namespace {
 /// fixed chunks is behaviour-neutral (the engine just steps), so results are
 /// bit-identical whether or not a token is attached.
 constexpr Cycle kCancelPollInterval = 256;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Process peak resident set size; 0 where the platform offers no cheap way.
+std::int64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
+}
 
 /// Advances `cycles` cycles, polling the token between slices. Returns false
 /// when the token fired before the phase completed.
@@ -28,23 +55,60 @@ bool run_phase(Engine& engine, Cycle cycles,
 
 }  // namespace
 
+bool deterministic_eq(const RunResult& a, const RunResult& b) {
+  return a.offered_rate == b.offered_rate && a.throughput == b.throughput &&
+         a.avg_latency == b.avg_latency &&
+         a.avg_net_latency == b.avg_net_latency &&
+         a.p50_latency == b.p50_latency && a.p99_latency == b.p99_latency &&
+         a.max_latency == b.max_latency && a.avg_hops == b.avg_hops &&
+         a.measured_packets == b.measured_packets && a.drained == b.drained &&
+         a.cancelled == b.cancelled &&
+         a.cycles_simulated == b.cycles_simulated &&
+         a.latency_histogram.total() == b.latency_histogram.total() &&
+         a.latency_histogram.underflow() == b.latency_histogram.underflow() &&
+         a.latency_histogram.overflow() == b.latency_histogram.overflow() &&
+         a.latency_histogram.counts() == b.latency_histogram.counts();
+}
+
 RunResult run_load_point(Network& network, Injector& injector,
                          const RunPhases& phases,
                          exec::CancellationToken token) {
   Engine& engine = network.engine();
   Nic& nic = network.nic();
+  obs::TraceWriter* trace = network.trace();
   const Cycle start_cycle = engine.now();
+  const auto wall_start = Clock::now();
 
   RunResult result;
   result.offered_rate = injector.params().rate;
 
+  const auto finish_profile = [&] {
+    result.profile.wall_seconds = seconds_since(wall_start);
+    result.profile.peak_rss_bytes = peak_rss_bytes();
+    if (result.profile.wall_seconds > 0.0) {
+      result.profile.cycles_per_second =
+          static_cast<double>(result.cycles_simulated) /
+          result.profile.wall_seconds;
+    }
+  };
   const auto cancelled_result = [&] {
     result.cancelled = true;
     result.cycles_simulated = engine.now() - start_cycle;
+    finish_profile();
     return result;
   };
 
-  if (!run_phase(engine, phases.warmup, token)) return cancelled_result();
+  // Phase slices land on the run track (pid kPidRun) so a trace shows at a
+  // glance where simulated time went; the matching wall-clock split lives in
+  // `result.profile`.
+  if (trace != nullptr) {
+    trace->begin("warmup", "phase", obs::TraceWriter::kPidRun, 1,
+                 engine.now());
+  }
+  const bool warmup_ok = run_phase(engine, phases.warmup, token);
+  if (trace != nullptr) trace->end(obs::TraceWriter::kPidRun, 1, engine.now());
+  result.profile.warmup_seconds = seconds_since(wall_start);
+  if (!warmup_ok) return cancelled_result();
 
   const Cycle begin = engine.now();
   const Cycle end = begin + phases.measure;
@@ -55,7 +119,15 @@ RunResult run_load_point(Network& network, Injector& injector,
   // must count toward drain completion too.
   const std::int64_t measured_base = nic.measured_ejected();
 
-  if (!run_phase(engine, phases.measure, token)) return cancelled_result();
+  if (trace != nullptr) {
+    trace->begin("measure", "phase", obs::TraceWriter::kPidRun, 1,
+                 engine.now());
+  }
+  const bool measure_ok = run_phase(engine, phases.measure, token);
+  if (trace != nullptr) trace->end(obs::TraceWriter::kPidRun, 1, engine.now());
+  result.profile.measure_seconds =
+      seconds_since(wall_start) - result.profile.warmup_seconds;
+  if (!measure_ok) return cancelled_result();
   const std::int64_t ejected_in_window = nic.flits_ejected() - ejected_before;
   const auto measured_done = [&] {
     return nic.measured_ejected() - measured_base >=
@@ -63,11 +135,18 @@ RunResult run_load_point(Network& network, Injector& injector,
   };
   // The drain predicate also observes the token so an overdriven point that
   // would burn the whole drain budget can be abandoned promptly.
+  if (trace != nullptr) {
+    trace->begin("drain", "phase", obs::TraceWriter::kPidRun, 1, engine.now());
+  }
   const bool drained =
       measured_done() ||
       (engine.run_until([&] { return measured_done() || token.cancelled(); },
                         phases.drain_limit) &&
        measured_done());
+  if (trace != nullptr) trace->end(obs::TraceWriter::kPidRun, 1, engine.now());
+  result.profile.drain_seconds = seconds_since(wall_start) -
+                                 result.profile.warmup_seconds -
+                                 result.profile.measure_seconds;
   if (!drained && token.cancelled()) return cancelled_result();
 
   result.drained = drained;
@@ -106,6 +185,7 @@ RunResult run_load_point(Network& network, Injector& injector,
                      latencies.end());
     result.p50_latency = latencies[p50];
   }
+  finish_profile();
   return result;
 }
 

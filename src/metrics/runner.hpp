@@ -30,6 +30,17 @@ struct RunPhases {
   Cycle drain_limit = 60000;  ///< extra cycles allowed after the window
 };
 
+/// Wall-clock self-profile of one load point. NOT part of the deterministic
+/// result (wall time and RSS vary run to run); `deterministic_eq` ignores it.
+struct RunProfile {
+  double wall_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double measure_seconds = 0.0;
+  double drain_seconds = 0.0;
+  double cycles_per_second = 0.0;  ///< simulated cycles / wall second
+  std::int64_t peak_rss_bytes = 0;  ///< process highwater (0 if unavailable)
+};
+
 struct RunResult {
   double offered_rate = 0.0;     ///< flits/node/cycle offered
   double throughput = 0.0;       ///< flits/node/cycle accepted in-window
@@ -46,7 +57,16 @@ struct RunResult {
 
   /// Latency distribution of the measured packets (total latency, cycles).
   Histogram latency_histogram{0.0, 4096.0, 128};
+
+  /// Execution telemetry (wall time per phase, cycles/sec, peak RSS).
+  RunProfile profile;
 };
+
+/// True when the SIMULATED fields of `a` and `b` are bit-identical —
+/// everything except `profile`, which is wall-clock telemetry. This is the
+/// reproducibility contract: tracing, counters, thread counts, and reruns
+/// must not change any of these fields.
+bool deterministic_eq(const RunResult& a, const RunResult& b);
 
 /// Runs one load point. The injector must already be registered with the
 /// network's engine (exactly once). When `token` fires mid-run the function

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace ownsim {
 
 Channel::Channel(MediumType medium, int latency, int cycles_per_flit,
@@ -61,6 +63,37 @@ void Channel::Sender::accept(const Flit& flit, Cycle now) {
   if (flit.tail) ch.vc_busy_[flit.vc] = false;
   ++ch.counters_.flits;
   ch.counters_.bits += flit.size_bits;
+  ch.obs_flits_.inc();
+  if (ch.trace_ != nullptr) ch.note_busy(now);
+}
+
+void Channel::bind_obs(obs::Registry& registry) {
+  obs_flits_ = registry.counter("link." + name_ + ".flits");
+}
+
+void Channel::set_trace(obs::TraceWriter* trace, int tid) {
+  trace_ = trace;
+  trace_tid_ = tid;
+  busy_start_ = -1;
+  busy_end_ = 0;
+}
+
+void Channel::note_busy(Cycle now) {
+  if (busy_start_ < 0) {
+    busy_start_ = now;
+  } else if (now > busy_end_) {
+    trace_->complete("busy", "link", obs::TraceWriter::kPidLinks, trace_tid_,
+                     busy_start_, busy_end_ - busy_start_);
+    busy_start_ = now;
+  }
+  busy_end_ = now + cycles_per_flit_;
+}
+
+void Channel::flush_trace() {
+  if (trace_ == nullptr || busy_start_ < 0) return;
+  trace_->complete("busy", "link", obs::TraceWriter::kPidLinks, trace_tid_,
+                   busy_start_, busy_end_ - busy_start_);
+  busy_start_ = -1;
 }
 
 const Flit* Channel::Receiver::poll(Cycle now) {

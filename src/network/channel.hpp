@@ -23,9 +23,14 @@
 #include "common/types.hpp"
 #include "network/endpoints.hpp"
 #include "network/flit.hpp"
+#include "obs/counters.hpp"
 #include "sim/clocked.hpp"
 
 namespace ownsim {
+
+namespace obs {
+class TraceWriter;
+}
 
 /// Maps a deadlock class to a contiguous range of VC ids.
 struct VcClassRange {
@@ -65,7 +70,21 @@ class Channel final : public Clocked {
   int credits(VcId vc) const { return credits_[vc]; }
   bool vc_busy(VcId vc) const { return vc_busy_[vc]; }
 
+  /// Registers this channel's counters with `registry` (handles resolved
+  /// once; see obs/counters.hpp). Names: "link.<name>.flits".
+  void bind_obs(obs::Registry& registry);
+
+  /// Attaches a trace writer; busy intervals are emitted as complete events
+  /// on track (TraceWriter::kPidLinks, `tid`). Null detaches.
+  void set_trace(obs::TraceWriter* trace, int tid);
+
+  /// Emits the still-open busy interval, if any (called at end of run).
+  void flush_trace();
+
  private:
+  /// Coalesces per-flit serialization slots into contiguous busy intervals:
+  /// a gap (now past the previous slot's end) flushes the open interval.
+  void note_busy(Cycle now);
   struct Sender final : OutputEndpoint {
     explicit Sender(Channel* ch) : channel(ch) {}
     VcId alloc_vc(int vc_class, Cycle now) override;
@@ -111,6 +130,14 @@ class Channel final : public Clocked {
   std::vector<TimedCredit> staged_credits_;
 
   LinkCounters counters_;
+  obs::Counter obs_flits_;
+
+  // Trace state (observational only; see obs/trace.hpp).
+  obs::TraceWriter* trace_ = nullptr;
+  int trace_tid_ = 0;
+  Cycle busy_start_ = -1;  ///< -1: no interval open
+  Cycle busy_end_ = 0;     ///< end of the last occupied serialization slot
+
   Sender sender_{this};
   Receiver receiver_{this};
 };

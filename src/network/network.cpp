@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace ownsim {
 
 RouteEntry Network::SpecOracle::route(RouterId at, const Flit& head) const {
@@ -121,6 +123,38 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
   for (auto& m : media_) engine_.add(m.get());
   for (auto& c : channels_) engine_.add(c.get());
   for (auto& c : node_channels_) engine_.add(c.get());
+
+  // Observability: resolve counter handles once, after all components exist.
+  for (auto& r : routers_) r->bind_obs(obs_);
+  for (auto& m : media_) m->bind_obs(obs_);
+  for (auto& c : channels_) c->bind_obs(obs_);
+}
+
+void Network::set_trace(obs::TraceWriter* trace) {
+  trace_ = trace;
+  if (trace != nullptr) {
+    trace->set_process_name(obs::TraceWriter::kPidRun, "run phases");
+    trace->set_process_name(obs::TraceWriter::kPidMedia, "shared media");
+    trace->set_process_name(obs::TraceWriter::kPidLinks, "links");
+  }
+  for (std::size_t i = 0; i < media_.size(); ++i) {
+    media_[i]->set_trace(trace, static_cast<int>(i));
+    if (trace != nullptr) {
+      trace->set_thread_name(obs::TraceWriter::kPidMedia, static_cast<int>(i),
+                             media_[i]->params().name);
+    }
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i]->set_trace(trace, static_cast<int>(i));
+    if (trace != nullptr) {
+      trace->set_thread_name(obs::TraceWriter::kPidLinks, static_cast<int>(i),
+                             channels_[i]->name());
+    }
+  }
+}
+
+void Network::flush_trace() {
+  for (auto& c : channels_) c->flush_trace();
 }
 
 }  // namespace ownsim

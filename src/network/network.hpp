@@ -13,9 +13,14 @@
 #include "network/router.hpp"
 #include "network/shared_medium.hpp"
 #include "network/spec.hpp"
+#include "obs/counters.hpp"
 #include "sim/engine.hpp"
 
 namespace ownsim {
+
+namespace obs {
+class TraceWriter;
+}
 
 class Network {
  public:
@@ -52,6 +57,23 @@ class Network {
   /// True when no packet is anywhere in flight (queues, routers, links).
   bool drained() const { return nic_->packets_in_flight() == 0; }
 
+  // ---- observability --------------------------------------------------------
+  /// Counter registry for this network's components (routers, media, network
+  /// links, plus any Injector built against this network). Node inject/eject
+  /// stub channels are not registered — their traffic is the NIC's counters.
+  obs::Registry& obs() { return obs_; }
+  const obs::Registry& obs() const { return obs_; }
+
+  /// Attaches (or, with nullptr, detaches) a trace writer to every shared
+  /// medium and network link and remembers it for the measurement driver's
+  /// phase slices (`run_load_point` reads `trace()`). Purely observational:
+  /// simulated results are bit-identical with tracing on or off.
+  void set_trace(obs::TraceWriter* trace);
+  obs::TraceWriter* trace() const { return trace_; }
+
+  /// Emits any still-open channel busy intervals (call once, end of run).
+  void flush_trace();
+
  private:
   /// Route lookups against the spec's tables + node attachments.
   class SpecOracle final : public RoutingOracle {
@@ -66,6 +88,8 @@ class Network {
   NetworkSpec spec_;
   Engine engine_;
   SpecOracle oracle_{this};
+  obs::Registry obs_;
+  obs::TraceWriter* trace_ = nullptr;
 
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Channel>> channels_;       ///< network links

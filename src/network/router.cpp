@@ -3,6 +3,7 @@
 #include <cassert>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace ownsim {
 
@@ -28,6 +29,13 @@ Router::Router(Params params, const std::vector<VcClassRange>* classes,
   grant_key_.assign(outputs_.size(), -1);
   grant_input_.assign(outputs_.size(), -1);
   granted_outputs_.reserve(outputs_.size());
+}
+
+void Router::bind_obs(obs::Registry& registry) {
+  const std::string prefix = "router." + std::to_string(params_.id) + ".";
+  obs_flits_forwarded_ = registry.counter(prefix + "flits_forwarded");
+  obs_sa_retries_ = registry.counter(prefix + "sa_retries");
+  obs_buffer_highwater_ = registry.gauge(prefix + "buffer_highwater");
 }
 
 void Router::connect_input(PortId port, InputEndpoint* endpoint) {
@@ -64,6 +72,7 @@ void Router::stage_intake(Cycle now) {
     port.endpoint->pop(now);
     ++occupancy_;
     ++counters_.buffer_writes;
+    obs_buffer_highwater_.observe_max(occupancy_);
   }
 }
 
@@ -127,6 +136,7 @@ void Router::stage_switch(Cycle now) {
     ++counters_.crossbar_flits;
     counters_.crossbar_bits += flit.size_bits;
     ++counters_.switch_allocations;
+    obs_flits_forwarded_.inc();
 
     port.rr_vc = (v + 1) % static_cast<int>(port.vcs.size());
     out.rr_input = (i + 1) % n_in;
@@ -136,6 +146,10 @@ void Router::stage_switch(Cycle now) {
       vc.out_vc = kInvalidId;
     }
   }
+  // Inputs that nominated a VC this cycle but lost stage-2 arbitration
+  // retry next cycle — the switch-contention signal.
+  obs_sa_retries_.add(static_cast<std::int64_t>(sa_winners_.size()) -
+                      static_cast<std::int64_t>(granted_outputs_.size()));
   granted_outputs_.clear();
 }
 

@@ -25,6 +25,7 @@
 #include "network/channel.hpp"  // VcClassRange
 #include "network/endpoints.hpp"
 #include "network/flit.hpp"
+#include "obs/counters.hpp"
 #include "sim/clocked.hpp"
 
 namespace ownsim {
@@ -83,6 +84,11 @@ class Router final : public Clocked {
   /// Total flits currently buffered (used for drain detection).
   int occupancy() const { return occupancy_; }
 
+  /// Registers this router's counters with `registry` (handles resolved
+  /// once). Names: "router.<id>.{flits_forwarded,sa_retries,
+  /// buffer_highwater}".
+  void bind_obs(obs::Registry& registry);
+
   /// Writes a human-readable dump of every non-idle input VC (debug aid).
   void dump_state(std::ostream& os) const;
 
@@ -121,6 +127,9 @@ class Router final : public Clocked {
   int vca_rr_ = 0;  ///< round-robin start for VCA request order
   int occupancy_ = 0;
   RouterCounters counters_;
+  obs::Counter obs_flits_forwarded_;
+  obs::Counter obs_sa_retries_;
+  obs::Gauge obs_buffer_highwater_;
 
   // Scratch for SA (persistent to avoid per-cycle allocation).
   std::vector<int> sa_request_;   ///< per input: winning VC index or -1

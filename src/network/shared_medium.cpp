@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace ownsim {
 
@@ -54,6 +57,20 @@ OutputEndpoint* SharedMedium::writer(int index) {
 
 InputEndpoint* SharedMedium::reader(int index) {
   return &readers_.at(static_cast<std::size_t>(index));
+}
+
+void SharedMedium::bind_obs(obs::Registry& registry) {
+  const std::string prefix = "medium." + params_.name + ".";
+  obs_packets_ = registry.counter(prefix + "packets");
+  obs_flits_ = registry.counter(prefix + "flits");
+  obs_token_wait_ = registry.counter(prefix + "token_wait_cycles");
+  obs_arb_retries_ = registry.counter(prefix + "arb_retries");
+  obs_discards_ = registry.counter(prefix + "multicast_discard_flits");
+}
+
+void SharedMedium::set_trace(obs::TraceWriter* trace, int tid) {
+  trace_ = trace;
+  trace_tid_ = tid;
 }
 
 // ---- Writer endpoint --------------------------------------------------------
@@ -139,6 +156,15 @@ bool SharedMedium::try_start(int w, Cycle now) {
         next_tx_slot_ = std::max(next_tx_slot_, now);
         writer.rr_class = (cls_idx + 1) % num_classes;
         ++counters_.packets;
+        obs_packets_.inc();
+        if (trace_ != nullptr) {
+          active_start_ = now;
+          trace_->instant("grant", "token", obs::TraceWriter::kPidMedia,
+                          trace_tid_, now,
+                          {{"writer", std::to_string(w)},
+                           {"reader", std::to_string(reader_idx)},
+                           {"vc", std::to_string(vc)}});
+        }
         return true;
       }
     }
@@ -177,12 +203,26 @@ void SharedMedium::eval(Cycle now) {
       counters_.tx_bits += flit.size_bits;
       counters_.rx_bits += static_cast<std::int64_t>(flit.size_bits) *
                            (params_.multicast_rx ? params_.num_readers : 1);
+      obs_flits_.inc();
+      if (params_.multicast_rx) {
+        // Every listening reader pays RX energy; all but the target throw
+        // the copy away (Table II's SWMR discard path).
+        counters_.multicast_discard_flits += params_.num_readers - 1;
+        obs_discards_.add(params_.num_readers - 1);
+      }
       if (flit.tail) {
         // Release: the reader VC frees at tail launch; deliveries are FIFO
         // per reader, so a follow-up packet on the same VC cannot overtake.
         reader.vc_busy[active_vc_] = false;
         active_ = false;
         token_ = (token_ + 1) % params_.num_writers;
+        if (trace_ != nullptr) {
+          trace_->complete(
+              "pkt w" + std::to_string(active_writer_) + "->r" +
+                  std::to_string(active_reader_),
+              "medium", obs::TraceWriter::kPidMedia, trace_tid_, active_start_,
+              now + params_.cycles_per_flit - active_start_);
+        }
       }
     }
   } else if (params_.arbitration == ArbitrationKind::kTokenRing) {
@@ -192,9 +232,15 @@ void SharedMedium::eval(Cycle now) {
     //     token transfer the paper charges against OptXB throughput).
     if (!try_start(token_, now)) {
       token_ = (token_ + 1) % params_.num_writers;
+      // A staged head exists but this cycle's holder could not launch it:
+      // the token moves on and the packet retries under a later holder.
+      if (nonempty_stagings_ > 0) obs_arb_retries_.inc();
     }
     // "Some packet is waiting for the token" cycles, not per-writer.
-    if (nonempty_stagings_ > 0) ++counters_.token_wait_cycles;
+    if (nonempty_stagings_ > 0) {
+      ++counters_.token_wait_cycles;
+      obs_token_wait_.inc();
+    }
   } else {
     // 3b. Ideal arbitration: grant the first pending writer round-robin
     //     from the pointer, all in one cycle.

@@ -34,9 +34,14 @@
 #include "network/channel.hpp"  // VcClassRange, LinkCounters
 #include "network/endpoints.hpp"
 #include "network/flit.hpp"
+#include "obs/counters.hpp"
 #include "sim/clocked.hpp"
 
 namespace ownsim {
+
+namespace obs {
+class TraceWriter;
+}
 
 /// Counters specific to shared media (token behavior, multicast RX cost).
 struct MediumCounters {
@@ -45,6 +50,9 @@ struct MediumCounters {
   std::int64_t tx_bits = 0;
   std::int64_t rx_bits = 0;          ///< includes discarded multicast copies
   std::int64_t token_wait_cycles = 0;///< cycles a pending head waited for the token
+  /// SWMR multicast: flit copies received-and-discarded by the non-target
+  /// readers (§III.B "the rest will discard it"); 0 on MWSR media.
+  std::int64_t multicast_discard_flits = 0;
 };
 
 /// How writers are granted the medium.
@@ -87,6 +95,15 @@ class SharedMedium final : public Clocked {
   const Params& params() const { return params_; }
   int token_position() const { return token_; }
   bool transmitting() const { return active_; }
+
+  /// Registers this medium's counters with `registry` (handles resolved
+  /// once). Names: "medium.<name>.{packets,flits,token_wait_cycles,
+  /// arb_retries,multicast_discard_flits}".
+  void bind_obs(obs::Registry& registry);
+
+  /// Attaches a trace writer: token grants become instant events and
+  /// per-packet bus occupancy complete events on (kPidMedia, `tid`).
+  void set_trace(obs::TraceWriter* trace, int tid);
 
  private:
   // Writers stage packets per VC class. This is load-bearing for deadlock
@@ -161,6 +178,16 @@ class SharedMedium final : public Clocked {
   int nonempty_stagings_ = 0;  ///< writers with flits staged (token-wait stat)
 
   MediumCounters counters_;
+  obs::Counter obs_packets_;
+  obs::Counter obs_flits_;
+  obs::Counter obs_token_wait_;
+  obs::Counter obs_arb_retries_;
+  obs::Counter obs_discards_;
+
+  // Trace state (observational only).
+  obs::TraceWriter* trace_ = nullptr;
+  int trace_tid_ = 0;
+  Cycle active_start_ = 0;  ///< grant cycle of the active transmission
 };
 
 }  // namespace ownsim

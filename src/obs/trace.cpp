@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace ownsim::obs {
+
+void TraceWriter::begin(std::string name, std::string cat, int pid, int tid,
+                        Cycle ts) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::end(int pid, int tid, Cycle ts) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kEnd;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::complete(
+    std::string name, std::string cat, int pid, int tid, Cycle ts, Cycle dur,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.dur = dur;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::instant(
+    std::string name, std::string cat, int pid, int tid, Cycle ts,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::set_process_name(int pid, const std::string& name) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kMetadata;
+  e.name = "process_name";
+  e.pid = pid;
+  e.args.emplace_back("name", '"' + json_escape(name) + '"');
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::set_thread_name(int pid, int tid, const std::string& name) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kMetadata;
+  e.name = "thread_name";
+  e.pid = pid;
+  e.tid = tid;
+  e.args.emplace_back("name", '"' + json_escape(name) + '"');
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"ph\": \"" << static_cast<char>(e.phase) << '"';
+    if (!e.name.empty()) os << ", \"name\": \"" << json_escape(e.name) << '"';
+    if (!e.cat.empty()) os << ", \"cat\": \"" << json_escape(e.cat) << '"';
+    os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid
+       << ", \"ts\": " << e.ts;
+    if (e.phase == TraceEvent::Phase::kComplete) os << ", \"dur\": " << e.dur;
+    // Instant events need a scope; "t" (thread) keeps them on their track.
+    if (e.phase == TraceEvent::Phase::kInstant) os << ", \"s\": \"t\"";
+    if (!e.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << '"' << json_escape(e.args[i].first)
+           << "\": " << e.args[i].second;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ownsim::obs

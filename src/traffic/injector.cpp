@@ -17,6 +17,9 @@ Injector::Injector(Network* network, TrafficPattern pattern, Params params)
   for (NodeId n = 0; n < network_->spec().num_nodes; ++n) {
     rngs_.emplace_back(params_.master_seed, static_cast<std::uint64_t>(n));
   }
+  obs::Registry& registry = network_->obs();
+  obs_packets_offered_ = registry.counter("injector.packets_offered");
+  obs_flits_offered_ = registry.counter("injector.flits_offered");
 }
 
 void Injector::eval(Cycle now) {
@@ -38,6 +41,8 @@ void Injector::eval(Cycle now) {
         now, measured);
     ++packets_offered_;
     if (measured) ++measured_offered_;
+    obs_packets_offered_.inc();
+    obs_flits_offered_.add(params_.packet_flits);
   }
 }
 

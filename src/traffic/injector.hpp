@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "network/network.hpp"
+#include "obs/counters.hpp"
 #include "sim/clocked.hpp"
 #include "traffic/patterns.hpp"
 
@@ -64,6 +65,8 @@ class Injector final : public Clocked {
   bool enabled_ = true;
   std::int64_t packets_offered_ = 0;
   std::int64_t measured_offered_ = 0;
+  obs::Counter obs_packets_offered_;
+  obs::Counter obs_flits_offered_;
 };
 
 }  // namespace ownsim

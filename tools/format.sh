@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Format (or format-check) all first-party C++ sources with clang-format.
+#
+#   tools/format.sh                  reformat in place with `clang-format`
+#   tools/format.sh --check          dry-run; non-zero exit on violations
+#   tools/format.sh [--check] BIN    use BIN (e.g. clang-format-18, the
+#                                    version CI pins)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode=format
+if [[ "${1:-}" == "--check" ]]; then
+  mode=check
+  shift
+fi
+clang_format="${1:-clang-format}"
+
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "error: $clang_format not found (install clang-format or pass a binary)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' -o -name '*.cc' \) \
+  -type f | sort)
+
+if [[ "$mode" == "check" ]]; then
+  "$clang_format" --dry-run -Werror "${files[@]}"
+  echo "format check: OK (${#files[@]} files)"
+else
+  "$clang_format" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff bench JSONL records against a stored baseline.
+
+Usage:
+  python3 tools/perf_compare.py BASELINE.json CURRENT.json [options]
+
+Both files hold one JSON object per line (JSONL) in the schema emitted by
+ownsim's emit_bench_json() (src/metrics/bench_json.hpp, schema_version 1).
+Records pair up on (bench, config); metrics pair up on name within a record.
+
+Comparison rules, per metric:
+  * deterministic metrics (simulated quantities) use --tol-deterministic
+    (default 1e-6 relative): any larger drift is a reproducibility break and
+    fails regardless of direction.
+  * wall-clock metrics use --tol-wall (default 0.5, i.e. +/-50% relative) and
+    only fail in the *worse* direction given the metric's "better" field
+    ("lower" means an increase is a regression); "either" never fails.
+
+Exit codes:
+  0  no regressions (or --advisory)
+  1  at least one regression
+  2  malformed input / schema mismatch
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class FormatError(Exception):
+    pass
+
+
+def load_records(path):
+    """Parse a JSONL bench file -> {(bench, config): {metric: dict}}."""
+    records = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as err:
+        raise FormatError(f"{path}: {err}") from err
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise FormatError(f"{path}:{lineno}: invalid JSON: {err}") from err
+        if not isinstance(obj, dict):
+            raise FormatError(f"{path}:{lineno}: expected a JSON object")
+        version = obj.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise FormatError(
+                f"{path}:{lineno}: schema_version {version!r}, "
+                f"expected {SCHEMA_VERSION}")
+        for field in ("bench", "config", "metrics"):
+            if field not in obj:
+                raise FormatError(f"{path}:{lineno}: missing field {field!r}")
+        key = (obj["bench"], obj["config"])
+        metrics = records.setdefault(key, {})
+        for metric in obj["metrics"]:
+            if not isinstance(metric, dict) or "name" not in metric \
+                    or "value" not in metric:
+                raise FormatError(
+                    f"{path}:{lineno}: metric needs 'name' and 'value'")
+            if not isinstance(metric["value"], (int, float)):
+                raise FormatError(
+                    f"{path}:{lineno}: metric {metric['name']!r} value "
+                    f"is not a number")
+            metrics[metric["name"]] = metric
+    return records
+
+
+def relative_delta(baseline, current):
+    if baseline == 0.0:
+        return 0.0 if current == 0.0 else float("inf")
+    return (current - baseline) / abs(baseline)
+
+
+def compare(baseline, current, tol_deterministic, tol_wall):
+    """Yields (severity, message); severity is 'regression' or 'info'."""
+    for key in sorted(set(baseline) | set(current)):
+        bench, config = key
+        label = f"{bench}[{config}]"
+        if key not in current:
+            yield "info", f"{label}: present in baseline only (not rerun)"
+            continue
+        if key not in baseline:
+            yield "info", f"{label}: new bench (no baseline yet)"
+            continue
+        base_metrics, cur_metrics = baseline[key], current[key]
+        for name in sorted(set(base_metrics) | set(cur_metrics)):
+            if name not in cur_metrics:
+                yield "regression", f"{label}.{name}: metric disappeared"
+                continue
+            if name not in base_metrics:
+                yield "info", f"{label}.{name}: new metric (no baseline)"
+                continue
+            base, cur = base_metrics[name], cur_metrics[name]
+            deterministic = bool(base.get("deterministic", True))
+            better = base.get("better", "either")
+            delta = relative_delta(float(base["value"]), float(cur["value"]))
+            detail = (f"{label}.{name}: {base['value']} -> {cur['value']} "
+                      f"({delta:+.2%})")
+            if deterministic:
+                if abs(delta) > tol_deterministic:
+                    yield "regression", detail + " [deterministic drift]"
+                continue
+            worse = (better == "lower" and delta > tol_wall) or \
+                    (better == "higher" and delta < -tol_wall)
+            if worse:
+                yield "regression", detail + f" [worse than {tol_wall:.0%}]"
+            elif abs(delta) > tol_wall:
+                yield "info", detail + " (improved)"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline JSONL file")
+    parser.add_argument("current", help="freshly emitted JSONL file")
+    parser.add_argument("--tol-deterministic", type=float, default=1e-6,
+                        help="relative tolerance for deterministic metrics "
+                             "(default 1e-6)")
+    parser.add_argument("--tol-wall", type=float, default=0.5,
+                        help="relative tolerance for wall-clock metrics "
+                             "(default 0.5 = 50%%)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but always exit 0 "
+                             "(shared-runner CI: wall time is noisy)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_records(args.baseline)
+        current = load_records(args.current)
+    except FormatError as err:
+        print(f"perf_compare: format error: {err}", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    compared = 0
+    for severity, message in compare(baseline, current,
+                                     args.tol_deterministic, args.tol_wall):
+        compared += 1
+        prefix = "REGRESSION" if severity == "regression" else "info"
+        print(f"[{prefix}] {message}")
+        if severity == "regression":
+            regressions += 1
+    total_metrics = sum(len(m) for m in current.values())
+    print(f"perf_compare: {total_metrics} metric(s) across "
+          f"{len(current)} bench(es); {regressions} regression(s)")
+    if regressions and args.advisory:
+        print("perf_compare: advisory mode, not failing the build")
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
