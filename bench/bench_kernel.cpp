@@ -1,0 +1,107 @@
+// A/B comparison of the two simulation kernels (DESIGN.md §5e): the same
+// low-load OWN-256 point is run once under the lockstep baseline and once
+// under the activity-driven kernel. The simulated results must be
+// bit-identical (the bench aborts otherwise — this is the differential check
+// CI leans on); the wall-clock ratio is the idle skip-ahead speedup, which
+// perf_compare.py tracks against bench/baselines/ci.json (target >= 2x at
+// this operating point).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/table_io.hpp"
+
+namespace {
+
+struct KernelTiming {
+  ownsim::RunResult run;
+  double wall_seconds = 0.0;
+  ownsim::Engine::Stats stats;
+};
+
+/// Builds a fresh OWN-256 network, pins the kernel, and runs the shared
+/// low-load point. Fresh state per mode keeps the two runs independent and
+/// seeds identical.
+KernelTiming run_point(ownsim::KernelMode mode) {
+  using namespace ownsim;
+  ExperimentConfig experiment = bench::base_experiment(TopologyKind::kOwn, 256);
+  experiment.rate = 0.001;  // bottom of the Fig 7 sweep: mostly-idle network
+  experiment.kernel = mode;
+
+  const WallTimer timer;
+  Network network(build_topology(experiment.topology, experiment.options));
+  network.engine().set_mode(mode);
+  TrafficPattern pattern(experiment.pattern, experiment.options.num_cores);
+  Injector::Params params = experiment.injector;
+  params.rate = experiment.rate;
+  Injector injector(&network, pattern, params);
+  network.engine().add(&injector);
+
+  KernelTiming timing;
+  timing.run = run_load_point(network, injector, experiment.phases);
+  timing.wall_seconds = timer.seconds();
+  timing.stats = network.engine().stats();
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ownsim;
+  bench::print_header("simulation kernel A/B, OWN-256 uniform rate 0.001",
+                      "DESIGN.md 5e");
+
+  const KernelTiming lockstep = run_point(KernelMode::kLockstep);
+  const KernelTiming activity = run_point(KernelMode::kActivity);
+
+  if (!deterministic_eq(lockstep.run, activity.run)) {
+    std::fprintf(stderr,
+                 "bench_kernel: kernels diverged — activity-driven run is not "
+                 "bit-identical to the lockstep baseline\n");
+    return 1;
+  }
+
+  const double speedup =
+      activity.wall_seconds > 0.0 ? lockstep.wall_seconds / activity.wall_seconds
+                                  : 0.0;
+
+  Table table({"kernel", "wall s", "cycles", "evals", "skipped"});
+  table.add_row({"lockstep", Table::num(lockstep.wall_seconds, 4),
+                 std::to_string(lockstep.run.cycles_simulated),
+                 std::to_string(lockstep.stats.evals),
+                 std::to_string(lockstep.stats.cycles_skipped)});
+  table.add_row({"activity", Table::num(activity.wall_seconds, 4),
+                 std::to_string(activity.run.cycles_simulated),
+                 std::to_string(activity.stats.evals),
+                 std::to_string(activity.stats.cycles_skipped)});
+  table.print(std::cout);
+  std::cout << "\nbit-identical: yes   speedup: " << Table::num(speedup, 2)
+            << "x (lockstep / activity wall time)\n";
+
+  BenchRecord record;
+  record.bench = "bench_kernel";
+  record.paper_ref = "DESIGN.md 5e";
+  record.config = bench::phase_preset_name();
+  record.metrics.push_back({"throughput", activity.run.throughput,
+                            "flits/node/cycle", /*deterministic=*/true,
+                            "higher"});
+  record.metrics.push_back({"avg_latency", activity.run.avg_latency, "cycles",
+                            /*deterministic=*/true, "lower"});
+  record.metrics.push_back(
+      {"cycles_simulated",
+       static_cast<double>(activity.run.cycles_simulated), "cycles",
+       /*deterministic=*/true, "either"});
+  record.metrics.push_back(
+      {"cycles_skipped", static_cast<double>(activity.stats.cycles_skipped),
+       "cycles", /*deterministic=*/true, "higher"});
+  record.metrics.push_back({"wall_seconds.lockstep", lockstep.wall_seconds,
+                            "s", /*deterministic=*/false, "lower"});
+  record.metrics.push_back({"wall_seconds.activity", activity.wall_seconds,
+                            "s", /*deterministic=*/false, "lower"});
+  record.metrics.push_back(
+      {"speedup", speedup, "x", /*deterministic=*/false, "higher"});
+  emit_bench_json(record);
+  return 0;
+}

@@ -6,7 +6,9 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "metrics/runner.hpp"
 #include "network/network.hpp"
+#include "sim/engine.hpp"
 #include "topology/registry.hpp"
 #include "traffic/injector.hpp"
 #include "traffic/patterns.hpp"
@@ -62,6 +64,37 @@ BENCHMARK(BM_NetworkCycle)
     ->Args({static_cast<int>(TopologyKind::kOptXB), 256})
     ->Args({static_cast<int>(TopologyKind::kOwn), 1024})
     ->Unit(benchmark::kMicrosecond);
+
+/// Whole warmup/measure/drain load point under each simulation kernel at a
+/// low load (the bottom of the Fig 7 sweep), where most components are idle
+/// most cycles — the case the activity-driven kernel exists for. The ratio
+/// of the two timings is the idle-skip speedup (target >= 2x, tracked in
+/// bench/baselines/ci.json via bench_kernel).
+void BM_LoadPointKernel(benchmark::State& state) {
+  const auto mode = static_cast<KernelMode>(state.range(0));
+  RunPhases phases;
+  phases.warmup = 400;
+  phases.measure = 1200;
+  phases.drain_limit = 8000;
+  for (auto _ : state) {
+    // set_mode requires a pristine engine, so each iteration builds fresh.
+    TopologyOptions options;
+    options.num_cores = 256;
+    Network network(build_topology(TopologyKind::kOwn, options));
+    network.engine().set_mode(mode);
+    TrafficPattern pattern(PatternKind::kUniform, 256);
+    Injector::Params params;
+    params.rate = 0.001;
+    Injector injector(&network, pattern, params);
+    network.engine().add(&injector);
+    benchmark::DoNotOptimize(run_load_point(network, injector, phases));
+  }
+  state.SetLabel(mode == KernelMode::kLockstep ? "lockstep" : "activity");
+}
+BENCHMARK(BM_LoadPointKernel)
+    ->Arg(static_cast<int>(KernelMode::kLockstep))
+    ->Arg(static_cast<int>(KernelMode::kActivity))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NetworkConstruction(benchmark::State& state) {
   const auto kind = static_cast<TopologyKind>(state.range(0));

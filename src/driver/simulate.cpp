@@ -21,6 +21,7 @@ NetworkFactory make_network_factory(TopologyKind topology,
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   Network network(build_topology(config.topology, config.options));
+  if (config.kernel.has_value()) network.engine().set_mode(*config.kernel);
 
   TrafficPattern pattern(config.pattern, config.options.num_cores);
   Injector::Params injector_params = config.injector;

@@ -10,6 +10,7 @@
 
 #include "metrics/runner.hpp"
 #include "metrics/sweep.hpp"
+#include "sim/engine.hpp"
 #include "power/energy_model.hpp"
 #include "topology/registry.hpp"
 #include "traffic/patterns.hpp"
@@ -29,6 +30,12 @@ struct ExperimentConfig {
   RunPhases phases;
   Injector::Params injector;  ///< .rate overridden by `rate`
   PowerParams power;
+
+  /// Simulation kernel override. Unset: the engine default (activity-driven,
+  /// or lockstep when OWNSIM_LOCKSTEP=1 is in the environment). Both kernels
+  /// are bit-identical (DESIGN.md §5e); lockstep is the slow baseline kept
+  /// for differential testing and A/B timing.
+  std::optional<KernelMode> kernel;
 };
 
 struct ExperimentResult {

@@ -58,6 +58,11 @@ void Channel::Sender::accept(const Flit& flit, Cycle now) {
   auto& ch = *channel;
   assert(can_accept(flit, now));
   ch.staged_flits_.push_back({flit, now + ch.latency_});
+  // Quiescence contract: the staged flit must latch this cycle even if the
+  // channel is dormant, and whoever polls the far end must be awake when the
+  // flit completes the pipe.
+  ch.request_commit();
+  if (ch.sink_ != nullptr) ch.sink_->request_wake(now + ch.latency_);
   ch.next_free_ = now + ch.cycles_per_flit_;
   --ch.credits_[flit.vc];
   if (flit.tail) ch.vc_busy_[flit.vc] = false;
@@ -111,6 +116,9 @@ void Channel::Receiver::pop(Cycle /*now*/) {
 
 void Channel::Receiver::push_credit(VcId vc, Cycle now) {
   channel->staged_credits_.push_back({vc, now + 1});
+  // Latch this cycle; the non-empty credit pipe then keeps the channel active
+  // until the credit is absorbed at its arrival cycle (no sink wake needed).
+  channel->request_commit();
 }
 
 void Channel::eval(Cycle now) {

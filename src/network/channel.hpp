@@ -58,6 +58,19 @@ class Channel final : public Clocked {
   void eval(Cycle now) override;
   void commit(Cycle now) override;
 
+  /// Dormant once both pipes and both staging buffers are empty. While any
+  /// flit or credit is in flight the channel stays active so arrivals are
+  /// absorbed at exactly their arrival cycle (lockstep-identical timing).
+  bool is_idle() const override {
+    return flit_pipe_.empty() && credit_pipe_.empty() &&
+           staged_flits_.empty() && staged_credits_.empty();
+  }
+
+  /// Component to wake when a flit completes the forward pipe (the router or
+  /// NIC polling `in()`). Wired once by the Network assembler; optional —
+  /// unwired channels (unit tests) simply post no wakes.
+  void set_sink(Clocked* sink) { sink_ = sink; }
+
   MediumType medium() const { return medium_; }
   int latency() const { return latency_; }
   int cycles_per_flit() const { return cycles_per_flit_; }
@@ -128,6 +141,8 @@ class Channel final : public Clocked {
   std::vector<Timed> staged_flits_;
   std::deque<TimedCredit> credit_pipe_;
   std::vector<TimedCredit> staged_credits_;
+
+  Clocked* sink_ = nullptr;  ///< woken at forward-pipe arrivals
 
   LinkCounters counters_;
   obs::Counter obs_flits_;

@@ -61,6 +61,7 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
         spec_.buffer_depth, link.distance, &spec_.vc_classes, link.name);
     routers_[link.src_router]->connect_output(link.src_port, channel->out());
     routers_[link.dst_router]->connect_input(link.dst_port, channel->in());
+    channel->set_sink(routers_[link.dst_router].get());
     channels_.push_back(std::move(channel));
   }
 
@@ -89,6 +90,7 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
     for (std::size_t rd = 0; rd < ms.readers.size(); ++rd) {
       const auto& [r, p] = ms.readers[rd];
       routers_[r]->connect_input(p, medium->reader(static_cast<int>(rd)));
+      medium->set_reader_sink(static_cast<int>(rd), routers_[r].get());
     }
     media_.push_back(std::move(medium));
   }
@@ -108,10 +110,12 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
         MediumType::kElectrical, 1, 1, spec_.num_vcs, spec_.buffer_depth,
         Length{}, &spec_.vc_classes, "inj" + std::to_string(n));
     routers_[r]->connect_input(in_port, inject->in());
+    inject->set_sink(routers_[r].get());
     auto eject = std::make_unique<Channel>(
         MediumType::kElectrical, 1, 1, spec_.num_vcs, spec_.buffer_depth,
         Length{}, &spec_.vc_classes, "ej" + std::to_string(n));
     routers_[r]->connect_output(out_port, eject->out());
+    eject->set_sink(nic_.get());
     nic_->connect(n, inject->out(), eject->in());
     node_channels_.push_back(std::move(inject));
     node_channels_.push_back(std::move(eject));

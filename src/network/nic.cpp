@@ -43,6 +43,12 @@ PacketId Nic::enqueue_packet(NodeId src, NodeId dst, RouterId dst_router,
   }
   queued_flits_ += size_flits;
   ++packets_created_;
+  // Callers enqueue either mid-eval (injector, eject callbacks) — where the
+  // NIC's eval slot for `now` has already passed, so the engine clamps the
+  // wake to now+1 (matching lockstep: the NIC is registered before every
+  // traffic source) — or between steps, where cycle `now` is still upcoming
+  // and the wake lands on it.
+  request_wake(now);
   return id;
 }
 

@@ -46,6 +46,12 @@ class Nic final : public Clocked {
   void eval(Cycle now) override;
   void commit(Cycle /*now*/) override {}
 
+  /// Dormant when every source queue is empty (an open VC implies the rest
+  /// of that packet is still queued, so queued_flits_ == 0 is a complete
+  /// test). Ejection work is covered by the eject channels' sink wakes;
+  /// `enqueue_packet` posts a self-wake.
+  bool is_idle() const override { return queued_flits_ == 0; }
+
   /// Packets fully ejected so far (records kept in ejection order).
   const std::vector<PacketRecord>& records() const { return records_; }
   /// Drops accumulated records (e.g. after warmup).

@@ -51,6 +51,22 @@ void Router::connect_output(PortId port, OutputEndpoint* endpoint) {
 }
 
 void Router::eval(Cycle now) {
+  // Activity kernel: the lockstep loop rotates vca_rr_ by num_vcs every
+  // cycle unconditionally. Cycles skipped while dormant are caught up in
+  // closed form so VCA arbitration stays bit-identical to lockstep. Gated on
+  // scheduled(): manually driven routers (unit tests) keep per-call
+  // semantics, and under a lockstep engine the gap is always zero.
+  if (scheduled()) {
+    const Cycle gap = now - last_eval_ - 1;
+    if (gap > 0) {
+      const int total = static_cast<int>(inputs_.size()) * params_.num_vcs;
+      const Cycle advance =
+          (vca_rr_ + static_cast<Cycle>(params_.num_vcs) * gap) %
+          std::max(1, total);
+      vca_rr_ = static_cast<int>(advance);
+    }
+    last_eval_ = now;
+  }
   // Order implements pipelining: SA consumes last cycle's VCA grants, VCA
   // consumes last cycle's RC results, and so on. Intake runs first so an
   // arriving head is detected the same cycle and enters RC the next.

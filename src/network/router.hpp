@@ -75,6 +75,14 @@ class Router final : public Clocked {
   void eval(Cycle now) override;
   void commit(Cycle /*now*/) override {}
 
+  /// Dormant when no flit is buffered: every pipeline stage needs a buffered
+  /// flit to do anything (ROUTING/VCA imply a buffered head; ACTIVE with an
+  /// empty buffer just waits for upstream). Arrivals re-activate the router
+  /// via the source channel/medium's sink wake. The only per-cycle state a
+  /// dormant router would have touched — the VCA rotation pointer — is
+  /// reconstructed in closed form at the next eval (see stage_vca).
+  bool is_idle() const override { return occupancy_ == 0; }
+
   RouterId id() const { return params_.id; }
   int num_inputs() const { return params_.num_inputs; }
   int num_outputs() const { return params_.num_outputs; }
@@ -126,6 +134,7 @@ class Router final : public Clocked {
   std::vector<OutputPort> outputs_;
   int vca_rr_ = 0;  ///< round-robin start for VCA request order
   int occupancy_ = 0;
+  Cycle last_eval_ = -1;  ///< for vca_rr_ catch-up across skipped cycles
   RouterCounters counters_;
   obs::Counter obs_flits_forwarded_;
   obs::Counter obs_sa_retries_;

@@ -104,6 +104,10 @@ void SharedMedium::Writer::accept(const Flit& flit, Cycle now) {
   lane.staged_in.push_back(flit);
   ++lane.staged_count;
   if (flit.tail) lane.packet_open = false;
+  // Latch this cycle even if the medium is dormant; the merged staging then
+  // leaves it non-idle, so it arbitrates from now+1 — when a lockstep medium
+  // would first see the flit too.
+  medium->request_commit();
 }
 
 // ---- Reader endpoint --------------------------------------------------------
@@ -121,6 +125,9 @@ void SharedMedium::Reader::pop(Cycle /*now*/) {
 void SharedMedium::Reader::push_credit(VcId vc, Cycle now) {
   if (staged_credits.empty()) medium->dirty_readers_.push_back(index);
   staged_credits.push_back({vc, now + 1});
+  // Latch this cycle. No wake: a dormant medium has nothing to spend credits
+  // on, and every non-idle eval absorbs all credits due by then first.
+  medium->request_commit();
 }
 
 // ---- Medium core ------------------------------------------------------------
@@ -173,6 +180,21 @@ bool SharedMedium::try_start(int w, Cycle now) {
 }
 
 void SharedMedium::eval(Cycle now) {
+  // 0. Token catch-up (activity kernel): each cycle skipped while dormant
+  //    would have failed try_start (nothing staged) and moved the token one
+  //    writer position, without touching the token-wait/retry counters
+  //    (those are gated on nonempty_stagings_ > 0). Reconstruct that in
+  //    closed form. Gated on scheduled() so manually driven media (unit
+  //    tests) keep per-call semantics; under lockstep the gap is always 0.
+  if (scheduled()) {
+    const Cycle gap = now - last_eval_ - 1;
+    if (gap > 0 && params_.arbitration == ArbitrationKind::kTokenRing) {
+      token_ = static_cast<int>((token_ + gap % params_.num_writers) %
+                                params_.num_writers);
+    }
+    last_eval_ = now;
+  }
+
   // 1. Absorb credits returned by reader routers (1-cycle reverse latency).
   for (auto& reader : readers_) {
     while (!reader.credit_pipe.empty() &&
@@ -197,6 +219,9 @@ void SharedMedium::eval(Cycle now) {
       if (lane.staging.empty()) --nonempty_stagings_;
       flit.vc = active_vc_;
       reader.delivery.push_back({flit, now + params_.latency});
+      if (reader.sink != nullptr) {
+        reader.sink->request_wake(now + params_.latency);
+      }
       --reader.credits[active_vc_];
       next_tx_slot_ = now + params_.cycles_per_flit;
       ++counters_.flits;

@@ -91,6 +91,21 @@ class SharedMedium final : public Clocked {
   void eval(Cycle now) override;
   void commit(Cycle now) override;
 
+  /// Dormant when no transmission is active and no writer has flits staged.
+  /// Pending reader credits are absorbed lazily (credits are only *read* by
+  /// try_start / the active-transmission path, which run when non-idle), and
+  /// the free-running token position is reconstructed in closed form at the
+  /// next eval — both lockstep-identical (DESIGN.md §5e).
+  bool is_idle() const override {
+    return !active_ && nonempty_stagings_ == 0;
+  }
+
+  /// Component to wake when a delivery reaches reader `index` (the router
+  /// polling that reader endpoint). Wired once by the Network assembler.
+  void set_reader_sink(int index, Clocked* sink) {
+    readers_.at(static_cast<std::size_t>(index)).sink = sink;
+  }
+
   const MediumCounters& counters() const { return counters_; }
   const Params& params() const { return params_; }
   int token_position() const { return token_; }
@@ -150,6 +165,7 @@ class SharedMedium final : public Clocked {
     std::vector<TimedCredit> staged_credits;
     std::vector<int> credits;      // per VC
     std::vector<bool> vc_busy;     // per VC, owned by the medium
+    Clocked* sink = nullptr;       // woken at delivery arrivals
   };
 
   /// Attempts to start transmitting a staged head packet of writer `w`
@@ -163,6 +179,7 @@ class SharedMedium final : public Clocked {
   std::vector<int> rr_vc_next_;  // per-class RR pointer for reader VC choice
 
   int token_ = 0;
+  Cycle last_eval_ = -1;  ///< for token catch-up across skipped cycles
   bool active_ = false;
   int active_writer_ = 0;
   int active_class_ = 0;

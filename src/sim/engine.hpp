@@ -1,11 +1,22 @@
 // Cycle-driven simulation kernel.
 //
 // Holds a registry of non-owning `Clocked*` components and advances them in
-// lockstep: eval all, then commit all, then now()+1. Components are owned by
-// whoever built them (normally `Network`).
+// two phases per cycle. Components are owned by whoever built them (normally
+// `Network`). Two kernels share the registry (see DESIGN.md §5e):
+//
+//  * kActivity (default) — activity-driven: only components in the active
+//    set are evaluated/committed; a wheel of future wakeups re-activates
+//    dormant components, and `run`/`run_until` fast-forward `now_` across
+//    globally idle gaps (bounded by the next scheduled wakeup). Bit-identical
+//    to lockstep by the quiescence contract in sim/clocked.hpp.
+//  * kLockstep — the original tick-everything loop: eval all, commit all,
+//    now()+1. Escape hatch + differential-testing baseline; selected with
+//    OWNSIM_LOCKSTEP=1 or `set_mode`.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
@@ -13,29 +24,105 @@
 
 namespace ownsim {
 
+enum class KernelMode {
+  kActivity,  ///< active set + wake wheel + idle skip-ahead
+  kLockstep,  ///< eval/commit every component every cycle
+};
+
 class Engine {
  public:
-  /// Registers a component. Must not be null; pointer must outlive the engine.
+  /// Mode defaults to kActivity unless the environment sets OWNSIM_LOCKSTEP=1.
+  Engine();
+
+  /// Registers a component. Must not be null, must not already be registered;
+  /// pointer must outlive the engine. Newly added components start active
+  /// (they are evaluated from the next cycle, exactly like lockstep) and
+  /// retire on their own once `is_idle()`.
   void add(Clocked* component);
+
+  /// Selects the kernel. Only allowed before the first cycle (now() == 0):
+  /// the two kernels agree on component state only from a cold start.
+  void set_mode(KernelMode mode);
+  KernelMode mode() const { return mode_; }
 
   /// Current cycle (number of completed steps).
   Cycle now() const { return now_; }
 
-  /// Advances exactly one cycle.
+  /// Advances exactly one cycle (never skips ahead, in either mode).
   void step();
 
-  /// Advances `cycles` cycles.
+  /// Advances `cycles` cycles; in activity mode, globally idle stretches are
+  /// skipped in one jump to the next wakeup (or to the end of the budget).
   void run(Cycle cycles);
 
-  /// Steps until `done()` returns true (checked after each cycle) or
-  /// `max_cycles` elapse. Returns true if `done()` fired.
+  /// Steps until `done()` returns true or `max_cycles` elapse. Returns true
+  /// if `done()` fired. The predicate is checked after every *active* cycle
+  /// and once per idle gap (state cannot change while nothing is awake), so
+  /// it must be a pure function of component state — not of `now()` — for
+  /// the check to be exact in activity mode. Lockstep checks every cycle.
   bool run_until(const std::function<bool()>& done, Cycle max_cycles);
 
   std::size_t num_components() const { return components_.size(); }
 
+  /// Components currently in the active set (diagnostics/tests).
+  std::size_t num_active() const { return active_.size(); }
+
+  /// Earliest pending wakeup, or kNeverCycle when the wheel is empty.
+  Cycle next_wake() const {
+    return wheel_.empty() ? kNeverCycle : wheel_.top().first;
+  }
+
+  /// Kernel statistics (observational; reset never, monotone within a run).
+  struct Stats {
+    std::int64_t cycles_stepped = 0;  ///< cycles with at least one eval
+    std::int64_t cycles_skipped = 0;  ///< cycles fast-forwarded while idle
+    std::int64_t evals = 0;           ///< component evals performed
+    std::int64_t wakes = 0;           ///< wakeups posted to the wheel
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
+  friend class Clocked;
+
+  /// Posts a wakeup for `component` at cycle `at` (clamped: never before the
+  /// next cycle the engine will execute). Called via Clocked::request_wake.
+  void wake(Clocked* component, Cycle at);
+
+  /// Marks `component` for commit this cycle even if dormant. Called via
+  /// Clocked::request_commit (only meaningful during an eval phase).
+  void commit_request(Clocked* component);
+
+  void step_lockstep();
+  void step_activity();
+
+  /// True when no component is active and no wakeup is due at `now_`
+  /// (then nothing can change until `next_wake()`).
+  bool globally_idle() const {
+    return mode_ == KernelMode::kActivity && active_.empty() &&
+           (wheel_.empty() || wheel_.top().first > now_);
+  }
+
+  /// Jumps `now_` to the next wakeup, clamped to `deadline`.
+  void skip_to_next_event(Cycle deadline);
+
   std::vector<Clocked*> components_;
   Cycle now_ = 0;
+  KernelMode mode_ = KernelMode::kActivity;
+
+  // Activity-kernel state. `active_` is kept sorted by registration id so a
+  // partial sweep preserves lockstep's relative eval order (determinism).
+  std::vector<int> active_;
+  std::vector<bool> is_active_;  ///< per component id
+  using WheelEntry = std::pair<Cycle, int>;  // (cycle, component id)
+  std::priority_queue<WheelEntry, std::vector<WheelEntry>,
+                      std::greater<WheelEntry>>
+      wheel_;
+  std::vector<int> commit_extras_;       ///< dormant ids to commit this cycle
+  std::vector<bool> commit_requested_;   ///< per component id, cleared per cycle
+  std::vector<int> newly_active_;        ///< scratch for the activation merge
+  bool stepping_ = false;  ///< inside step(): same-cycle wakes defer to now+1
+
+  Stats stats_;
 };
 
 }  // namespace ownsim

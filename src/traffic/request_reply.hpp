@@ -39,6 +39,9 @@ class RequestReplyTraffic final : public Clocked {
 
   void eval(Cycle now) override;
   void commit(Cycle /*now*/) override {}
+  // Note: inherits is_idle() == false — closed-loop traffic draws request
+  // Bernoullis every cycle, so the component stays in the active set and the
+  // whole run executes in lockstep order (conservative, bit-identical).
 
   /// Pauses/resumes request generation (replies still flow for outstanding
   /// requests).

@@ -124,12 +124,15 @@ void TraceInjector::eval(Cycle now) {
   const bool measured = now >= measure_begin_ && now < measure_end_;
   while (true) {
     if (next_ >= trace_.size()) {
-      if (!loop_) return;
+      if (!loop_) return;  // exhausted: stay dormant (no wakeup)
       next_ = 0;
       epoch_offset_ += trace_.duration();
     }
     const TraceRecord& rec = trace_.records()[next_];
-    if (rec.cycle + epoch_offset_ > now) return;
+    if (rec.cycle + epoch_offset_ > now) {
+      request_wake(rec.cycle + epoch_offset_);
+      return;
+    }
     network_->nic().enqueue_packet(
         rec.src, rec.dst, network_->router_of(rec.dst), rec.size_flits,
         flit_bits_, network_->injection_vc_class(rec.src, rec.dst), now,

@@ -94,6 +94,11 @@ class TraceInjector final : public Clocked {
   void eval(Cycle now) override;
   void commit(Cycle /*now*/) override {}
 
+  /// Always dormant between records: the schedule is known ahead of time, so
+  /// every eval posts a wakeup for the next record's cycle (none once a
+  /// non-looping trace is exhausted).
+  bool is_idle() const override { return true; }
+
   std::int64_t packets_offered() const { return packets_offered_; }
   std::int64_t measured_offered() const { return measured_offered_; }
   bool finished() const { return !loop_ && next_ >= trace_.size(); }

@@ -1,10 +1,19 @@
-// Unit tests for the two-phase cycle engine.
+// Unit tests for the two-phase cycle engine: lockstep mechanics, the
+// activity-driven kernel (idle retirement, wake wheel, skip-ahead), and
+// paired lockstep-vs-activity runs that pin down the bit-identity contract
+// of DESIGN.md §5e on real networks.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 #include <vector>
 
+#include "metrics/runner.hpp"
+#include "network/network.hpp"
 #include "sim/engine.hpp"
+#include "topology/own_fault.hpp"
+#include "topology/registry.hpp"
+#include "traffic/injector.hpp"
+#include "traffic/patterns.hpp"
 
 namespace ownsim {
 namespace {
@@ -66,6 +75,176 @@ TEST(Engine, RunUntilHonorsBudget) {
 TEST(Engine, RejectsNullComponent) {
   Engine engine;
   EXPECT_THROW(engine.add(nullptr), std::invalid_argument);
+}
+
+TEST(Engine, SetModeOnlyBeforeFirstCycle) {
+  Engine engine;
+  engine.set_mode(KernelMode::kLockstep);
+  engine.set_mode(KernelMode::kActivity);
+  Probe p;
+  engine.add(&p);
+  engine.step();
+  EXPECT_THROW(engine.set_mode(KernelMode::kLockstep), std::logic_error);
+}
+
+/// Idleness is togglable from the outside; evals are recorded.
+struct Sleeper final : Clocked {
+  bool idle = false;
+  std::vector<Cycle> evals;
+  void eval(Cycle now) override { evals.push_back(now); }
+  void commit(Cycle) override {}
+  bool is_idle() const override { return idle; }
+};
+
+TEST(Engine, IdleComponentRetiresAndGapIsSkipped) {
+  Engine engine;
+  engine.set_mode(KernelMode::kActivity);
+  Sleeper s;
+  engine.add(&s);
+  engine.run(2);
+  EXPECT_EQ(s.evals, (std::vector<Cycle>{0, 1}));
+  EXPECT_EQ(engine.num_active(), 1u);
+
+  // One more eval (cycle 2) observes the idleness, then the component
+  // retires and the remaining budget is fast-forwarded in one jump.
+  s.idle = true;
+  engine.run(4);
+  EXPECT_EQ(s.evals, (std::vector<Cycle>{0, 1, 2}));
+  EXPECT_EQ(engine.num_active(), 0u);
+  EXPECT_EQ(engine.now(), 6);
+  EXPECT_GE(engine.stats().cycles_skipped, 3);
+}
+
+TEST(Engine, WakeReactivatesDormantComponent) {
+  Engine engine;
+  engine.set_mode(KernelMode::kActivity);
+  Sleeper s;
+  s.idle = true;
+  engine.add(&s);
+  engine.run(2);  // eval once at 0, then dormant
+  EXPECT_EQ(s.evals, (std::vector<Cycle>{0}));
+
+  s.request_wake(8);
+  EXPECT_EQ(engine.next_wake(), 8);
+  engine.run(10);  // deadline 12: skip 2..7, eval at 8, skip 9..11
+  EXPECT_EQ(s.evals, (std::vector<Cycle>{0, 8}));
+  EXPECT_EQ(engine.now(), 12);
+  EXPECT_EQ(engine.num_active(), 0u);
+}
+
+TEST(Engine, MidEvalSelfWakeLandsOnRequestedCycle) {
+  // A component that re-arms itself from inside eval() (the injector
+  // pattern): always-idle, so only the wheel keeps it running.
+  struct SelfWaker final : Clocked {
+    int remaining = 3;
+    std::vector<Cycle> evals;
+    void eval(Cycle now) override {
+      evals.push_back(now);
+      if (--remaining > 0) request_wake(now + 5);
+    }
+    void commit(Cycle) override {}
+    bool is_idle() const override { return true; }
+  };
+  Engine engine;
+  engine.set_mode(KernelMode::kActivity);
+  SelfWaker w;
+  engine.add(&w);
+  engine.run(20);
+  EXPECT_EQ(w.evals, (std::vector<Cycle>{0, 5, 10}));
+  EXPECT_EQ(engine.now(), 20);
+  EXPECT_GT(engine.stats().cycles_skipped, 0);
+  EXPECT_EQ(engine.stats().evals, 3);
+}
+
+TEST(Engine, StepNeverSkipsCycles) {
+  Engine engine;
+  engine.set_mode(KernelMode::kActivity);
+  Sleeper s;
+  s.idle = true;
+  engine.add(&s);
+  for (int i = 0; i < 5; ++i) engine.step();
+  EXPECT_EQ(engine.now(), 5);
+  EXPECT_EQ(engine.stats().cycles_skipped, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Paired lockstep-vs-activity runs on real networks (bit-identity contract).
+
+/// Runs one OWN-256 load point under `mode` with tier1-sized phases.
+RunResult own256_point(KernelMode mode, PatternKind pattern_kind, double rate,
+                       Engine::Stats* stats_out = nullptr,
+                       const NetworkSpec* spec_override = nullptr) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  Network network(spec_override != nullptr
+                      ? *spec_override
+                      : build_topology(TopologyKind::kOwn, options));
+  network.engine().set_mode(mode);
+  TrafficPattern pattern(pattern_kind, 256);
+  Injector::Params params;
+  params.rate = rate;
+  Injector injector(&network, pattern, params);
+  network.engine().add(&injector);
+  RunPhases phases;
+  phases.warmup = 300;
+  phases.measure = 600;
+  phases.drain_limit = 8000;
+  const RunResult result = run_load_point(network, injector, phases);
+  if (stats_out != nullptr) *stats_out = network.engine().stats();
+  return result;
+}
+
+TEST(KernelParity, Own256Uniform) {
+  const RunResult lockstep =
+      own256_point(KernelMode::kLockstep, PatternKind::kUniform, 0.004);
+  const RunResult activity =
+      own256_point(KernelMode::kActivity, PatternKind::kUniform, 0.004);
+  EXPECT_TRUE(lockstep.drained);
+  EXPECT_TRUE(deterministic_eq(lockstep, activity));
+}
+
+TEST(KernelParity, Own256BitReversal) {
+  const RunResult lockstep =
+      own256_point(KernelMode::kLockstep, PatternKind::kBitReversal, 0.004);
+  const RunResult activity =
+      own256_point(KernelMode::kActivity, PatternKind::kBitReversal, 0.004);
+  EXPECT_TRUE(lockstep.drained);
+  EXPECT_TRUE(deterministic_eq(lockstep, activity));
+}
+
+TEST(KernelParity, Own256Faulted) {
+  // A failed wireless channel reroutes traffic through transit clusters;
+  // the kernels must still agree flit for flit.
+  TopologyOptions options;
+  options.num_cores = 256;
+  options.num_vcs = 5;
+  FaultSet faults;
+  faults.fail(0, 2);
+  const NetworkSpec spec = build_own256_faulted(options, faults);
+  const RunResult lockstep = own256_point(KernelMode::kLockstep,
+                                          PatternKind::kUniform, 0.004,
+                                          nullptr, &spec);
+  const RunResult activity = own256_point(KernelMode::kActivity,
+                                          PatternKind::kUniform, 0.004,
+                                          nullptr, &spec);
+  EXPECT_TRUE(lockstep.drained);
+  EXPECT_TRUE(deterministic_eq(lockstep, activity));
+}
+
+TEST(KernelParity, DrainPhaseSkipsAhead) {
+  // At a very low load the network is empty most cycles; the activity run
+  // must actually exercise the skip-ahead path while staying bit-identical.
+  Engine::Stats stats;
+  const RunResult lockstep =
+      own256_point(KernelMode::kLockstep, PatternKind::kUniform, 0.0005);
+  const RunResult activity = own256_point(KernelMode::kActivity,
+                                          PatternKind::kUniform, 0.0005,
+                                          &stats);
+  EXPECT_TRUE(lockstep.drained);
+  EXPECT_TRUE(activity.drained);
+  EXPECT_TRUE(deterministic_eq(lockstep, activity));
+  EXPECT_GT(stats.cycles_skipped, 0);
+  EXPECT_LT(stats.cycles_stepped, activity.cycles_simulated);
 }
 
 }  // namespace
