@@ -48,7 +48,24 @@ void print_help() {
       "             --trace-out PATH also accepted)\n"
       "  counters   1: dump the obs counter registry as JSON after the\n"
       "             summary (single-point mode)  [0]\n"
-      "  profile    1: print the run's wall-clock self-profile  [0]\n";
+      "  profile    1: print the run's wall-clock self-profile  [0]\n"
+      "fault campaign (single-point mode; see DESIGN.md 5f):\n"
+      "  fault      1: enable the runtime fault campaign          [0]\n"
+      "  fault_seed campaign master seed                          [seed]\n"
+      "  fault_ber  per-bit error rate on wireless hops; negative derives\n"
+      "             it from the link budget operating point       [-1]\n"
+      "  fault_margin_db   link margin for the derived BER (negative\n"
+      "             values stress the links)                      [2.5]\n"
+      "  fault_flaps       randomly placed wireless-link flaps    [0]\n"
+      "  fault_flap_down   flap outage length, cycles             [200]\n"
+      "  fault_horizon     random events land in [1, horizon]     [4000]\n"
+      "  fault_kill        src:dst@cycle — kill the wireless channel\n"
+      "             between those clusters mid-run (OWN-256)\n"
+      "  fault_token_loss  medium@cycle:recovery — lose the token of\n"
+      "             medium index at cycle; recovery is cycles until the\n"
+      "             token regenerates, or 'never'\n"
+      "  watchdog   no-progress window in cycles, 0 = off; a trip dumps\n"
+      "             diagnostics to stderr and exits with code 3   [0]\n";
 }
 
 /// Parses "0.001:0.002:0.004" into rates; throws on junk.
@@ -70,6 +87,39 @@ std::vector<double> parse_rates(const std::string& csv) {
   }
   if (rates.empty()) throw std::invalid_argument("sweep: no rates given");
   return rates;
+}
+
+/// Parses "src:dst@cycle" into a kill event.
+ownsim::fault::Event parse_kill(const std::string& s) {
+  ownsim::fault::Event event;
+  event.kind = ownsim::fault::EventKind::kKill;
+  const std::size_t colon = s.find(':');
+  const std::size_t at = s.find('@');
+  if (colon == std::string::npos || at == std::string::npos || at < colon) {
+    throw std::invalid_argument("fault_kill: want src:dst@cycle");
+  }
+  event.src_cluster = std::stoi(s.substr(0, colon));
+  event.dst_cluster = std::stoi(s.substr(colon + 1, at - colon - 1));
+  event.at = std::stoll(s.substr(at + 1));
+  return event;
+}
+
+/// Parses "medium@cycle:recovery" (recovery in cycles, or "never").
+ownsim::fault::Event parse_token_loss(const std::string& s) {
+  ownsim::fault::Event event;
+  event.kind = ownsim::fault::EventKind::kTokenLoss;
+  const std::size_t at = s.find('@');
+  const std::size_t colon = at == std::string::npos ? at : s.find(':', at);
+  if (at == std::string::npos || colon == std::string::npos) {
+    throw std::invalid_argument(
+        "fault_token_loss: want medium@cycle:recovery");
+  }
+  event.medium = std::stoi(s.substr(0, at));
+  event.at = std::stoll(s.substr(at + 1, colon - at - 1));
+  const std::string recovery = s.substr(colon + 1);
+  event.recovery =
+      recovery == "never" ? ownsim::kNeverCycle : std::stoll(recovery);
+  return event;
 }
 
 }  // namespace
@@ -137,8 +187,35 @@ int main(int argc, char** argv) {
     config.injector.master_seed =
         static_cast<std::uint64_t>(args.get_int("seed", 1));
 
+    config.fault.enabled = args.get_bool("fault", false);
+    config.fault.seed = static_cast<std::uint64_t>(
+        args.get_int("fault_seed",
+                     static_cast<std::int64_t>(config.injector.master_seed)));
+    config.fault.ber = args.get_double("fault_ber", -1.0);
+    config.fault.margin = Decibels{args.get_double("fault_margin_db", 2.5)};
+    config.fault.random_flaps =
+        static_cast<int>(args.get_int("fault_flaps", 0));
+    config.fault.flap_down_cycles = args.get_int("fault_flap_down", 200);
+    config.fault.horizon = args.get_int("fault_horizon", 4000);
+    if (args.contains("fault_kill")) {
+      config.fault.events.push_back(
+          parse_kill(args.require_string("fault_kill")));
+    }
+    if (args.contains("fault_token_loss")) {
+      config.fault.events.push_back(
+          parse_token_loss(args.require_string("fault_token_loss")));
+    }
+    const Cycle watchdog_window = args.get_int("watchdog", 0);
+    config.fault.watchdog = watchdog_window > 0;
+    config.fault.watchdog_window =
+        config.fault.watchdog ? watchdog_window : Cycle{20000};
+
     // Sweep mode: fan one fresh network per load point across the pool.
     if (args.contains("sweep")) {
+      if (config.fault.enabled) {
+        throw std::invalid_argument(
+            "fault campaigns run in single-point mode, not sweep mode");
+      }
       SweepOptions sweep_options;
       sweep_options.rates = parse_rates(args.require_string("sweep"));
       sweep_options.pattern = config.pattern;
@@ -175,12 +252,22 @@ int main(int argc, char** argv) {
 
     // Rebuild the network here (rather than via run_experiment) so the
     // utilization report can inspect it afterwards.
-    Network network(build_topology(config.topology, config.options));
+    Network network(build_experiment_spec(config));
     TrafficPattern pattern(config.pattern, config.options.num_cores);
     Injector::Params injector_params = config.injector;
     injector_params.rate = config.rate;
     Injector injector(&network, pattern, injector_params);
     network.engine().add(&injector);
+
+    std::unique_ptr<fault::FaultCampaign> campaign =
+        make_campaign(network, config);
+    exec::CancellationToken cancel_token;
+    if (campaign != nullptr) {
+      campaign->attach();
+      if (campaign->watchdog() != nullptr) {
+        cancel_token = campaign->watchdog()->token();
+      }
+    }
 
     // Tracing is runtime-opt-in: attaching the writer must not (and does
     // not — test_obs asserts it) change any simulated result.
@@ -191,7 +278,8 @@ int main(int argc, char** argv) {
       network.set_trace(trace.get());
     }
 
-    const RunResult run = run_load_point(network, injector, config.phases);
+    const RunResult run =
+        run_load_point(network, injector, config.phases, cancel_token);
 
     if (trace) {
       network.flush_trace();
@@ -228,6 +316,22 @@ int main(int argc, char** argv) {
     summary.add_row(
         {"energy/packet (pJ)",
          Table::num(energy.energy_per_packet_pj(network), 0)});
+    if (campaign != nullptr) {
+      const fault::Totals fault = campaign->totals();
+      summary.add_row({"fault ber",
+                       Table::num(campaign->protocol().ber, 12)});
+      summary.add_row({"crc errors", std::to_string(fault.crc_errors)});
+      summary.add_row(
+          {"retransmissions", std::to_string(fault.retransmissions)});
+      summary.add_row(
+          {"token recoveries", std::to_string(fault.token_recoveries)});
+      summary.add_row(
+          {"flows degraded", std::to_string(fault.flows_degraded)});
+      if (campaign->watchdog() != nullptr) {
+        summary.add_row(
+            {"watchdog", campaign->watchdog_tripped() ? "TRIPPED" : "ok"});
+      }
+    }
     summary.print(std::cout);
 
     if (args.get_bool("profile", false)) {
@@ -250,6 +354,10 @@ int main(int argc, char** argv) {
         std::cerr << "unknown report format: " << report << "\n";
         return 1;
       }
+    }
+    if (campaign != nullptr && campaign->watchdog_tripped()) {
+      std::cerr << "watchdog tripped: run aborted (diagnostics above)\n";
+      return 3;
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

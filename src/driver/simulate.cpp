@@ -1,6 +1,9 @@
 #include "driver/simulate.hpp"
 
+#include <algorithm>
 #include <sstream>
+
+#include "topology/own_fault.hpp"
 
 namespace ownsim {
 
@@ -19,8 +22,27 @@ NetworkFactory make_network_factory(TopologyKind topology,
   };
 }
 
+NetworkSpec build_experiment_spec(const ExperimentConfig& config) {
+  if (config.fault.enabled && config.topology == TopologyKind::kOwn &&
+      config.options.num_cores == 256) {
+    // Campaign-capable OWN-256: the healthy floorplan (no pre-declared
+    // faults) built with the degraded 5-class route scheme, so a mid-run
+    // persistent failure can be rerouted online without a rebuild.
+    TopologyOptions options = config.options;
+    options.num_vcs = std::max(options.num_vcs, 5);
+    return build_own256_faulted(options, FaultSet{});
+  }
+  return build_topology(config.topology, config.options);
+}
+
+std::unique_ptr<fault::FaultCampaign> make_campaign(
+    Network& network, const ExperimentConfig& config) {
+  if (!config.fault.enabled) return nullptr;
+  return std::make_unique<fault::FaultCampaign>(&network, config.fault);
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  Network network(build_topology(config.topology, config.options));
+  Network network(build_experiment_spec(config));
   if (config.kernel.has_value()) network.engine().set_mode(*config.kernel);
 
   TrafficPattern pattern(config.pattern, config.options.num_cores);
@@ -29,8 +51,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Injector injector(&network, pattern, injector_params);
   network.engine().add(&injector);
 
+  std::unique_ptr<fault::FaultCampaign> campaign =
+      make_campaign(network, config);
+  exec::CancellationToken token;
+  if (campaign != nullptr) {
+    campaign->attach();
+    if (campaign->watchdog() != nullptr) token = campaign->watchdog()->token();
+  }
+
   ExperimentResult result;
-  result.run = run_load_point(network, injector, config.phases);
+  result.run = run_load_point(network, injector, config.phases, token);
+  if (campaign != nullptr) {
+    result.fault = campaign->totals();
+    result.watchdog_tripped = campaign->watchdog_tripped();
+  }
 
   EnergyModel energy(config.power,
                      own_channel_energy(config.topology,

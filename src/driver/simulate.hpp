@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/campaign.hpp"
 #include "metrics/runner.hpp"
 #include "metrics/sweep.hpp"
 #include "sim/engine.hpp"
@@ -36,6 +37,11 @@ struct ExperimentConfig {
   /// are bit-identical (DESIGN.md §5e); lockstep is the slow baseline kept
   /// for differential testing and A/B timing.
   std::optional<KernelMode> kernel;
+
+  /// Runtime fault campaign (fault/campaign.hpp). When enabled on OWN-256
+  /// the topology is built campaign-capable: the healthy floorplan with the
+  /// 5-class degraded route scheme, so mid-run deaths can reroute online.
+  fault::CampaignConfig fault;
 };
 
 struct ExperimentResult {
@@ -43,6 +49,8 @@ struct ExperimentResult {
   RunResult run;
   PowerBreakdown power;
   double energy_per_packet_pj = 0.0;
+  fault::Totals fault{};           ///< zero when no campaign ran
+  bool watchdog_tripped = false;   ///< run was aborted by the watchdog
 };
 
 /// The OWN per-channel energy model for a given size/config/scenario;
@@ -54,6 +62,15 @@ std::optional<ChannelEnergyModel> own_channel_energy(
 /// the sweep machinery; each load point gets clean counters).
 NetworkFactory make_network_factory(TopologyKind topology,
                                     TopologyOptions options);
+
+/// Spec for `config`, honoring the fault campaign (campaign-capable OWN-256
+/// build when `config.fault.enabled`; the plain topology otherwise).
+NetworkSpec build_experiment_spec(const ExperimentConfig& config);
+
+/// Campaign for `config`, validated against `network`; null when disabled.
+/// The caller attaches it after registering all other components.
+std::unique_ptr<fault::FaultCampaign> make_campaign(
+    Network& network, const ExperimentConfig& config);
 
 /// Runs one load point end to end (build, warm, measure, drain, aggregate).
 ExperimentResult run_experiment(const ExperimentConfig& config);

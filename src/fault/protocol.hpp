@@ -1,0 +1,60 @@
+// Link-level reliability protocol parameters (modeled CRC + ACK/NACK).
+//
+// Wireless hops carry a per-flit error-detecting code. The receiver checks
+// it on arrival; a failed check NACKs the flit and the sender retransmits
+// from its retransmit buffer after a bounded-exponential backoff:
+//
+//   delay(attempt) = ack_timeout << min(attempt, max_backoff_exp)
+//
+// `ack_timeout` covers detection + the NACK's return trip, so it must be at
+// least the channel round trip (enforced as >= 2 cycles by the attach
+// points). After `max_attempts` failed receptions the model forces a clean
+// reception — retransmit-until-success with a bounded total delay — so a
+// transiently noisy channel never loses a flit, it only pays latency. A
+// *dead* channel charges the full exhausted-backoff penalty per flit until
+// the persistent-failure detector reroutes around it (fault/campaign.*).
+//
+// The per-bit error probability comes from the link-budget operating point:
+// ber_at_margin(snr_required, margin) — see rf/ber.hpp. Per-flit error
+// probability follows from independent bit errors.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ownsim::fault {
+
+struct Protocol {
+  double ber = 0.0;         ///< per-bit error probability on protected hops
+  int ack_timeout = 8;      ///< cycles per NACK round trip (>= 2)
+  int max_backoff_exp = 4;  ///< backoff growth cap: delay <= ack_timeout<<exp
+  int max_attempts = 8;     ///< forced-success bound (retransmit-until-success)
+
+  /// Probability that a `bits`-bit flit fails its CRC (>= 1 bit flipped).
+  double flit_error_rate(std::uint32_t bits) const {
+    if (ber <= 0.0) return 0.0;
+    if (ber >= 1.0) return 1.0;
+    // 1 - (1-ber)^bits, computed in log space for tiny BERs.
+    return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+  }
+
+  /// Extra delivery delay charged for failed reception number `attempt`
+  /// (0-based): NACK round trip plus bounded exponential backoff.
+  Cycle backoff_delay(int attempt) const {
+    const int exp = std::min(attempt, max_backoff_exp);
+    return static_cast<Cycle>(ack_timeout) << exp;
+  }
+
+  /// Total delay of an exhausted retransmission sequence (a dead channel's
+  /// per-flit penalty): sum of backoff_delay over all max_attempts rounds.
+  Cycle exhausted_delay() const {
+    Cycle total = 0;
+    for (int i = 0; i < max_attempts; ++i) total += backoff_delay(i);
+    return total;
+  }
+};
+
+}  // namespace ownsim::fault

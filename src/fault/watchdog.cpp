@@ -1,0 +1,68 @@
+#include "fault/watchdog.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "network/network.hpp"
+
+namespace ownsim::fault {
+
+Watchdog::Watchdog(Network* network, Cycle window, std::ostream* diagnostics)
+    : network_(network), window_(window), diagnostics_(diagnostics) {
+  if (network_ == nullptr) {
+    throw std::invalid_argument("Watchdog: network must not be null");
+  }
+  if (window_ < 1) {
+    throw std::invalid_argument("Watchdog: window must be >= 1");
+  }
+  obs_trips_ = network_->obs().counter("fault.watchdog_trips");
+}
+
+void Watchdog::eval(Cycle now) {
+  // Sampling cycles form a deterministic sequence; under lockstep the evals
+  // between samples fall through here, matching the activity kernel's
+  // dormancy exactly.
+  if (tripped_ || now < next_check_) return;
+  const std::int64_t ejected = network_->nic().flits_ejected();
+  if (last_ejected_ >= 0 && network_->nic().packets_in_flight() > 0 &&
+      ejected == last_ejected_) {
+    trip(now);
+    return;
+  }
+  last_ejected_ = ejected;
+  next_check_ = now + window_;
+  request_wake(next_check_);
+}
+
+void Watchdog::trip(Cycle now) {
+  ++trips_;
+  obs_trips_.inc();
+  tripped_ = true;
+  std::ostream& os = diagnostics_ != nullptr ? *diagnostics_ : std::cerr;
+  const Engine& engine = network_->engine();
+  os << "=== watchdog trip @ cycle " << now << " ===\n"
+     << "no flit ejected for " << window_ << " cycles with "
+     << network_->nic().packets_in_flight() << " packet(s) in flight\n"
+     << "engine: stepped=" << engine.stats().cycles_stepped
+     << " skipped=" << engine.stats().cycles_skipped
+     << " evals=" << engine.stats().evals
+     << " wakes=" << engine.stats().wakes << "\n"
+     << "nic: injected=" << network_->nic().flits_injected()
+     << " ejected=" << network_->nic().flits_ejected() << "\n";
+  const int num_routers = network_->spec().num_routers();
+  for (RouterId r = 0; r < num_routers; ++r) {
+    const Router& router = network_->router(r);
+    if (router.occupancy() == 0) continue;
+    os << "router " << r << " (occupancy " << router.occupancy() << "):\n";
+    router.dump_state(os);
+  }
+  for (std::size_t i = 0; i < network_->num_network_channels(); ++i) {
+    network_->network_channel(i).dump_state(os);  // silent when empty
+  }
+  os << "obs: ";
+  network_->obs().write_json(os);
+  os << "\n=== end watchdog dump ===" << std::endl;
+  source_.request_cancel();
+}
+
+}  // namespace ownsim::fault

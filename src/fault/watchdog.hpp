@@ -1,0 +1,70 @@
+// No-progress watchdog: converts a hung simulation into diagnostics + abort.
+//
+// Fault injection creates states a healthy simulator never reaches (a lost
+// token that is never recovered deadlocks every writer on that medium). The
+// watchdog samples total deliveries every `window` cycles; if packets are in
+// flight and *zero* flits were ejected over a whole window, it dumps a
+// diagnostic snapshot (engine stats, NIC totals, per-router occupancy, obs
+// counters) and requests cooperative cancellation, which the measurement
+// runner's existing token path turns into an aborted — not hanging — run.
+//
+// Semantics: the watchdog detects a TOTAL delivery stall. A network that is
+// merely congested (some deliveries per window) never trips; distinguishing
+// "slow" from "stuck" per-flow is out of scope (DESIGN.md §5f).
+//
+// Trip bound: a stall starting at cycle t is caught by the first sample at
+// least one full window after it, i.e. within t + 2*window (+ the runner's
+// cancellation poll period). Both kernels trip at the same cycle: sampling
+// cycles are a deterministic arithmetic sequence, enforced by `next_check_`
+// so lockstep's extra evals are no-ops.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/types.hpp"
+#include "exec/cancellation.hpp"
+#include "obs/counters.hpp"
+#include "sim/clocked.hpp"
+
+namespace ownsim {
+class Network;
+}
+
+namespace ownsim::fault {
+
+class Watchdog final : public Clocked {
+ public:
+  /// Samples progress every `window` cycles (>= 1). `diagnostics` receives
+  /// the dump on a trip; null means std::cerr.
+  Watchdog(Network* network, Cycle window, std::ostream* diagnostics);
+
+  void eval(Cycle now) override;
+  void commit(Cycle /*now*/) override {}
+
+  /// Purely wake-driven: dormant between samples, woken by its own
+  /// `request_wake(next_check_)`.
+  bool is_idle() const override { return true; }
+
+  bool tripped() const { return tripped_; }
+  int trips() const { return trips_; }
+
+  /// Cancellation token for the measurement runner: set as the run's
+  /// cancellation so a trip aborts the run at the next poll.
+  exec::CancellationToken token() const { return source_.token(); }
+
+ private:
+  void trip(Cycle now);
+
+  Network* network_;
+  Cycle window_;
+  std::ostream* diagnostics_;
+  exec::CancellationSource source_;
+  Cycle next_check_ = 0;
+  std::int64_t last_ejected_ = -1;  ///< -1: no baseline sample yet
+  bool tripped_ = false;
+  int trips_ = 0;
+  obs::Counter obs_trips_;
+};
+
+}  // namespace ownsim::fault

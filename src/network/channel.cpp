@@ -1,9 +1,12 @@
 #include "network/channel.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "fault/protocol.hpp"
 #include "obs/trace.hpp"
 
 namespace ownsim {
@@ -57,12 +60,14 @@ bool Channel::Sender::can_accept(const Flit& flit, Cycle now) const {
 void Channel::Sender::accept(const Flit& flit, Cycle now) {
   auto& ch = *channel;
   assert(can_accept(flit, now));
-  ch.staged_flits_.push_back({flit, now + ch.latency_});
+  Timed timed{flit, now + ch.latency_};
+  if (ch.fault_ != nullptr) ch.apply_fault_on_accept(timed);
+  ch.staged_flits_.push_back(timed);
   // Quiescence contract: the staged flit must latch this cycle even if the
   // channel is dormant, and whoever polls the far end must be awake when the
   // flit completes the pipe.
   ch.request_commit();
-  if (ch.sink_ != nullptr) ch.sink_->request_wake(now + ch.latency_);
+  if (ch.sink_ != nullptr) ch.sink_->request_wake(timed.arrival);
   ch.next_free_ = now + ch.cycles_per_flit_;
   --ch.credits_[flit.vc];
   if (flit.tail) ch.vc_busy_[flit.vc] = false;
@@ -74,6 +79,110 @@ void Channel::Sender::accept(const Flit& flit, Cycle now) {
 
 void Channel::bind_obs(obs::Registry& registry) {
   obs_flits_ = registry.counter("link." + name_ + ".flits");
+}
+
+// ---- runtime fault model ----------------------------------------------------
+
+void Channel::set_fault_model(const fault::Protocol* protocol, Rng rng,
+                              obs::Registry* registry) {
+  if (protocol != nullptr && latency_ < 2) {
+    // The CRC interception window (eval at arrival-1, see eval()) needs the
+    // channel evaluating at least one full cycle before the receiver polls.
+    throw std::invalid_argument(
+        "Channel::set_fault_model: fault-protected links need latency >= 2");
+  }
+  if (protocol != nullptr && protocol->ack_timeout < 2) {
+    throw std::invalid_argument(
+        "Channel::set_fault_model: ack_timeout must cover a round trip (>=2)");
+  }
+  fault_ = protocol;
+  fault_rng_ = rng;
+  if (registry != nullptr) {
+    // Registry names are shared across channels on purpose: the slots
+    // aggregate network-wide (obs registration is idempotent).
+    obs_crc_errors_ = registry->counter("fault.crc_errors");
+    obs_retransmissions_ = registry->counter("fault.retransmissions");
+  }
+}
+
+void Channel::apply_fault_on_accept(Timed& timed) {
+  if (dying_) {
+    // Every copy on a dead channel is lost; the flit completes only after
+    // the exhausted retransmission sequence (never dropped: wormhole bodies
+    // must follow their head, and "zero packets lost" is the contract the
+    // persistent-failure detector builds on).
+    timed.arrival += fault_->exhausted_delay();
+    timed.attempts = fault_->max_attempts;
+    fault_counters_.crc_errors += fault_->max_attempts;
+    fault_counters_.retransmissions += fault_->max_attempts;
+    obs_crc_errors_.add(fault_->max_attempts);
+    obs_retransmissions_.add(fault_->max_attempts);
+    return;
+  }
+  if (fault_rng_.uniform() < fault_->flit_error_rate(timed.flit.size_bits)) {
+    timed.flit.crc_error = true;
+    ++fault_counters_.crc_errors;
+    obs_crc_errors_.inc();
+  }
+}
+
+void Channel::set_outage(Cycle until, Cycle now) {
+  if (until <= now) return;
+  // Sender side: nothing launches before the channel comes back up.
+  next_free_ = std::max(next_free_, until);
+  // Copies in flight are lost to the outage and retransmitted once the
+  // channel restores: first re-arrival a full pipe latency after `until`,
+  // then FIFO serialization spacing. Copies the receiver already latched
+  // (arrival <= now) are untouched.
+  Cycle next_arrival = until + latency_;
+  const auto push_out = [&](Timed& t) {
+    if (t.arrival > now && t.arrival < next_arrival) {
+      t.arrival = next_arrival;
+      ++fault_counters_.retransmissions;
+      obs_retransmissions_.inc();
+      if (sink_ != nullptr) sink_->request_wake(t.arrival);
+    }
+    next_arrival = std::max(next_arrival, t.arrival + cycles_per_flit_);
+  };
+  for (auto& t : flit_pipe_) push_out(t);
+  for (auto& t : staged_flits_) push_out(t);
+}
+
+void Channel::set_dying(Cycle now) {
+  if (fault_ == nullptr) {
+    throw std::logic_error("Channel::set_dying: no fault model attached");
+  }
+  if (dying_) return;
+  dying_ = true;
+  const Cycle penalty = fault_->exhausted_delay();
+  const auto strand = [&](Timed& t) {
+    if (t.arrival <= now) return;  // already latched by the receiver
+    t.arrival += penalty;
+    t.attempts = fault_->max_attempts;
+    t.flit.crc_error = false;  // the penalty is final; no further NACK loop
+    fault_counters_.crc_errors += fault_->max_attempts;
+    fault_counters_.retransmissions += fault_->max_attempts;
+    obs_crc_errors_.add(fault_->max_attempts);
+    obs_retransmissions_.add(fault_->max_attempts);
+    if (sink_ != nullptr) sink_->request_wake(t.arrival);
+  };
+  for (auto& t : flit_pipe_) strand(t);
+  for (auto& t : staged_flits_) strand(t);
+}
+
+void Channel::dump_state(std::ostream& os) const {
+  const auto line = [&](const Timed& t, const char* where) {
+    os << "link " << name_ << ' ' << where << " pkt=" << t.flit.packet
+       << " seq=" << t.flit.seq << " arrival=" << t.arrival
+       << " attempts=" << t.attempts << (t.flit.crc_error ? " CRC" : "")
+       << '\n';
+  };
+  for (const Timed& t : flit_pipe_) line(t, "pipe");
+  for (const Timed& t : staged_flits_) line(t, "staged");
+  for (const TimedCredit& c : credit_pipe_) {
+    os << "link " << name_ << " credit vc=" << c.vc << " arrival=" << c.arrival
+       << '\n';
+  }
 }
 
 void Channel::set_trace(obs::TraceWriter* trace, int tid) {
@@ -109,9 +218,19 @@ const Flit* Channel::Receiver::poll(Cycle now) {
   return &ch.flit_pipe_.front().flit;
 }
 
-void Channel::Receiver::pop(Cycle /*now*/) {
-  assert(!channel->flit_pipe_.empty());
-  channel->flit_pipe_.pop_front();
+void Channel::Receiver::pop(Cycle now) {
+  auto& ch = *channel;
+  assert(!ch.flit_pipe_.empty());
+  ch.flit_pipe_.pop_front();
+  // Retransmission pushes arrivals out of FIFO order, so a follower can be
+  // past due behind the popped front — its accept-time wake already fired
+  // while the front still blocked the pipe. Re-arm the sink, or the activity
+  // kernel strands the flit until an unrelated wake (lockstep polls every
+  // cycle regardless, so this keeps the kernels bit-identical).
+  if (ch.sink_ != nullptr && !ch.flit_pipe_.empty() &&
+      ch.flit_pipe_.front().arrival <= now) {
+    ch.sink_->request_wake(now + 1);
+  }
 }
 
 void Channel::Receiver::push_credit(VcId vc, Cycle now) {
@@ -127,6 +246,29 @@ void Channel::eval(Cycle now) {
   while (!credit_pipe_.empty() && credit_pipe_.front().arrival <= now) {
     ++credits_[credit_pipe_.front().vc];
     credit_pipe_.pop_front();
+  }
+  if (fault_ != nullptr) {
+    // Receiver-side CRC check, one cycle before each corrupt copy would
+    // become pollable: NACK + bounded-backoff retransmission pushes the
+    // arrival out and redraws the corruption for the new copy. Scans the
+    // whole pipe (not just the front) — a pushed-back front must not strand
+    // a corrupt follower with an earlier arrival. The channel is active on
+    // every cycle while the pipe is non-empty, so no window is ever missed.
+    for (auto& t : flit_pipe_) {
+      if (!t.flit.crc_error || t.arrival > now + 1) continue;
+      t.arrival = now + 1 + fault_->backoff_delay(t.attempts);
+      ++t.attempts;
+      ++fault_counters_.retransmissions;
+      obs_retransmissions_.inc();
+      t.flit.crc_error =
+          t.attempts < fault_->max_attempts &&
+          fault_rng_.uniform() < fault_->flit_error_rate(t.flit.size_bits);
+      if (t.flit.crc_error) {
+        ++fault_counters_.crc_errors;
+        obs_crc_errors_.inc();
+      }
+      if (sink_ != nullptr) sink_->request_wake(t.arrival);
+    }
   }
 }
 

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "common/quantity.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "network/endpoints.hpp"
 #include "network/flit.hpp"
@@ -29,7 +31,12 @@
 namespace ownsim {
 
 namespace obs {
+class Registry;
 class TraceWriter;
+}
+
+namespace fault {
+struct Protocol;
 }
 
 /// Maps a deadlock class to a contiguous range of VC ids.
@@ -42,6 +49,14 @@ struct VcClassRange {
 struct LinkCounters {
   std::int64_t flits = 0;
   std::int64_t bits = 0;
+};
+
+/// Reliability-protocol counters of one channel (fault/protocol.hpp); plain
+/// integers so the fault campaign's acceptance logic never depends on the
+/// (compile-time removable) obs registry.
+struct LinkFaultCounters {
+  std::int64_t crc_errors = 0;       ///< receptions that failed the CRC
+  std::int64_t retransmissions = 0;  ///< flit copies re-sent (NACK or outage)
 };
 
 class Channel final : public Clocked {
@@ -94,10 +109,44 @@ class Channel final : public Clocked {
   /// Emits the still-open busy interval, if any (called at end of run).
   void flush_trace();
 
+  // ---- runtime fault model (fault/campaign.*) -------------------------------
+  /// Arms the link-level reliability protocol on this channel: accepted flits
+  /// corrupt independently with the protocol's per-flit error rate (drawn
+  /// from `rng`, one deterministic stream per channel), and corrupt arrivals
+  /// are NACKed + retransmitted with bounded exponential backoff. Requires
+  /// latency >= 2 so a corrupt front flit is always intercepted one cycle
+  /// before the receiving router could poll it (kernel bit-identity; see
+  /// DESIGN.md §5f). `registry` may be null (no obs counters).
+  void set_fault_model(const fault::Protocol* protocol, Rng rng,
+                       obs::Registry* registry);
+
+  /// Channel flap: the sender cannot launch before `until`, and in-flight
+  /// copies are lost to the outage — they retransmit after restoration
+  /// (arrivals pushed past `until`, FIFO spacing preserved).
+  void set_outage(Cycle until, Cycle now);
+
+  /// Permanent mid-run death: the channel keeps accepting (wormhole bodies
+  /// must follow their head) but every flit pays the exhausted-backoff
+  /// penalty, in-flight copies included. No flit is ever dropped; the
+  /// persistent-failure detector reroutes new traffic away (see campaign).
+  void set_dying(Cycle now);
+  bool dying() const { return dying_; }
+
+  const LinkFaultCounters& fault_counters() const { return fault_counters_; }
+
+  /// One line per in-flight/staged flit and pending credit (empty channel:
+  /// no output). Diagnostic aid for the watchdog dump and parity debugging.
+  void dump_state(std::ostream& os) const;
+
  private:
   /// Coalesces per-flit serialization slots into contiguous busy intervals:
   /// a gap (now past the previous slot's end) flushes the open interval.
   void note_busy(Cycle now);
+  struct Timed;
+  /// Draws the transit-corruption outcome for a just-accepted flit (or the
+  /// exhausted penalty when the channel is dying). Called from accept only
+  /// when a fault model is attached.
+  void apply_fault_on_accept(Timed& timed);
   struct Sender final : OutputEndpoint {
     explicit Sender(Channel* ch) : channel(ch) {}
     VcId alloc_vc(int vc_class, Cycle now) override;
@@ -117,6 +166,7 @@ class Channel final : public Clocked {
   struct Timed {
     Flit flit;
     Cycle arrival;
+    int attempts = 0;  ///< failed receptions so far (fault model only)
   };
   struct TimedCredit {
     VcId vc;
@@ -146,6 +196,14 @@ class Channel final : public Clocked {
 
   LinkCounters counters_;
   obs::Counter obs_flits_;
+
+  // Fault-model state (null protocol = healthy channel, zero overhead).
+  const fault::Protocol* fault_ = nullptr;
+  Rng fault_rng_{};
+  bool dying_ = false;
+  LinkFaultCounters fault_counters_;
+  obs::Counter obs_crc_errors_;
+  obs::Counter obs_retransmissions_;
 
   // Trace state (observational only; see obs/trace.hpp).
   obs::TraceWriter* trace_ = nullptr;

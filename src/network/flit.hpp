@@ -37,6 +37,12 @@ struct Flit {
   std::int16_t hops = 0;       ///< router traversals so far
   bool measured = false;       ///< counts toward measurement-window stats
 
+  /// Modeled CRC failure of the in-flight copy (fault/protocol.hpp). Set by
+  /// a faulty channel when the copy corrupts in transit; the receiver NACKs
+  /// and the sender retransmits, so a flit with this flag set is never
+  /// delivered to a router — the flag clears when a retransmission survives.
+  bool crc_error = false;
+
   std::uint32_t size_bits = 128;  ///< payload bits (for energy accounting)
 };
 

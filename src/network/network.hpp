@@ -54,6 +54,20 @@ class Network {
   const SharedMedium& medium(std::size_t i) const { return *media_.at(i); }
   std::size_t num_media() const { return media_.size(); }
 
+  // ---- runtime fault hooks (fault/campaign.*) -------------------------------
+  /// Mutable component access for the fault campaign: arming fault models and
+  /// injecting mid-run events (outages, death, token loss).
+  Channel& network_channel_mut(std::size_t i) { return *channels_.at(i); }
+  SharedMedium& medium_mut(std::size_t i) { return *media_.at(i); }
+
+  /// Online route patch: replaces the spec route entry for (`at`, `dst`).
+  /// The routing oracle reads the live table, so the new entry applies from
+  /// the next route computation; packets already routed keep their old path.
+  void set_route(RouterId at, RouterId dst, RouteEntry entry) {
+    spec_.route_table.at(static_cast<std::size_t>(at))
+        .at(static_cast<std::size_t>(dst)) = entry;
+  }
+
   /// True when no packet is anywhere in flight (queues, routers, links).
   bool drained() const { return nic_->packets_in_flight() == 0; }
 

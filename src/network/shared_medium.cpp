@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/protocol.hpp"
 #include "obs/trace.hpp"
 
 namespace ownsim {
@@ -71,6 +72,31 @@ void SharedMedium::bind_obs(obs::Registry& registry) {
 void SharedMedium::set_trace(obs::TraceWriter* trace, int tid) {
   trace_ = trace;
   trace_tid_ = tid;
+}
+
+void SharedMedium::set_fault_model(const fault::Protocol* protocol, Rng rng,
+                                   obs::Registry* registry) {
+  fault_ = protocol;
+  fault_rng_ = rng;
+  if (registry != nullptr) {
+    // Shared aggregate slots across all faulty channels and media
+    // (registration is idempotent; see obs/counters.hpp).
+    obs_crc_errors_ = registry->counter("fault.crc_errors");
+    obs_retransmissions_ = registry->counter("fault.retransmissions");
+    obs_token_recoveries_ = registry->counter("fault.token_recoveries");
+  }
+}
+
+void SharedMedium::lose_token(Cycle now, Cycle recover_at) {
+  if (params_.arbitration != ArbitrationKind::kTokenRing) {
+    throw std::logic_error("SharedMedium::lose_token: medium has no token");
+  }
+  if (recover_at != kNeverCycle && recover_at <= now) {
+    throw std::invalid_argument(
+        "SharedMedium::lose_token: recovery must be in the future");
+  }
+  token_loss_pending_ = true;
+  token_lost_until_ = recover_at;
 }
 
 // ---- Writer endpoint --------------------------------------------------------
@@ -195,6 +221,18 @@ void SharedMedium::eval(Cycle now) {
     last_eval_ = now;
   }
 
+  // 0b. Token-loss recovery: the MAC regenerates the token at writer 0 once
+  //     the recovery protocol completes. Runs before arbitration so the
+  //     recovery cycle itself can grant — identically in both kernels, since
+  //     a pending loss forces per-cycle evals (is_idle is false).
+  if (token_loss_pending_ && token_lost_until_ != kNeverCycle &&
+      now >= token_lost_until_) {
+    token_loss_pending_ = false;
+    token_ = 0;
+    ++counters_.token_recoveries;
+    obs_token_recoveries_.inc();
+  }
+
   // 1. Absorb credits returned by reader routers (1-cycle reverse latency).
   for (auto& reader : readers_) {
     while (!reader.credit_pipe.empty() &&
@@ -218,12 +256,34 @@ void SharedMedium::eval(Cycle now) {
       --lane.staged_count;
       if (lane.staging.empty()) --nonempty_stagings_;
       flit.vc = active_vc_;
-      reader.delivery.push_back({flit, now + params_.latency});
+      // Fault model: the copy may corrupt in transit; the writer retries
+      // while holding the token (bus occupied through the NACK round trips),
+      // so both the arrival and the next transmit slot slide by the summed
+      // backoff. After max_attempts the reception is forced clean — a noisy
+      // medium only costs latency, never a flit.
+      Cycle retry_delay = 0;
+      if (fault_ != nullptr) {
+        const double p_flit = fault_->flit_error_rate(flit.size_bits);
+        int attempt = 0;
+        while (attempt < fault_->max_attempts &&
+               fault_rng_.uniform() < p_flit) {
+          retry_delay += fault_->backoff_delay(attempt);
+          ++attempt;
+        }
+        if (attempt > 0) {
+          counters_.crc_errors += attempt;
+          counters_.retransmissions += attempt;
+          obs_crc_errors_.add(attempt);
+          obs_retransmissions_.add(attempt);
+        }
+      }
+      const Cycle arrival = now + retry_delay + params_.latency;
+      reader.delivery.push_back({flit, arrival});
       if (reader.sink != nullptr) {
-        reader.sink->request_wake(now + params_.latency);
+        reader.sink->request_wake(arrival);
       }
       --reader.credits[active_vc_];
-      next_tx_slot_ = now + params_.cycles_per_flit;
+      next_tx_slot_ = now + retry_delay + params_.cycles_per_flit;
       ++counters_.flits;
       counters_.tx_bits += flit.size_bits;
       counters_.rx_bits += static_cast<std::int64_t>(flit.size_bits) *
@@ -240,7 +300,11 @@ void SharedMedium::eval(Cycle now) {
         // per reader, so a follow-up packet on the same VC cannot overtake.
         reader.vc_busy[active_vc_] = false;
         active_ = false;
-        token_ = (token_ + 1) % params_.num_writers;
+        // A lost token cannot be passed on; it reappears at writer 0 at
+        // recovery (see eval step 0b).
+        if (!token_loss_pending_) {
+          token_ = (token_ + 1) % params_.num_writers;
+        }
         if (trace_ != nullptr) {
           trace_->complete(
               "pkt w" + std::to_string(active_writer_) + "->r" +
@@ -255,7 +319,9 @@ void SharedMedium::eval(Cycle now) {
     //     head staged and a reader VC is available; otherwise the token
     //     moves one writer per cycle (this is the "few extra cycles" of
     //     token transfer the paper charges against OptXB throughput).
-    if (!try_start(token_, now)) {
+    //     While the token is lost there is no holder and no rotation —
+    //     staged packets just accrue token-wait cycles.
+    if (!token_loss_pending_ && !try_start(token_, now)) {
       token_ = (token_ + 1) % params_.num_writers;
       // A staged head exists but this cycle's holder could not launch it:
       // the token moves on and the packet retries under a later holder.

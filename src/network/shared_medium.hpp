@@ -53,6 +53,11 @@ struct MediumCounters {
   /// SWMR multicast: flit copies received-and-discarded by the non-target
   /// readers (§III.B "the rest will discard it"); 0 on MWSR media.
   std::int64_t multicast_discard_flits = 0;
+  // Reliability-protocol counters (fault/protocol.hpp); plain integers so the
+  // fault campaign's acceptance logic never depends on the obs registry.
+  std::int64_t crc_errors = 0;       ///< receptions that failed the CRC
+  std::int64_t retransmissions = 0;  ///< flit copies re-sent on a NACK
+  std::int64_t token_recoveries = 0; ///< tokens regenerated after a loss
 };
 
 /// How writers are granted the medium.
@@ -95,9 +100,11 @@ class SharedMedium final : public Clocked {
   /// Pending reader credits are absorbed lazily (credits are only *read* by
   /// try_start / the active-transmission path, which run when non-idle), and
   /// the free-running token position is reconstructed in closed form at the
-  /// next eval — both lockstep-identical (DESIGN.md §5e).
+  /// next eval — both lockstep-identical (DESIGN.md §5e). A lost token forces
+  /// per-cycle evals: the closed-form catch-up assumes a *rotating* token, so
+  /// both kernels must observe the frozen token the same way (§5f).
   bool is_idle() const override {
-    return !active_ && nonempty_stagings_ == 0;
+    return !active_ && nonempty_stagings_ == 0 && !token_loss_pending_;
   }
 
   /// Component to wake when a delivery reaches reader `index` (the router
@@ -119,6 +126,22 @@ class SharedMedium final : public Clocked {
   /// Attaches a trace writer: token grants become instant events and
   /// per-packet bus occupancy complete events on (kPidMedia, `tid`).
   void set_trace(obs::TraceWriter* trace, int tid);
+
+  // ---- runtime fault model (fault/campaign.*) -------------------------------
+  /// Arms the reliability protocol: each launched flit corrupts independently
+  /// with the protocol's per-flit error rate, and the writer retries while
+  /// holding the token — arrival and the next transmit slot slide by the
+  /// summed backoff. `registry` may be null (no obs counters).
+  void set_fault_model(const fault::Protocol* protocol, Rng rng,
+                       obs::Registry* registry);
+
+  /// MAC-level token loss: from the next cycle the token is frozen — no
+  /// rotation, no new grants (the active transmission, if any, completes).
+  /// At `recover_at` the recovery protocol regenerates the token at writer 0;
+  /// `kNeverCycle` means it is never recovered (deadlock — watchdog fodder).
+  /// Token-ring media only. The caller must post a wake (campaign does).
+  void lose_token(Cycle now, Cycle recover_at);
+  bool token_lost() const { return token_loss_pending_; }
 
  private:
   // Writers stage packets per VC class. This is load-bearing for deadlock
@@ -194,12 +217,21 @@ class SharedMedium final : public Clocked {
   std::vector<int> dirty_readers_;
   int nonempty_stagings_ = 0;  ///< writers with flits staged (token-wait stat)
 
+  // Fault-model state (null protocol = healthy medium, zero overhead).
+  const fault::Protocol* fault_ = nullptr;
+  Rng fault_rng_{};
+  bool token_loss_pending_ = false;
+  Cycle token_lost_until_ = kNeverCycle;
+
   MediumCounters counters_;
   obs::Counter obs_packets_;
   obs::Counter obs_flits_;
   obs::Counter obs_token_wait_;
   obs::Counter obs_arb_retries_;
   obs::Counter obs_discards_;
+  obs::Counter obs_crc_errors_;
+  obs::Counter obs_retransmissions_;
+  obs::Counter obs_token_recoveries_;
 
   // Trace state (observational only).
   obs::TraceWriter* trace_ = nullptr;

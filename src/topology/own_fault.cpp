@@ -59,6 +59,31 @@ int FaultSet::transit_for(int src_cluster, int dst_cluster) const {
   return -1;
 }
 
+RouteEntry own256_fault_route_entry(RouterId r, RouterId d,
+                                    const FaultSet& faults) {
+  const int rc = r / kOwnTilesPerCluster;
+  const int rt = r % kOwnTilesPerCluster;
+  const int dc = d / kOwnTilesPerCluster;
+  const int dt = d % kOwnTilesPerCluster;
+  RouteEntry entry;
+  if (dc == rc) {
+    entry.out_port = own_writer_port(rt, dt);
+    entry.vc_class = own256_is_gateway_tile(rt) ? kClsPost : kClsMid;
+  } else {
+    const bool direct = !faults.is_failed(rc, dc);
+    const int toward = direct ? dc : faults.transit_for(rc, dc);
+    const int gate = antenna_tile(own256_channel(rc, toward).src_antenna);
+    if (rt == gate) {
+      entry.out_port = kWirelessOut;
+      entry.vc_class = direct ? kClsWireless2 : kClsWireless1;
+    } else {
+      entry.out_port = own_writer_port(rt, gate);
+      entry.vc_class = direct ? kClsMid : kClsPre;
+    }
+  }
+  return entry;
+}
+
 NetworkSpec build_own256_faulted(const TopologyOptions& options,
                                  const FaultSet& faults) {
   if (options.num_cores != 256 || options.concentration != 4) {
@@ -152,30 +177,9 @@ NetworkSpec build_own256_faulted(const TopologyOptions& options,
   //                  wireless kClsWireless1.
   spec.route_table.assign(num_routers, std::vector<RouteEntry>(num_routers));
   for (int r = 0; r < num_routers; ++r) {
-    const int rc = r / kOwnTilesPerCluster;
-    const int rt = r % kOwnTilesPerCluster;
     for (int d = 0; d < num_routers; ++d) {
       if (d == r) continue;
-      const int dc = d / kOwnTilesPerCluster;
-      const int dt = d % kOwnTilesPerCluster;
-      RouteEntry entry;
-      if (dc == rc) {
-        entry.out_port = own_writer_port(rt, dt);
-        entry.vc_class =
-            own256_is_gateway_tile(rt) ? kClsPost : kClsMid;
-      } else {
-        const bool direct = !faults.is_failed(rc, dc);
-        const int toward = direct ? dc : faults.transit_for(rc, dc);
-        const int gate = antenna_tile(own256_channel(rc, toward).src_antenna);
-        if (rt == gate) {
-          entry.out_port = kWirelessOut;
-          entry.vc_class = direct ? kClsWireless2 : kClsWireless1;
-        } else {
-          entry.out_port = own_writer_port(rt, gate);
-          entry.vc_class = direct ? kClsMid : kClsPre;
-        }
-      }
-      spec.route_table[r][d] = entry;
+      spec.route_table[r][d] = own256_fault_route_entry(r, d, faults);
     }
   }
   return spec;

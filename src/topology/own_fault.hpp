@@ -53,4 +53,13 @@ class FaultSet {
 NetworkSpec build_own256_faulted(const TopologyOptions& options,
                                  const FaultSet& faults);
 
+/// Route entry at router `r` toward destination router `d` under `faults`,
+/// using the degraded-mode class scheme above. This is the single source of
+/// truth for OWN-256 fault routing: the builder fills its table with it, and
+/// the runtime persistent-failure detector (fault/campaign.*) re-invokes it
+/// to patch routes online after a mid-run channel death. Preconditions:
+/// r != d, and the (r, d) cluster pair is alive or recoverable.
+RouteEntry own256_fault_route_entry(RouterId r, RouterId d,
+                                    const FaultSet& faults);
+
 }  // namespace ownsim

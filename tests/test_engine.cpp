@@ -4,9 +4,13 @@
 // of DESIGN.md §5e on real networks.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "driver/simulate.hpp"
+#include "metrics/report.hpp"
 #include "metrics/runner.hpp"
 #include "network/network.hpp"
 #include "sim/engine.hpp"
@@ -229,6 +233,79 @@ TEST(KernelParity, Own256Faulted) {
                                           nullptr, &spec);
   EXPECT_TRUE(lockstep.drained);
   EXPECT_TRUE(deterministic_eq(lockstep, activity));
+}
+
+/// One OWN-256 load point with a runtime fault campaign under `mode`; the
+/// report JSON doubles as a byte-exact digest of every counter.
+struct FaultPoint {
+  RunResult run;
+  fault::Totals totals;
+  std::string report_json;
+};
+
+FaultPoint own256_fault_point(KernelMode mode,
+                              const fault::CampaignConfig& fault) {
+  ExperimentConfig config;
+  config.options.num_cores = 256;
+  config.rate = 0.004;
+  config.phases.warmup = 300;
+  config.phases.measure = 800;
+  config.phases.drain_limit = 15000;
+  config.fault = fault;
+  config.fault.enabled = true;
+  Network network(build_experiment_spec(config));
+  network.engine().set_mode(mode);
+  TrafficPattern pattern(PatternKind::kUniform, 256);
+  Injector::Params params;
+  params.rate = config.rate;
+  Injector injector(&network, pattern, params);
+  network.engine().add(&injector);
+  auto campaign = make_campaign(network, config);
+  campaign->attach();
+  FaultPoint point;
+  point.run = run_load_point(network, injector, config.phases);
+  point.totals = campaign->totals();
+  std::ostringstream os;
+  NetworkReport(network).write_json(os);
+  point.report_json = os.str();
+  return point;
+}
+
+TEST(KernelParity, Own256TransientCorruption) {
+  // Mid-run NACK + retransmission perturbs arrival times out of FIFO order;
+  // the kernels must agree byte for byte, counters included.
+  fault::CampaignConfig fault;
+  fault.margin = Decibels{-8.0};
+  const FaultPoint lockstep =
+      own256_fault_point(KernelMode::kLockstep, fault);
+  const FaultPoint activity =
+      own256_fault_point(KernelMode::kActivity, fault);
+  EXPECT_TRUE(lockstep.run.drained);
+  EXPECT_GT(lockstep.totals.crc_errors, 0);
+  EXPECT_TRUE(deterministic_eq(lockstep.run, activity.run));
+  EXPECT_EQ(lockstep.report_json, activity.report_json);
+}
+
+TEST(KernelParity, Own256MidRunDeath) {
+  // A channel killed mid-run plus the detector's online route patch must
+  // leave both kernels on the same trajectory.
+  fault::CampaignConfig fault;
+  fault.ber = 0.0;
+  fault::Event kill;
+  kill.kind = fault::EventKind::kKill;
+  kill.at = 500;
+  kill.src_cluster = 0;
+  kill.dst_cluster = 2;
+  fault.events.push_back(kill);
+  const FaultPoint lockstep =
+      own256_fault_point(KernelMode::kLockstep, fault);
+  const FaultPoint activity =
+      own256_fault_point(KernelMode::kActivity, fault);
+  EXPECT_TRUE(lockstep.run.drained);
+  EXPECT_EQ(lockstep.totals.flows_degraded, 256);
+  EXPECT_EQ(activity.totals.flows_degraded, 256);
+  EXPECT_TRUE(deterministic_eq(lockstep.run, activity.run));
+  EXPECT_EQ(lockstep.report_json, activity.report_json);
 }
 
 TEST(KernelParity, DrainPhaseSkipsAhead) {

@@ -1,9 +1,14 @@
 // Tests for OWN-256 wireless fault tolerance: transit selection, degraded
-// routing structure, delivery under failures, and graceful-degradation
-// latency behavior.
+// routing structure, delivery under failures, graceful-degradation latency
+// behavior, and the runtime fault campaign (injection, retransmission,
+// online rerouting, watchdog).
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/rng.hpp"
+#include "driver/simulate.hpp"
+#include "fault/campaign.hpp"
 #include "helpers.hpp"
 #include "metrics/runner.hpp"
 #include "topology/own.hpp"
@@ -140,6 +145,191 @@ TEST(FaultBuild, GracefulDegradationUnderLoad) {
   // the penalty is bounded (rerouted flows are 1/16 of the traffic).
   EXPECT_GT(degraded, healthy);
   EXPECT_LT(degraded, 3.0 * healthy);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fault campaign (fault/campaign.hpp).
+
+/// OWN-256 experiment at a sub-saturation load with `fault` armed.
+ExperimentConfig campaign_experiment(fault::CampaignConfig fault) {
+  ExperimentConfig config;
+  config.options.num_cores = 256;
+  config.rate = 0.004;
+  config.phases.warmup = 300;
+  config.phases.measure = 1500;
+  config.phases.drain_limit = 20000;
+  fault.enabled = true;
+  config.fault = fault;
+  return config;
+}
+
+TEST(FaultCampaign, TransientBerDeliversEverything) {
+  fault::CampaignConfig fault;
+  fault.margin = Decibels{-8.0};  // stress operating point: measurable BER
+  const ExperimentResult result = run_experiment(campaign_experiment(fault));
+  // The reliability protocol masks every corruption: nothing is dropped,
+  // the NACKed copies just pay backoff latency.
+  EXPECT_TRUE(result.run.drained);
+  EXPECT_GT(result.fault.crc_errors, 0);
+  EXPECT_GT(result.fault.retransmissions, 0);
+  EXPECT_GE(result.fault.retransmissions, result.fault.crc_errors);
+  EXPECT_EQ(result.fault.flows_degraded, 0);
+}
+
+TEST(FaultCampaign, MidRunKillConvergesToDegradedRoutes) {
+  fault::CampaignConfig fault;
+  fault.ber = 0.0;  // isolate the permanent-death path
+  fault::Event kill;
+  kill.kind = fault::EventKind::kKill;
+  kill.at = 600;
+  kill.src_cluster = 0;
+  kill.dst_cluster = 2;
+  fault.events.push_back(kill);
+  const ExperimentResult result = run_experiment(campaign_experiment(fault));
+  // Zero packets lost: flits caught on the dying channel pay the exhausted
+  // backoff but still deliver, and post-detection traffic takes the
+  // 2-wireless-hop degraded routes.
+  EXPECT_TRUE(result.run.drained);
+  // One dead pair patches every (router in cluster 0) x (tile in cluster 2)
+  // entry: 16 x 16.
+  EXPECT_EQ(result.fault.flows_degraded, 256);
+  // Copies stranded on the dying channel retransmit to exhaustion.
+  EXPECT_GT(result.fault.retransmissions, 0);
+}
+
+TEST(FaultCampaign, FlapDelaysButDelivers) {
+  fault::CampaignConfig fault;
+  fault.ber = 0.0;
+  fault::Event flap;
+  flap.kind = fault::EventKind::kFlap;
+  flap.at = 600;
+  flap.src_cluster = 0;
+  flap.dst_cluster = 2;
+  flap.down_cycles = 400;
+  fault.events.push_back(flap);
+  const ExperimentResult result = run_experiment(campaign_experiment(fault));
+  EXPECT_TRUE(result.run.drained);
+  EXPECT_EQ(result.fault.crc_errors, 0);  // outages NACK nothing, BER is 0
+  EXPECT_EQ(result.fault.flows_degraded, 0);  // transient: no reroute
+}
+
+TEST(FaultCampaign, TokenLossRecovers) {
+  fault::CampaignConfig fault;
+  fault.ber = 0.0;
+  fault::Event loss;
+  loss.kind = fault::EventKind::kTokenLoss;
+  loss.at = 500;
+  loss.medium = 0;
+  loss.recovery = 64;
+  fault.events.push_back(loss);
+  const ExperimentResult result = run_experiment(campaign_experiment(fault));
+  EXPECT_TRUE(result.run.drained);
+  EXPECT_EQ(result.fault.token_recoveries, 1);
+  EXPECT_EQ(result.fault.watchdog_trips, 0);
+}
+
+TEST(FaultCampaign, SameSeedIsBitIdentical) {
+  fault::CampaignConfig fault;
+  fault.seed = 99;
+  fault.margin = Decibels{-8.0};
+  fault.random_flaps = 2;
+  const ExperimentResult a = run_experiment(campaign_experiment(fault));
+  const ExperimentResult b = run_experiment(campaign_experiment(fault));
+  EXPECT_TRUE(deterministic_eq(a.run, b.run));
+  EXPECT_EQ(a.fault.crc_errors, b.fault.crc_errors);
+  EXPECT_EQ(a.fault.retransmissions, b.fault.retransmissions);
+}
+
+TEST(FaultCampaign, WatchdogQuietOnHealthyRun) {
+  fault::CampaignConfig fault;
+  fault.margin = Decibels{-8.0};
+  fault.watchdog = true;
+  fault.watchdog_window = 2000;
+  std::ostringstream diagnostics;
+  fault.diagnostics = &diagnostics;
+  const ExperimentResult result = run_experiment(campaign_experiment(fault));
+  EXPECT_TRUE(result.run.drained);
+  EXPECT_FALSE(result.watchdog_tripped);
+  EXPECT_TRUE(diagnostics.str().empty());
+}
+
+TEST(FaultCampaign, TokenDeadlockTripsWatchdogWithinBound) {
+  // A token lost forever wedges every writer on that waveguide. With only
+  // those packets outstanding, deliveries stop entirely and the watchdog
+  // must convert the hang into a diagnosed abort within two windows.
+  TopologyOptions options;
+  options.num_cores = 256;
+  Network net(build_topology(TopologyKind::kOwn, options));
+
+  fault::CampaignConfig config;
+  config.enabled = true;
+  config.ber = 0.0;
+  fault::Event loss;
+  loss.kind = fault::EventKind::kTokenLoss;
+  loss.at = 1;      // before anything launches
+  loss.medium = 10;  // cluster 0's waveguide home tile 10 (MWSR reader)
+  loss.recovery = kNeverCycle;
+  config.events.push_back(loss);
+  config.watchdog = true;
+  config.watchdog_window = 400;
+  std::ostringstream diagnostics;
+  config.diagnostics = &diagnostics;
+  fault::FaultCampaign campaign(&net, config);
+  campaign.attach();
+
+  // All traffic targets the wedged waveguide's home tile (tile 10 of
+  // cluster 0), so every packet needs the lost token to make progress.
+  for (NodeId s = 0; s < 4; ++s) {
+    const NodeId d = 40 + s;  // tile 10, same cluster
+    net.nic().enqueue_packet(s, d, net.router_of(d), 4, 128,
+                             net.injection_vc_class(s, d), 0, true);
+  }
+  ASSERT_NE(campaign.watchdog(), nullptr);
+  net.engine().run_until(
+      [&] { return campaign.watchdog_tripped() || net.drained(); }, 5000);
+  EXPECT_TRUE(campaign.watchdog_tripped());
+  EXPECT_FALSE(net.drained());
+  EXPECT_EQ(campaign.totals().watchdog_trips, 1);
+  // Stall starts at cycle 1; the first no-progress sample lands within one
+  // window and the trip on the next — at most 2W (+1) later.
+  EXPECT_LE(net.engine().now(), 1 + 2 * config.watchdog_window + 1);
+  // The dump names the wedged state well enough to debug from.
+  EXPECT_NE(diagnostics.str().find("watchdog"), std::string::npos);
+  EXPECT_NE(diagnostics.str().find("in flight"), std::string::npos);
+}
+
+TEST(FaultCampaign, RejectsInvalidEvents) {
+  TopologyOptions options;
+  options.num_cores = 256;
+  Network net(build_topology(TopologyKind::kOwn, options));
+  {
+    fault::CampaignConfig config;
+    fault::Event kill;
+    kill.kind = fault::EventKind::kKill;
+    kill.at = 100;
+    kill.src_cluster = 0;
+    kill.dst_cluster = 2;
+    config.events.push_back(kill);
+    // Kill events demand the 5-class degraded scheme; the plain build
+    // cannot reroute online.
+    EXPECT_THROW(fault::FaultCampaign(&net, config), std::invalid_argument);
+  }
+  {
+    fault::CampaignConfig config;
+    fault::Event loss;
+    loss.kind = fault::EventKind::kTokenLoss;
+    loss.at = 100;
+    loss.medium = 1 << 20;
+    config.events.push_back(loss);
+    EXPECT_THROW(fault::FaultCampaign(&net, config), std::invalid_argument);
+  }
+  {
+    fault::CampaignConfig config;
+    fault::Event flap;
+    flap.at = 0;  // events start at cycle 1
+    config.events.push_back(flap);
+    EXPECT_THROW(fault::FaultCampaign(&net, config), std::invalid_argument);
+  }
 }
 
 TEST(FaultBuild, OverloadStillMakesProgress) {

@@ -185,5 +185,30 @@ TEST(Ber, RejectsBadTargets) {
   EXPECT_THROW(required_snr(0.7), std::invalid_argument);
 }
 
+TEST(Ber, RoundTripRequiredSnr) {
+  // required_snr and ook_ber are exact inverses across the whole SNR range
+  // the fault campaign draws operating points from.
+  for (double db = 0.0; db <= 10.0; db += 0.5) {
+    EXPECT_NEAR(required_snr(ook_ber(Decibels{db})).db(), db, 1e-6)
+        << "snr " << db << " dB";
+  }
+}
+
+TEST(Ber, MarginEdgeCases) {
+  // Zero margin lands exactly on the design target of the 17 dB budget
+  // point (BER 1e-12, cf. RequiredSnrMatchesLinkBudgetConstant).
+  const Decibels required = required_snr(1e-12);
+  EXPECT_NEAR(ber_at_margin(required, 0.0_db), 1e-12, 1e-13);
+  // Negative margins worsen the BER monotonically but never past 1/2
+  // (OOK noise floor) — the stress campaigns live on this branch.
+  double prev = ber_at_margin(required, 0.0_db);
+  for (double db = -1.0; db >= -12.0; db -= 1.0) {
+    const double ber = ber_at_margin(required, Decibels{db});
+    EXPECT_GT(ber, prev) << "margin " << db << " dB";
+    EXPECT_LT(ber, 0.5) << "margin " << db << " dB";
+    prev = ber;
+  }
+}
+
 }  // namespace
 }  // namespace ownsim
