@@ -9,6 +9,11 @@
 // `sweep=r1:r2:...` switches to a latency sweep over those offered loads,
 // fanned across `threads` workers (also accepted as `--threads N`).
 // Run with `help=1` for the key list.
+//
+// The CLI is a thin client of the shared config -> run -> report path
+// (driver/experiment_config.hpp + run_experiment): the same key=value
+// vocabulary submitted to the ownsim_serve daemon means the same experiment
+// here.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -17,8 +22,10 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "driver/experiment_config.hpp"
 #include "driver/simulate.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/campaign.hpp"
 #include "metrics/report.hpp"
 #include "metrics/table_io.hpp"
 #include "obs/trace.hpp"
@@ -34,7 +41,7 @@ void print_help() {
       "  rate       offered load, flits/node/cycle             [0.004]\n"
       "  config     1..4 (Table IV, OWN only)                  [4]\n"
       "  scenario   ideal | conservative (Table III)           [ideal]\n"
-      "  warmup, measure, drain   phase lengths in cycles      [1500/4000/30000]\n"
+      "  warmup, measure, drain   phase lengths (cycles)  [1500/4000/30000]\n"
       "  packet_flits, seed                                    [4 / 1]\n"
       "  report     none | csv | json (channel utilization)    [none]\n"
       "  sweep      colon-separated rates (e.g. 0.002:0.004): run a\n"
@@ -89,39 +96,6 @@ std::vector<double> parse_rates(const std::string& csv) {
   return rates;
 }
 
-/// Parses "src:dst@cycle" into a kill event.
-ownsim::fault::Event parse_kill(const std::string& s) {
-  ownsim::fault::Event event;
-  event.kind = ownsim::fault::EventKind::kKill;
-  const std::size_t colon = s.find(':');
-  const std::size_t at = s.find('@');
-  if (colon == std::string::npos || at == std::string::npos || at < colon) {
-    throw std::invalid_argument("fault_kill: want src:dst@cycle");
-  }
-  event.src_cluster = std::stoi(s.substr(0, colon));
-  event.dst_cluster = std::stoi(s.substr(colon + 1, at - colon - 1));
-  event.at = std::stoll(s.substr(at + 1));
-  return event;
-}
-
-/// Parses "medium@cycle:recovery" (recovery in cycles, or "never").
-ownsim::fault::Event parse_token_loss(const std::string& s) {
-  ownsim::fault::Event event;
-  event.kind = ownsim::fault::EventKind::kTokenLoss;
-  const std::size_t at = s.find('@');
-  const std::size_t colon = at == std::string::npos ? at : s.find(':', at);
-  if (at == std::string::npos || colon == std::string::npos) {
-    throw std::invalid_argument(
-        "fault_token_loss: want medium@cycle:recovery");
-  }
-  event.medium = std::stoi(s.substr(0, at));
-  event.at = std::stoll(s.substr(at + 1, colon - at - 1));
-  const std::string recovery = s.substr(colon + 1);
-  event.recovery =
-      recovery == "never" ? ownsim::kNeverCycle : std::stoll(recovery);
-  return event;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,46 +143,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ExperimentConfig config;
-    config.topology = parse_topology(args.get_string("topology", "own"));
-    config.pattern = parse_pattern(args.get_string("pattern", "UN"));
-    config.options.num_cores = static_cast<int>(args.get_int("cores", 256));
-    config.rate = args.get_double("rate", 0.004);
-    config.own_config =
-        static_cast<OwnConfig>(args.get_int("config", 4));
-    config.scenario = args.get_string("scenario", "ideal") == "conservative"
-                          ? Scenario::kConservative
-                          : Scenario::kIdeal;
-    config.phases.warmup = args.get_int("warmup", 1500);
-    config.phases.measure = args.get_int("measure", 4000);
-    config.phases.drain_limit = args.get_int("drain", 30000);
-    config.injector.packet_flits =
-        static_cast<int>(args.get_int("packet_flits", 4));
-    config.injector.master_seed =
-        static_cast<std::uint64_t>(args.get_int("seed", 1));
-
-    config.fault.enabled = args.get_bool("fault", false);
-    config.fault.seed = static_cast<std::uint64_t>(
-        args.get_int("fault_seed",
-                     static_cast<std::int64_t>(config.injector.master_seed)));
-    config.fault.ber = args.get_double("fault_ber", -1.0);
-    config.fault.margin = Decibels{args.get_double("fault_margin_db", 2.5)};
-    config.fault.random_flaps =
-        static_cast<int>(args.get_int("fault_flaps", 0));
-    config.fault.flap_down_cycles = args.get_int("fault_flap_down", 200);
-    config.fault.horizon = args.get_int("fault_horizon", 4000);
-    if (args.contains("fault_kill")) {
-      config.fault.events.push_back(
-          parse_kill(args.require_string("fault_kill")));
-    }
-    if (args.contains("fault_token_loss")) {
-      config.fault.events.push_back(
-          parse_token_loss(args.require_string("fault_token_loss")));
-    }
-    const Cycle watchdog_window = args.get_int("watchdog", 0);
-    config.fault.watchdog = watchdog_window > 0;
-    config.fault.watchdog_window =
-        config.fault.watchdog ? watchdog_window : Cycle{20000};
+    const ExperimentConfig config = parse_experiment_config(args);
 
     // Sweep mode: fan one fresh network per load point across the pool.
     if (args.contains("sweep")) {
@@ -250,56 +185,66 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    // Rebuild the network here (rather than via run_experiment) so the
-    // utilization report can inspect it afterwards.
-    Network network(build_experiment_spec(config));
-    TrafficPattern pattern(config.pattern, config.options.num_cores);
-    Injector::Params injector_params = config.injector;
-    injector_params.rate = config.rate;
-    Injector injector(&network, pattern, injector_params);
-    network.engine().add(&injector);
-
-    std::unique_ptr<fault::FaultCampaign> campaign =
-        make_campaign(network, config);
-    exec::CancellationToken cancel_token;
-    if (campaign != nullptr) {
-      campaign->attach();
-      if (campaign->watchdog() != nullptr) {
-        cancel_token = campaign->watchdog()->token();
-      }
+    // Single-point mode rides the shared run_experiment path; everything the
+    // report needs from the live Network (spec name, counter registry,
+    // channel utilization, trace flush) is captured by the after_run hook.
+    const std::string trace_out = args.get_string("trace_out", "");
+    const bool want_counters = args.get_bool("counters", false);
+    const std::string report = args.get_string("report", "none");
+    if (report != "none" && report != "csv" && report != "json") {
+      std::cerr << "unknown report format: " << report << "\n";
+      return 1;
     }
 
     // Tracing is runtime-opt-in: attaching the writer must not (and does
     // not — test_obs asserts it) change any simulated result.
     std::unique_ptr<obs::TraceWriter> trace;
-    const std::string trace_out = args.get_string("trace_out", "");
+    RunHooks hooks;
     if (!trace_out.empty()) {
       trace = std::make_unique<obs::TraceWriter>();
-      network.set_trace(trace.get());
+      hooks.before_run = [&trace](Network& network) {
+        network.set_trace(trace.get());
+      };
     }
 
-    const RunResult run =
-        run_load_point(network, injector, config.phases, cancel_token);
-
-    if (trace) {
-      network.flush_trace();
-      std::ofstream out(trace_out);
-      if (!out) {
-        std::cerr << "cannot open trace output: " << trace_out << "\n";
-        return 1;
+    std::string network_name;
+    std::string trace_line;
+    bool trace_failed = false;
+    std::ostringstream counters_text;
+    std::ostringstream report_text;
+    hooks.after_run = [&](Network& network, const ExperimentResult&) {
+      network_name = network.spec().name;
+      if (trace) {
+        network.flush_trace();
+        std::ofstream out(trace_out);
+        if (!out) {
+          trace_failed = true;
+        } else {
+          trace->write_json(out);
+          std::ostringstream line;
+          line << "trace: " << trace->size() << " events -> " << trace_out
+               << " (load in ui.perfetto.dev)\n";
+          trace_line = line.str();
+        }
       }
-      trace->write_json(out);
-      std::cout << "trace: " << trace->size() << " events -> " << trace_out
-                << " (load in ui.perfetto.dev)\n";
+      if (want_counters) network.obs().write_json(counters_text);
+      if (report == "csv") {
+        NetworkReport(network).write_channels_csv(report_text);
+      } else if (report == "json") {
+        NetworkReport(network).write_json(report_text);
+      }
+    };
+
+    const ExperimentResult result = run_experiment(config, hooks);
+    const RunResult& run = result.run;
+    if (trace_failed) {
+      std::cerr << "cannot open trace output: " << trace_out << "\n";
+      return 1;
     }
-    EnergyModel energy(config.power,
-                       own_channel_energy(config.topology,
-                                          config.options.num_cores,
-                                          config.own_config, config.scenario));
-    const PowerBreakdown power = energy.compute(network);
+    std::cout << trace_line;
 
     Table summary({"metric", "value"});
-    summary.add_row({"network", network.spec().name});
+    summary.add_row({"network", network_name});
     summary.add_row({"pattern", to_string(config.pattern)});
     summary.add_row({"offered (flits/node/cyc)", Table::num(config.rate, 4)});
     summary.add_row({"throughput", Table::num(run.throughput, 4)});
@@ -307,29 +252,31 @@ int main(int argc, char** argv) {
     summary.add_row({"p99 latency (cyc)", Table::num(run.p99_latency, 1)});
     summary.add_row({"avg hops", Table::num(run.avg_hops, 2)});
     summary.add_row({"drained", run.drained ? "yes" : "no"});
-    summary.add_row({"router power (W)", Table::num(power.router_w(), 3)});
-    summary.add_row({"photonic power (W)", Table::num(power.photonic_w(), 3)});
-    summary.add_row({"wireless power (W)", Table::num(power.wireless_w(), 3)});
     summary.add_row(
-        {"electrical power (W)", Table::num(power.electrical_link_w, 3)});
-    summary.add_row({"total power (W)", Table::num(power.total_w(), 3)});
+        {"router power (W)", Table::num(result.power.router_w(), 3)});
     summary.add_row(
-        {"energy/packet (pJ)",
-         Table::num(energy.energy_per_packet_pj(network), 0)});
-    if (campaign != nullptr) {
-      const fault::Totals fault = campaign->totals();
-      summary.add_row({"fault ber",
-                       Table::num(campaign->protocol().ber, 12)});
-      summary.add_row({"crc errors", std::to_string(fault.crc_errors)});
+        {"photonic power (W)", Table::num(result.power.photonic_w(), 3)});
+    summary.add_row(
+        {"wireless power (W)", Table::num(result.power.wireless_w(), 3)});
+    summary.add_row({"electrical power (W)",
+                     Table::num(result.power.electrical_link_w, 3)});
+    summary.add_row({"total power (W)", Table::num(result.power.total_w(), 3)});
+    summary.add_row({"energy/packet (pJ)",
+                     Table::num(result.energy_per_packet_pj, 0)});
+    if (config.fault.enabled) {
       summary.add_row(
-          {"retransmissions", std::to_string(fault.retransmissions)});
+          {"fault ber", Table::num(fault::resolve_ber(config.fault), 12)});
       summary.add_row(
-          {"token recoveries", std::to_string(fault.token_recoveries)});
+          {"crc errors", std::to_string(result.fault.crc_errors)});
       summary.add_row(
-          {"flows degraded", std::to_string(fault.flows_degraded)});
-      if (campaign->watchdog() != nullptr) {
+          {"retransmissions", std::to_string(result.fault.retransmissions)});
+      summary.add_row(
+          {"token recoveries", std::to_string(result.fault.token_recoveries)});
+      summary.add_row(
+          {"flows degraded", std::to_string(result.fault.flows_degraded)});
+      if (config.fault.watchdog) {
         summary.add_row(
-            {"watchdog", campaign->watchdog_tripped() ? "TRIPPED" : "ok"});
+            {"watchdog", result.watchdog_tripped ? "TRIPPED" : "ok"});
       }
     }
     summary.print(std::cout);
@@ -337,25 +284,13 @@ int main(int argc, char** argv) {
     if (args.get_bool("profile", false)) {
       std::cout << "\nprofile: " << run_profile_summary(run) << '\n';
     }
-    if (args.get_bool("counters", false)) {
-      std::cout << "\ncounters:\n";
-      network.obs().write_json(std::cout);
+    if (want_counters) {
+      std::cout << "\ncounters:\n" << counters_text.str();
     }
-
-    const std::string report = args.get_string("report", "none");
     if (report != "none") {
-      const NetworkReport network_report(network);
-      std::cout << '\n';
-      if (report == "csv") {
-        network_report.write_channels_csv(std::cout);
-      } else if (report == "json") {
-        network_report.write_json(std::cout);
-      } else {
-        std::cerr << "unknown report format: " << report << "\n";
-        return 1;
-      }
+      std::cout << '\n' << report_text.str();
     }
-    if (campaign != nullptr && campaign->watchdog_tripped()) {
+    if (config.fault.enabled && result.watchdog_tripped) {
       std::cerr << "watchdog tripped: run aborted (diagnostics above)\n";
       return 3;
     }

@@ -1,0 +1,99 @@
+// Experiment service daemon: ownsim as a long-lived local server.
+//
+//   ./ownsim_serve socket=/tmp/ownsim.sock store=/tmp/ownsim-store
+//
+// Clients speak newline-delimited JSON over the AF_UNIX socket (verbs:
+// submit/status/result/cancel/stats/shutdown — see src/serve/server.hpp, or
+// tools/ownsim_client.py for a reference client). Results are memoized in a
+// content-addressed on-disk store, so a sweep submitted twice simulates
+// once. The process runs until a `shutdown` verb arrives (or SIGINT/SIGTERM,
+// which behaves like `shutdown` with drain=false).
+#include <csignal>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "driver/experiment_config.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      "ownsim_serve key=value ...\n"
+      "  socket     AF_UNIX socket path to listen on   [/tmp/ownsim.sock]\n"
+      "  store      result store directory             [./ownsim-store]\n"
+      "  threads    simulation workers (0 = hardware)  [0]\n"
+      "  progress_interval  min simulated cycles between streamed\n"
+      "             progress events per job            [4096]\n"
+      "  verbose    1: log connections/submissions to stderr  [0]\n";
+}
+
+ownsim::serve::ServeDaemon* g_daemon = nullptr;
+
+extern "C" void handle_signal(int) {
+  // async-signal-safe enough for a test/dev daemon: the flag flip inside
+  // request-shutdown is what we need; abort-on-second-signal is the escape
+  // hatch.
+  if (g_daemon != nullptr) {
+    ownsim::serve::ServeDaemon* daemon = g_daemon;
+    g_daemon = nullptr;
+    daemon->stop(/*drain=*/false);
+    std::_Exit(0);
+  }
+  std::_Exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ownsim;
+  std::ostringstream joined;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      if (arg.find('=') == std::string::npos && i + 1 < argc) {
+        arg += '=';
+        arg += argv[++i];
+      }
+      for (std::size_t k = 0; k < arg.size() && arg[k] != '='; ++k) {
+        if (arg[k] == '-') arg[k] = '_';
+      }
+    }
+    joined << arg << ' ';
+  }
+
+  try {
+    const Config args = Config::from_string(joined.str());
+    if (args.get_bool("help", false)) {
+      print_help();
+      return 0;
+    }
+    serve::ServerOptions options;
+    options.socket_path = args.get_string("socket", "/tmp/ownsim.sock");
+    options.service.store_dir = args.get_string("store", "./ownsim-store");
+    options.service.threads =
+        static_cast<unsigned>(args.get_int("threads", 0));
+    options.service.progress_interval = args.get_int("progress_interval", 4096);
+    options.verbose = args.get_bool("verbose", false);
+
+    serve::ServeDaemon daemon(options);
+    g_daemon = &daemon;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::cout << "ownsim_serve " << code_version() << " listening on "
+              << daemon.socket_path() << " (" << daemon.service().threads()
+              << " workers, store " << options.service.store_dir.string()
+              << ")" << std::endl;
+    daemon.wait_for_shutdown();
+    g_daemon = nullptr;
+    std::cout << "ownsim_serve: clean shutdown" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "ownsim_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,400 @@
+#include "driver/experiment_config.hpp"
+
+#include <stdexcept>
+
+#include "common/numfmt.hpp"
+#include "common/sha256.hpp"
+#include "serve/json.hpp"
+
+namespace ownsim {
+namespace {
+
+using serve::Json;
+
+/// Bump on any change to simulated results or the stored payload layout.
+constexpr char kCodeVersionTag[] = "ownsim-2026.08-serve1";
+
+const char* to_string(fault::EventKind kind) {
+  switch (kind) {
+    case fault::EventKind::kFlap: return "flap";
+    case fault::EventKind::kKill: return "kill";
+    case fault::EventKind::kTokenLoss: return "token_loss";
+  }
+  throw std::logic_error("bad EventKind");
+}
+
+fault::EventKind parse_event_kind(const std::string& name) {
+  if (name == "flap") return fault::EventKind::kFlap;
+  if (name == "kill") return fault::EventKind::kKill;
+  if (name == "token_loss") return fault::EventKind::kTokenLoss;
+  throw std::invalid_argument("bad fault event kind: " + name);
+}
+
+/// Parses "src:dst@cycle" into a kill event.
+fault::Event parse_kill(const std::string& s) {
+  fault::Event event;
+  event.kind = fault::EventKind::kKill;
+  const std::size_t colon = s.find(':');
+  const std::size_t at = s.find('@');
+  if (colon == std::string::npos || at == std::string::npos || at < colon) {
+    throw std::invalid_argument("fault_kill: want src:dst@cycle");
+  }
+  event.src_cluster = std::stoi(s.substr(0, colon));
+  event.dst_cluster = std::stoi(s.substr(colon + 1, at - colon - 1));
+  event.at = std::stoll(s.substr(at + 1));
+  return event;
+}
+
+/// Parses "medium@cycle:recovery" (recovery in cycles, or "never").
+fault::Event parse_token_loss(const std::string& s) {
+  fault::Event event;
+  event.kind = fault::EventKind::kTokenLoss;
+  const std::size_t at = s.find('@');
+  const std::size_t colon = at == std::string::npos ? at : s.find(':', at);
+  if (at == std::string::npos || colon == std::string::npos) {
+    throw std::invalid_argument("fault_token_loss: want medium@cycle:recovery");
+  }
+  event.medium = std::stoi(s.substr(0, at));
+  event.at = std::stoll(s.substr(at + 1, colon - at - 1));
+  const std::string recovery = s.substr(colon + 1);
+  event.recovery =
+      recovery == "never" ? kNeverCycle : std::stoll(recovery);
+  return event;
+}
+
+Json event_to_json(const fault::Event& event) {
+  Json::Object object;
+  object["at"] = Json(event.at);
+  object["down_cycles"] = Json(event.down_cycles);
+  object["dst_cluster"] = Json(event.dst_cluster);
+  object["kind"] = Json(to_string(event.kind));
+  object["link"] = Json(event.link);
+  object["medium"] = Json(event.medium);
+  object["recovery"] = Json(event.recovery);
+  object["src_cluster"] = Json(event.src_cluster);
+  return Json(std::move(object));
+}
+
+fault::Event event_from_json(const Json& json) {
+  fault::Event event;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "at") {
+      event.at = value.as_int();
+    } else if (key == "down_cycles") {
+      event.down_cycles = value.as_int();
+    } else if (key == "dst_cluster") {
+      event.dst_cluster = static_cast<int>(value.as_int());
+    } else if (key == "kind") {
+      event.kind = parse_event_kind(value.as_string());
+    } else if (key == "link") {
+      event.link = static_cast<int>(value.as_int());
+    } else if (key == "medium") {
+      event.medium = static_cast<int>(value.as_int());
+    } else if (key == "recovery") {
+      event.recovery = value.as_int();
+    } else if (key == "src_cluster") {
+      event.src_cluster = static_cast<int>(value.as_int());
+    } else {
+      throw std::invalid_argument("canonical config: unknown event key: " +
+                                  key);
+    }
+  }
+  return event;
+}
+
+Scenario parse_scenario(const std::string& name) {
+  if (name == "ideal") return Scenario::kIdeal;
+  if (name == "conservative") return Scenario::kConservative;
+  throw std::invalid_argument("bad scenario: " + name);
+}
+
+const char* scenario_name(Scenario scenario) {
+  return scenario == Scenario::kConservative ? "conservative" : "ideal";
+}
+
+KernelMode parse_kernel(const std::string& name) {
+  if (name == "activity") return KernelMode::kActivity;
+  if (name == "lockstep") return KernelMode::kLockstep;
+  throw std::invalid_argument("bad kernel (want activity|lockstep): " + name);
+}
+
+}  // namespace
+
+ExperimentConfig parse_experiment_config(const Config& args) {
+  ExperimentConfig config;
+  config.topology = parse_topology(args.get_string("topology", "own"));
+  config.pattern = parse_pattern(args.get_string("pattern", "UN"));
+  config.options.num_cores = static_cast<int>(args.get_int("cores", 256));
+  config.rate = args.get_double("rate", 0.004);
+  const std::int64_t own_config = args.get_int("config", 4);
+  if (own_config < 1 || own_config > 4) {
+    throw std::invalid_argument("config: want a Table IV row 1..4");
+  }
+  config.own_config = static_cast<OwnConfig>(own_config);
+  config.scenario = parse_scenario(args.get_string("scenario", "ideal"));
+  config.phases.warmup = args.get_int("warmup", 1500);
+  config.phases.measure = args.get_int("measure", 4000);
+  config.phases.drain_limit = args.get_int("drain", 30000);
+  config.injector.packet_flits =
+      static_cast<int>(args.get_int("packet_flits", 4));
+  config.injector.master_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // Topology sizing knobs (defaults reproduce the paper's setup).
+  config.options.concentration = static_cast<int>(
+      args.get_int("concentration", config.options.concentration));
+  config.options.num_vcs =
+      static_cast<int>(args.get_int("vcs", config.options.num_vcs));
+  config.options.buffer_depth = static_cast<int>(
+      args.get_int("buffer_depth", config.options.buffer_depth));
+  config.options.clock_ghz =
+      args.get_double("clock_ghz", config.options.clock_ghz);
+  config.options.ideal_arbitration =
+      args.get_bool("ideal_arbitration", config.options.ideal_arbitration);
+  config.options.cmesh_o1turn =
+      args.get_bool("o1turn", config.options.cmesh_o1turn);
+  if (args.contains("flit_bits")) {
+    config.options.flit_bits = static_cast<int>(args.require_int("flit_bits"));
+    config.injector.flit_bits =
+        static_cast<std::uint32_t>(config.options.flit_bits);
+  }
+
+  if (args.contains("kernel")) {
+    config.kernel = parse_kernel(args.require_string("kernel"));
+  }
+
+  config.fault.enabled = args.get_bool("fault", false);
+  config.fault.seed = static_cast<std::uint64_t>(
+      args.get_int("fault_seed",
+                   static_cast<std::int64_t>(config.injector.master_seed)));
+  config.fault.ber = args.get_double("fault_ber", -1.0);
+  config.fault.margin = Decibels{args.get_double("fault_margin_db", 2.5)};
+  config.fault.random_flaps =
+      static_cast<int>(args.get_int("fault_flaps", 0));
+  config.fault.flap_down_cycles = args.get_int("fault_flap_down", 200);
+  config.fault.horizon = args.get_int("fault_horizon", 4000);
+  if (args.contains("fault_kill")) {
+    config.fault.events.push_back(
+        parse_kill(args.require_string("fault_kill")));
+  }
+  if (args.contains("fault_token_loss")) {
+    config.fault.events.push_back(
+        parse_token_loss(args.require_string("fault_token_loss")));
+  }
+  const Cycle watchdog_window = args.get_int("watchdog", 0);
+  config.fault.watchdog = watchdog_window > 0;
+  config.fault.watchdog_window =
+      config.fault.watchdog ? watchdog_window : Cycle{20000};
+  return config;
+}
+
+std::string canonical_config_json(const ExperimentConfig& config) {
+  Json::Object o;
+  o["topology"] = Json(to_string(config.topology));
+  o["pattern"] = Json(to_string(config.pattern));
+  o["rate"] = Json(config.rate);
+  o["own_config"] = Json(static_cast<int>(config.own_config));
+  o["scenario"] = Json(scenario_name(config.scenario));
+
+  o["options.num_cores"] = Json(config.options.num_cores);
+  o["options.concentration"] = Json(config.options.concentration);
+  o["options.num_vcs"] = Json(config.options.num_vcs);
+  o["options.buffer_depth"] = Json(config.options.buffer_depth);
+  o["options.max_packet_flits"] = Json(config.options.max_packet_flits);
+  o["options.clock_ghz"] = Json(config.options.clock_ghz);
+  o["options.flit_bits"] = Json(config.options.flit_bits);
+  o["options.electrical_cpf"] = Json(config.options.electrical_cpf);
+  o["options.photonic_cpf"] = Json(config.options.photonic_cpf);
+  o["options.wireless_cpf"] = Json(config.options.wireless_cpf);
+  o["options.ideal_arbitration"] = Json(config.options.ideal_arbitration);
+  o["options.cmesh_o1turn"] = Json(config.options.cmesh_o1turn);
+
+  o["phases.warmup"] = Json(config.phases.warmup);
+  o["phases.measure"] = Json(config.phases.measure);
+  o["phases.drain_limit"] = Json(config.phases.drain_limit);
+
+  o["injector.packet_flits"] = Json(config.injector.packet_flits);
+  o["injector.flit_bits"] =
+      Json(static_cast<std::int64_t>(config.injector.flit_bits));
+  o["injector.master_seed"] =
+      Json(static_cast<std::int64_t>(config.injector.master_seed));
+
+  const PowerParams& p = config.power;
+  o["power.buffer_write_pj_per_bit"] = Json(p.buffer_write_pj_per_bit);
+  o["power.buffer_read_pj_per_bit"] = Json(p.buffer_read_pj_per_bit);
+  o["power.xbar_base_pj_per_bit"] = Json(p.xbar_base_pj_per_bit);
+  o["power.xbar_radix_slope_pj_per_bit"] = Json(p.xbar_radix_slope_pj_per_bit);
+  o["power.alloc_pj_per_op"] = Json(p.alloc_pj_per_op);
+  o["power.leak_mw_per_input_port"] = Json(p.leak_mw_per_input_port);
+  o["power.leak_mw_per_output_port"] = Json(p.leak_mw_per_output_port);
+  o["power.leak_uw_per_crosspoint"] = Json(p.leak_uw_per_crosspoint);
+  o["power.wire_pj_per_bit_mm"] = Json(p.wire_pj_per_bit_mm);
+  o["power.photonic_dynamic_pj_per_bit"] = Json(p.photonic_dynamic_pj_per_bit);
+  o["power.lambda_rate_gbps"] = Json(p.lambda_rate_gbps);
+  o["power.ring_tuning_uw"] = Json(p.ring_tuning_uw);
+  o["power.legacy_wireless_pj_per_bit"] = Json(p.legacy_wireless_pj_per_bit);
+  o["power.wireless_static_mw_per_channel"] =
+      Json(p.wireless_static_mw_per_channel);
+
+  const fault::CampaignConfig& f = config.fault;
+  o["fault.enabled"] = Json(f.enabled);
+  o["fault.seed"] = Json(static_cast<std::int64_t>(f.seed));
+  o["fault.ber"] = Json(f.ber);
+  o["fault.snr_required_db"] = Json(f.snr_required.db());
+  o["fault.margin_db"] = Json(f.margin.db());
+  o["fault.ack_timeout"] = Json(f.ack_timeout);
+  o["fault.max_backoff_exp"] = Json(f.max_backoff_exp);
+  o["fault.max_attempts"] = Json(f.max_attempts);
+  o["fault.detect_timeouts"] = Json(f.detect_timeouts);
+  o["fault.random_flaps"] = Json(f.random_flaps);
+  o["fault.flap_down_cycles"] = Json(f.flap_down_cycles);
+  o["fault.horizon"] = Json(f.horizon);
+  o["fault.watchdog"] = Json(f.watchdog);
+  o["fault.watchdog_window"] = Json(f.watchdog_window);
+  Json::Array events;
+  events.reserve(f.events.size());
+  for (const fault::Event& event : f.events) {
+    events.push_back(event_to_json(event));
+  }
+  o["fault.events"] = Json(std::move(events));
+
+  return Json(std::move(o)).dump();
+}
+
+ExperimentConfig experiment_config_from_canonical_json(std::string_view json) {
+  const Json parsed = Json::parse(json);
+  ExperimentConfig c;
+  for (const auto& [key, v] : parsed.as_object()) {
+    if (key == "topology") {
+      c.topology = parse_topology(v.as_string());
+    } else if (key == "pattern") {
+      c.pattern = parse_pattern(v.as_string());
+    } else if (key == "rate") {
+      c.rate = v.as_double();
+    } else if (key == "own_config") {
+      c.own_config = static_cast<OwnConfig>(v.as_int());
+    } else if (key == "scenario") {
+      c.scenario = parse_scenario(v.as_string());
+    } else if (key == "options.num_cores") {
+      c.options.num_cores = static_cast<int>(v.as_int());
+    } else if (key == "options.concentration") {
+      c.options.concentration = static_cast<int>(v.as_int());
+    } else if (key == "options.num_vcs") {
+      c.options.num_vcs = static_cast<int>(v.as_int());
+    } else if (key == "options.buffer_depth") {
+      c.options.buffer_depth = static_cast<int>(v.as_int());
+    } else if (key == "options.max_packet_flits") {
+      c.options.max_packet_flits = static_cast<int>(v.as_int());
+    } else if (key == "options.clock_ghz") {
+      c.options.clock_ghz = v.as_double();
+    } else if (key == "options.flit_bits") {
+      c.options.flit_bits = static_cast<int>(v.as_int());
+    } else if (key == "options.electrical_cpf") {
+      c.options.electrical_cpf = static_cast<int>(v.as_int());
+    } else if (key == "options.photonic_cpf") {
+      c.options.photonic_cpf = static_cast<int>(v.as_int());
+    } else if (key == "options.wireless_cpf") {
+      c.options.wireless_cpf = static_cast<int>(v.as_int());
+    } else if (key == "options.ideal_arbitration") {
+      c.options.ideal_arbitration = v.as_bool();
+    } else if (key == "options.cmesh_o1turn") {
+      c.options.cmesh_o1turn = v.as_bool();
+    } else if (key == "phases.warmup") {
+      c.phases.warmup = v.as_int();
+    } else if (key == "phases.measure") {
+      c.phases.measure = v.as_int();
+    } else if (key == "phases.drain_limit") {
+      c.phases.drain_limit = v.as_int();
+    } else if (key == "injector.packet_flits") {
+      c.injector.packet_flits = static_cast<int>(v.as_int());
+    } else if (key == "injector.flit_bits") {
+      c.injector.flit_bits = static_cast<std::uint32_t>(v.as_int());
+    } else if (key == "injector.master_seed") {
+      c.injector.master_seed = static_cast<std::uint64_t>(v.as_int());
+    } else if (key == "power.buffer_write_pj_per_bit") {
+      c.power.buffer_write_pj_per_bit = v.as_double();
+    } else if (key == "power.buffer_read_pj_per_bit") {
+      c.power.buffer_read_pj_per_bit = v.as_double();
+    } else if (key == "power.xbar_base_pj_per_bit") {
+      c.power.xbar_base_pj_per_bit = v.as_double();
+    } else if (key == "power.xbar_radix_slope_pj_per_bit") {
+      c.power.xbar_radix_slope_pj_per_bit = v.as_double();
+    } else if (key == "power.alloc_pj_per_op") {
+      c.power.alloc_pj_per_op = v.as_double();
+    } else if (key == "power.leak_mw_per_input_port") {
+      c.power.leak_mw_per_input_port = v.as_double();
+    } else if (key == "power.leak_mw_per_output_port") {
+      c.power.leak_mw_per_output_port = v.as_double();
+    } else if (key == "power.leak_uw_per_crosspoint") {
+      c.power.leak_uw_per_crosspoint = v.as_double();
+    } else if (key == "power.wire_pj_per_bit_mm") {
+      c.power.wire_pj_per_bit_mm = v.as_double();
+    } else if (key == "power.photonic_dynamic_pj_per_bit") {
+      c.power.photonic_dynamic_pj_per_bit = v.as_double();
+    } else if (key == "power.lambda_rate_gbps") {
+      c.power.lambda_rate_gbps = v.as_double();
+    } else if (key == "power.ring_tuning_uw") {
+      c.power.ring_tuning_uw = v.as_double();
+    } else if (key == "power.legacy_wireless_pj_per_bit") {
+      c.power.legacy_wireless_pj_per_bit = v.as_double();
+    } else if (key == "power.wireless_static_mw_per_channel") {
+      c.power.wireless_static_mw_per_channel = v.as_double();
+    } else if (key == "fault.enabled") {
+      c.fault.enabled = v.as_bool();
+    } else if (key == "fault.seed") {
+      c.fault.seed = static_cast<std::uint64_t>(v.as_int());
+    } else if (key == "fault.ber") {
+      c.fault.ber = v.as_double();
+    } else if (key == "fault.snr_required_db") {
+      c.fault.snr_required = Decibels{v.as_double()};
+    } else if (key == "fault.margin_db") {
+      c.fault.margin = Decibels{v.as_double()};
+    } else if (key == "fault.ack_timeout") {
+      c.fault.ack_timeout = static_cast<int>(v.as_int());
+    } else if (key == "fault.max_backoff_exp") {
+      c.fault.max_backoff_exp = static_cast<int>(v.as_int());
+    } else if (key == "fault.max_attempts") {
+      c.fault.max_attempts = static_cast<int>(v.as_int());
+    } else if (key == "fault.detect_timeouts") {
+      c.fault.detect_timeouts = static_cast<int>(v.as_int());
+    } else if (key == "fault.random_flaps") {
+      c.fault.random_flaps = static_cast<int>(v.as_int());
+    } else if (key == "fault.flap_down_cycles") {
+      c.fault.flap_down_cycles = v.as_int();
+    } else if (key == "fault.horizon") {
+      c.fault.horizon = v.as_int();
+    } else if (key == "fault.watchdog") {
+      c.fault.watchdog = v.as_bool();
+    } else if (key == "fault.watchdog_window") {
+      c.fault.watchdog_window = v.as_int();
+    } else if (key == "fault.events") {
+      for (const Json& event : v.as_array()) {
+        c.fault.events.push_back(event_from_json(event));
+      }
+    } else {
+      throw std::invalid_argument("canonical config: unknown key: " + key);
+    }
+  }
+  return c;
+}
+
+std::string code_version() {
+  std::string version = kCodeVersionTag;
+#if OWNSIM_OBS_ENABLED
+  version += "+obs";
+#else
+  version += "+noobs";
+#endif
+  return version;
+}
+
+std::string experiment_cache_key(const ExperimentConfig& config,
+                                 std::string_view version) {
+  Sha256 hasher;
+  hasher.update(canonical_config_json(config));
+  hasher.update("\n");
+  hasher.update(version.empty() ? code_version() : std::string(version));
+  return hasher.hex_digest();
+}
+
+}  // namespace ownsim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/numfmt.hpp"
+#include "metrics/report.hpp"
+#include "serve/json.hpp"
 #include "topology/own_fault.hpp"
 
 namespace ownsim {
@@ -42,6 +45,11 @@ std::unique_ptr<fault::FaultCampaign> make_campaign(
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, RunHooks{});
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const RunHooks& hooks) {
   Network network(build_experiment_spec(config));
   if (config.kernel.has_value()) network.engine().set_mode(*config.kernel);
 
@@ -53,26 +61,42 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   std::unique_ptr<fault::FaultCampaign> campaign =
       make_campaign(network, config);
-  exec::CancellationToken token;
+  exec::CancellationToken token = hooks.cancel;
   if (campaign != nullptr) {
     campaign->attach();
-    if (campaign->watchdog() != nullptr) token = campaign->watchdog()->token();
+    if (campaign->watchdog() != nullptr) {
+      token = exec::CancellationToken::any_of(
+          {hooks.cancel, campaign->watchdog()->token()});
+    }
   }
+  if (hooks.before_run) hooks.before_run(network);
 
   ExperimentResult result;
-  result.run = run_load_point(network, injector, config.phases, token);
+  result.run = run_load_point(network, injector, config.phases, token,
+                              hooks.progress ? &hooks.progress : nullptr);
   if (campaign != nullptr) {
     result.fault = campaign->totals();
     result.watchdog_tripped = campaign->watchdog_tripped();
   }
 
-  EnergyModel energy(config.power,
-                     own_channel_energy(config.topology,
-                                        config.options.num_cores,
-                                        config.own_config, config.scenario));
-  result.power = energy.compute(network, config.options.clock_ghz);
-  result.energy_per_packet_pj =
-      energy.energy_per_packet_pj(network, config.options.clock_ghz);
+  // A run cancelled before its first slice has no elapsed cycles, and the
+  // energy model (rightly) refuses a never-simulated network. Cancelled
+  // results are partial either way — power stays zeroed in that case.
+  if (!result.run.cancelled || result.run.cycles_simulated > 0) {
+    EnergyModel energy(config.power,
+                       own_channel_energy(config.topology,
+                                          config.options.num_cores,
+                                          config.own_config, config.scenario));
+    result.power = energy.compute(network, config.options.clock_ghz);
+    result.energy_per_packet_pj =
+        energy.energy_per_packet_pj(network, config.options.clock_ghz);
+  }
+
+  result.counters.reserve(network.obs().size());
+  network.obs().for_each(
+      [&result](const std::string& name, std::int64_t value) {
+        result.counters.emplace_back(name, value);
+      });
 
   std::ostringstream name;
   name << to_string(config.topology) << '-' << config.options.num_cores << '/'
@@ -82,7 +106,59 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
          << to_string(config.scenario);
   }
   result.name = name.str();
+  if (hooks.after_run) hooks.after_run(network, result);
   return result;
+}
+
+std::string experiment_result_json(const ExperimentResult& result) {
+  // Keys in sorted order at every level (see append_run_result_canonical_json
+  // for why: parse -> dump through the serve JSON layer must be a no-op).
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : result.counters) {
+    if (!first) out += ",";
+    first = false;
+    serve::append_json_string(out, name);
+    out += ":";
+    out += format_int(value);
+  }
+  out += "},\"energy_per_packet_pj\":";
+  out += format_double(result.energy_per_packet_pj);
+  out += ",\"fault\":{\"crc_errors\":";
+  out += format_int(result.fault.crc_errors);
+  out += ",\"flows_degraded\":";
+  out += format_int(result.fault.flows_degraded);
+  out += ",\"retransmissions\":";
+  out += format_int(result.fault.retransmissions);
+  out += ",\"token_recoveries\":";
+  out += format_int(result.fault.token_recoveries);
+  out += ",\"watchdog_trips\":";
+  out += format_int(result.fault.watchdog_trips);
+  out += "},\"name\":";
+  serve::append_json_string(out, result.name);
+  out += ",\"power\":{\"electrical_link_w\":";
+  out += format_double(result.power.electrical_link_w);
+  out += ",\"photonic_laser_w\":";
+  out += format_double(result.power.photonic_laser_w);
+  out += ",\"photonic_link_w\":";
+  out += format_double(result.power.photonic_link_w);
+  out += ",\"router_dynamic_w\":";
+  out += format_double(result.power.router_dynamic_w);
+  out += ",\"router_static_w\":";
+  out += format_double(result.power.router_static_w);
+  out += ",\"total_w\":";
+  out += format_double(result.power.total_w());
+  out += ",\"wireless_link_w\":";
+  out += format_double(result.power.wireless_link_w);
+  out += ",\"wireless_static_w\":";
+  out += format_double(result.power.wireless_static_w);
+  out += "},\"run\":";
+  append_run_result_canonical_json(out, result.run);
+  out += ",\"watchdog_tripped\":";
+  out += result.watchdog_tripped ? "true" : "false";
+  out += "}";
+  return out;
 }
 
 }  // namespace ownsim

@@ -4,9 +4,13 @@
 // bench harness are written against.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "fault/campaign.hpp"
 #include "metrics/runner.hpp"
@@ -51,6 +55,33 @@ struct ExperimentResult {
   double energy_per_packet_pj = 0.0;
   fault::Totals fault{};           ///< zero when no campaign ran
   bool watchdog_tripped = false;   ///< run was aborted by the watchdog
+
+  /// Snapshot of the network's obs counter registry after the run
+  /// (name-sorted; empty when OWNSIM_OBS=OFF). Counters are simulated
+  /// quantities — part of the deterministic result, cached with it.
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+};
+
+/// Optional instrumentation around `run_experiment` — everything the serve
+/// daemon (and the CLI's reporting modes) need from the run without owning
+/// the Network themselves. All members may be empty; none of them may
+/// change the simulated result (the progress/report hooks are read-only by
+/// contract, and cancellation only truncates).
+struct RunHooks {
+  /// External cancel (merged with the watchdog's token when a campaign
+  /// arms one): the run returns early with `run.cancelled = true`.
+  exec::CancellationToken cancel;
+
+  /// Streamed between simulation slices (see metrics/runner.hpp).
+  RunProgressFn progress;
+
+  /// Called after the network is built and all components are registered,
+  /// before the first cycle — attach tracing, inspect the spec, etc.
+  std::function<void(Network&)> before_run;
+
+  /// Called after the run with the network still alive — utilization
+  /// reports, trace flushing, counter dumps.
+  std::function<void(Network&, const ExperimentResult&)> after_run;
 };
 
 /// The OWN per-channel energy model for a given size/config/scenario;
@@ -74,5 +105,17 @@ std::unique_ptr<fault::FaultCampaign> make_campaign(
 
 /// Runs one load point end to end (build, warm, measure, drain, aggregate).
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// As above, with instrumentation hooks (progress, external cancel, pre/post
+/// network access). `run_experiment(config)` is `run_experiment(config, {})`.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const RunHooks& hooks);
+
+/// Canonical, byte-stable JSON of the deterministic experiment result:
+/// sorted keys, shortest-round-trip number forms (common/numfmt), wall-clock
+/// profile EXCLUDED. This is the payload the serve result cache stores; a
+/// cache hit is byte-identical to a fresh run because every field serialized
+/// here is covered by the determinism contract (DESIGN.md §5g).
+std::string experiment_result_json(const ExperimentResult& result);
 
 }  // namespace ownsim

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <atomic>
+#include <initializer_list>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace ownsim::exec {
 
@@ -20,15 +22,33 @@ class CancellationToken {
   CancellationToken() = default;
 
   bool cancelled() const {
-    return flag_ && flag_->load(std::memory_order_acquire);
+    for (const auto& flag : flags_) {
+      if (flag->load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
+  /// Token cancelled when ANY of `tokens` is (e.g. a job's own cancel source
+  /// combined with its watchdog's). Never-cancellable inputs contribute
+  /// nothing, so `any_of(token, {})` behaves exactly like `token`.
+  static CancellationToken any_of(
+      std::initializer_list<CancellationToken> tokens) {
+    CancellationToken combined;
+    for (const CancellationToken& token : tokens) {
+      for (const auto& flag : token.flags_) combined.flags_.push_back(flag);
+    }
+    return combined;
   }
 
  private:
   friend class CancellationSource;
-  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
-      : flag_(std::move(flag)) {}
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag) {
+    flags_.push_back(std::move(flag));
+  }
 
-  std::shared_ptr<const std::atomic<bool>> flag_;
+  // Empty: never cancelled (the cheap default). Usually holds one flag; the
+  // `any_of` combinator concatenates.
+  std::vector<std::shared_ptr<const std::atomic<bool>>> flags_;
 };
 
 class CancellationSource {

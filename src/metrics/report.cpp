@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/numfmt.hpp"
+
 namespace ownsim {
 namespace {
 
@@ -200,6 +202,63 @@ void write_run_profile_json(std::ostream& os, const RunResult& result) {
      << ", \"cycles_simulated\": " << result.cycles_simulated
      << ", \"cycles_per_second\": " << p.cycles_per_second
      << ", \"peak_rss_bytes\": " << p.peak_rss_bytes << "}\n";
+}
+
+void append_run_result_canonical_json(std::string& out,
+                                      const RunResult& result) {
+  // Keys in sorted order so a parse -> dump round trip through the serve
+  // JSON layer (sorted std::map) reproduces these bytes exactly.
+  out += "{\"avg_hops\":";
+  out += format_double(result.avg_hops);
+  out += ",\"avg_latency\":";
+  out += format_double(result.avg_latency);
+  out += ",\"avg_net_latency\":";
+  out += format_double(result.avg_net_latency);
+  out += ",\"cancelled\":";
+  out += result.cancelled ? "true" : "false";
+  out += ",\"cycles_simulated\":";
+  out += format_int(result.cycles_simulated);
+  out += ",\"drained\":";
+  out += result.drained ? "true" : "false";
+  out += ",\"latency_histogram\":{\"bin_width\":";
+  out += format_double(result.latency_histogram.bin_width());
+  // Sparse nonzero bins as [index, count] pairs: an ARRAY, not an object
+  // with numeric-string keys, so the ascending-index order survives a parse
+  // -> dump round trip (JSON object keys would re-sort lexicographically).
+  out += ",\"bins\":[";
+  const auto& counts = result.latency_histogram.counts();
+  bool first = true;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "[";
+    out += format_uint(i);
+    out += ",";
+    out += format_int(counts[i]);
+    out += "]";
+  }
+  out += "],\"lo\":";
+  out += format_double(result.latency_histogram.bin_lo(0));
+  out += ",\"overflow\":";
+  out += format_int(result.latency_histogram.overflow());
+  out += ",\"total\":";
+  out += format_int(result.latency_histogram.total());
+  out += ",\"underflow\":";
+  out += format_int(result.latency_histogram.underflow());
+  out += "},\"max_latency\":";
+  out += format_double(result.max_latency);
+  out += ",\"measured_packets\":";
+  out += format_int(result.measured_packets);
+  out += ",\"offered_rate\":";
+  out += format_double(result.offered_rate);
+  out += ",\"p50_latency\":";
+  out += format_double(result.p50_latency);
+  out += ",\"p99_latency\":";
+  out += format_double(result.p99_latency);
+  out += ",\"throughput\":";
+  out += format_double(result.throughput);
+  out += "}";
 }
 
 std::string sweep_progress_line(const SweepProgress& progress) {

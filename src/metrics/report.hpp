@@ -87,4 +87,13 @@ std::string run_profile_summary(const RunResult& result);
 /// Profile as a flat JSON object (per-phase wall seconds, cycles/sec, RSS).
 void write_run_profile_json(std::ostream& os, const RunResult& result);
 
+/// Appends the deterministic fields of `result` as a canonical JSON object:
+/// sorted keys, shortest-round-trip number forms (common/numfmt), the
+/// latency histogram as sparse nonzero bins — and NOT the wall-clock
+/// `profile`. Exactly the fields `deterministic_eq` compares, so the bytes
+/// are stable across reruns, thread counts, kernels, and tracing. Feeds the
+/// serve result cache payload (driver/simulate: experiment_result_json).
+void append_run_result_canonical_json(std::string& out,
+                                      const RunResult& result);
+
 }  // namespace ownsim

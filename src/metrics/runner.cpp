@@ -40,15 +40,22 @@ std::int64_t peak_rss_bytes() {
 #endif
 }
 
-/// Advances `cycles` cycles, polling the token between slices. Returns false
-/// when the token fired before the phase completed.
+/// Advances `cycles` cycles, polling the token (and reporting progress)
+/// between slices. Returns false when the token fired before the phase
+/// completed.
 bool run_phase(Engine& engine, Cycle cycles,
-               const exec::CancellationToken& token) {
+               const exec::CancellationToken& token, const char* phase,
+               Cycle phase_total_start, const RunProgressFn* progress) {
+  Cycle done = 0;
   while (cycles > 0) {
     if (token.cancelled()) return false;
     const Cycle slice = std::min(cycles, kCancelPollInterval);
     engine.run(slice);
     cycles -= slice;
+    done += slice;
+    if (progress != nullptr && *progress) {
+      (*progress)(RunProgress{phase, done, phase_total_start + done});
+    }
   }
   return true;
 }
@@ -72,7 +79,8 @@ bool deterministic_eq(const RunResult& a, const RunResult& b) {
 
 RunResult run_load_point(Network& network, Injector& injector,
                          const RunPhases& phases,
-                         exec::CancellationToken token) {
+                         exec::CancellationToken token,
+                         const RunProgressFn* progress) {
   Engine& engine = network.engine();
   Nic& nic = network.nic();
   obs::TraceWriter* trace = network.trace();
@@ -105,7 +113,8 @@ RunResult run_load_point(Network& network, Injector& injector,
     trace->begin("warmup", "phase", obs::TraceWriter::kPidRun, 1,
                  engine.now());
   }
-  const bool warmup_ok = run_phase(engine, phases.warmup, token);
+  const bool warmup_ok =
+      run_phase(engine, phases.warmup, token, "warmup", 0, progress);
   if (trace != nullptr) trace->end(obs::TraceWriter::kPidRun, 1, engine.now());
   result.profile.warmup_seconds = seconds_since(wall_start);
   if (!warmup_ok) return cancelled_result();
@@ -123,7 +132,8 @@ RunResult run_load_point(Network& network, Injector& injector,
     trace->begin("measure", "phase", obs::TraceWriter::kPidRun, 1,
                  engine.now());
   }
-  const bool measure_ok = run_phase(engine, phases.measure, token);
+  const bool measure_ok = run_phase(engine, phases.measure, token, "measure",
+                                    phases.warmup, progress);
   if (trace != nullptr) trace->end(obs::TraceWriter::kPidRun, 1, engine.now());
   result.profile.measure_seconds =
       seconds_since(wall_start) - result.profile.warmup_seconds;
@@ -138,12 +148,20 @@ RunResult run_load_point(Network& network, Injector& injector,
   if (trace != nullptr) {
     trace->begin("drain", "phase", obs::TraceWriter::kPidRun, 1, engine.now());
   }
+  const Cycle drain_start = engine.now() - start_cycle;
+  if (progress != nullptr && *progress) {
+    (*progress)(RunProgress{"drain", 0, drain_start});
+  }
   const bool drained =
       measured_done() ||
       (engine.run_until([&] { return measured_done() || token.cancelled(); },
                         phases.drain_limit) &&
        measured_done());
   if (trace != nullptr) trace->end(obs::TraceWriter::kPidRun, 1, engine.now());
+  if (progress != nullptr && *progress) {
+    const Cycle total = engine.now() - start_cycle;
+    (*progress)(RunProgress{"drain", total - drain_start, total});
+  }
   result.profile.drain_seconds = seconds_since(wall_start) -
                                  result.profile.warmup_seconds -
                                  result.profile.measure_seconds;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/stats.hpp"
 #include "exec/cancellation.hpp"
@@ -68,11 +69,26 @@ struct RunResult {
 /// must not change any of these fields.
 bool deterministic_eq(const RunResult& a, const RunResult& b);
 
+/// In-flight progress of one load point, reported between simulation slices
+/// (every few hundred cycles) so a caller can stream liveness to a client.
+/// Observing progress is read-only and MUST NOT change the simulated result
+/// — the callback fires at the same engine states whether or not anyone
+/// listens (the slicing itself is behavior-neutral, see run_load_point).
+struct RunProgress {
+  const char* phase = "";   ///< "warmup" | "measure" | "drain"
+  Cycle phase_cycles = 0;   ///< cycles completed within the current phase
+  Cycle total_cycles = 0;   ///< cycles completed since the run started
+};
+using RunProgressFn = std::function<void(const RunProgress&)>;
+
 /// Runs one load point. The injector must already be registered with the
 /// network's engine (exactly once). When `token` fires mid-run the function
 /// returns early with `cancelled = true` and otherwise meaningless fields.
+/// `progress` (optional) is invoked between slices; the drain phase reports
+/// only its entry and completion (it runs event-driven, not sliced).
 RunResult run_load_point(Network& network, Injector& injector,
                          const RunPhases& phases,
-                         exec::CancellationToken token = {});
+                         exec::CancellationToken token = {},
+                         const RunProgressFn* progress = nullptr);
 
 }  // namespace ownsim

@@ -1,0 +1,167 @@
+#include "serve/result_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/numfmt.hpp"
+#include "common/sha256.hpp"
+
+namespace ownsim::serve {
+namespace {
+
+constexpr char kMagic[] = "ownsim-result-store v1";
+
+bool is_hex_key(const std::string& key) {
+  if (key.size() != 64) return false;
+  for (const char c : key) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+long process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec) {
+    throw std::runtime_error("ResultStore: cannot create " + root_.string() +
+                             ": " + ec.message());
+  }
+}
+
+std::filesystem::path ResultStore::entry_path(const std::string& key) const {
+  if (!is_hex_key(key)) {
+    throw std::invalid_argument("ResultStore: key must be 64 lowercase hex");
+  }
+  return root_ / key.substr(0, 2) / (key + ".result");
+}
+
+std::optional<std::string> ResultStore::read_verified(const std::string& key) {
+  const std::filesystem::path path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  const auto reject = [&]() -> std::optional<std::string> {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.corrupt_rejected;
+    }
+    // Remove the bad entry so the recomputed result can replace it (best
+    // effort: a racing valid rewrite just wins the rename later).
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  };
+
+  std::string magic;
+  std::string key_label, stored_key;
+  std::string sha_label, stored_sha;
+  std::string bytes_label;
+  std::uint64_t stored_bytes = 0;
+  std::string blank;
+  if (!std::getline(in, magic) || magic != kMagic) return reject();
+  if (!(in >> key_label >> stored_key) || key_label != "key" ||
+      stored_key != key) {
+    return reject();
+  }
+  if (!(in >> sha_label >> stored_sha) || sha_label != "sha256" ||
+      stored_sha.size() != 64) {
+    return reject();
+  }
+  if (!(in >> bytes_label >> stored_bytes) || bytes_label != "bytes") {
+    return reject();
+  }
+  in.get();  // newline after the bytes count
+  if (!std::getline(in, blank) || !blank.empty()) return reject();
+
+  std::string payload(stored_bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(stored_bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != stored_bytes) {
+    return reject();  // truncated
+  }
+  // Trailing garbage beyond the declared length is also corruption.
+  if (in.get() != std::ifstream::traits_type::eof()) return reject();
+  if (sha256_hex(payload) != stored_sha) return reject();  // bit flip
+  return payload;
+}
+
+std::optional<std::string> ResultStore::load(const std::string& key) {
+  std::optional<std::string> payload = read_verified(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (payload.has_value()) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return payload;
+}
+
+void ResultStore::put(const std::string& key, std::string_view payload) {
+  const std::filesystem::path path = entry_path(key);
+  // An existing valid entry already holds these bytes (determinism); don't
+  // churn the file. An invalid one gets overwritten below.
+  if (read_verified(key).has_value()) return;
+
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("ResultStore: cannot create shard dir: " +
+                             ec.message());
+  }
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++temp_seq_;
+  }
+  const std::filesystem::path temp =
+      path.parent_path() /
+      (key + ".tmp." + format_int(process_id()) + "." + format_uint(seq));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ResultStore: cannot open temp file " +
+                               temp.string());
+    }
+    out << kMagic << '\n'
+        << "key " << key << '\n'
+        << "sha256 " << sha256_hex(payload) << '\n'
+        << "bytes " << payload.size() << '\n'
+        << '\n';
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("ResultStore: short write to " + temp.string());
+    }
+  }
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    throw std::runtime_error("ResultStore: rename failed: " + ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.writes;
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ownsim::serve

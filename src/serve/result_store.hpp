@@ -1,0 +1,73 @@
+// On-disk content-addressed result store for the experiment service.
+//
+// Entries are keyed by the experiment cache key (SHA-256 of canonical config
+// JSON + code version, driver/experiment_config.hpp) and sharded into
+// two-hex-char subdirectories. Each entry file carries a self-describing
+// header — magic, key, payload digest, payload length — so a reader can
+// prove an entry intact before serving it:
+//
+//   ownsim-result-store v1
+//   key <64 hex>
+//   sha256 <64 hex of payload>
+//   bytes <payload length>
+//   <blank line>
+//   <payload bytes>
+//
+// Integrity rule: NEVER serve bytes that fail verification. A truncated,
+// bit-flipped, or mis-keyed entry is counted, deleted (best effort), and
+// reported as a miss — the caller recomputes, which determinism makes exact.
+//
+// Concurrency rule: writers stage to a unique temp file in the entry's
+// directory and publish with rename(2), which is atomic on POSIX — readers
+// see either no entry or a complete one, never a partial write. Concurrent
+// same-key writers race benignly: both rename complete files with identical
+// bytes (same key -> same deterministic payload), last one wins.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ownsim::serve {
+
+class ResultStore {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t writes = 0;
+    std::int64_t corrupt_rejected = 0;  ///< entries failing verification
+  };
+
+  /// Opens (creating if needed) the store rooted at `root`.
+  /// Throws std::runtime_error when the directory cannot be created.
+  explicit ResultStore(std::filesystem::path root);
+
+  /// The verified payload for `key`, or nullopt (absent OR corrupt — both
+  /// mean "recompute"). Thread-safe.
+  std::optional<std::string> load(const std::string& key);
+
+  /// Atomically publishes `payload` under `key`. An existing valid entry is
+  /// left untouched (its bytes are already what determinism dictates).
+  /// Thread-safe; throws std::runtime_error on I/O failure.
+  void put(const std::string& key, std::string_view payload);
+
+  /// Where `key`'s entry lives (whether or not it exists yet).
+  std::filesystem::path entry_path(const std::string& key) const;
+
+  const std::filesystem::path& root() const { return root_; }
+  Stats stats() const;
+
+ private:
+  std::optional<std::string> read_verified(const std::string& key);
+
+  std::filesystem::path root_;
+  mutable std::mutex mu_;  ///< guards stats_ and temp_seq_ only
+  Stats stats_;
+  std::uint64_t temp_seq_ = 0;
+};
+
+}  // namespace ownsim::serve

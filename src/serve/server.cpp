@@ -1,0 +1,351 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/config.hpp"
+
+namespace ownsim::serve {
+namespace {
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+Json error_event(const std::string& message) {
+  Json::Object o;
+  o["event"] = Json("error");
+  o["error"] = Json(message);
+  return Json(std::move(o));
+}
+
+/// Flattens a {"key": value, ...} request object into the Config vocabulary
+/// parse_experiment_config consumes. Values may be strings, numbers or
+/// booleans; nested objects/arrays are rejected.
+Config config_from_json(const Json& object) {
+  Config config;
+  for (const auto& [key, value] : object.as_object()) {
+    if (value.is_string()) {
+      config.set(key, value.as_string());
+    } else if (value.is_bool()) {
+      config.set_bool(key, value.as_bool());
+    } else if (value.is_int()) {
+      config.set_int(key, value.as_int());
+    } else if (value.is_double()) {
+      config.set_double(key, value.as_double());
+    } else {
+      throw std::invalid_argument("config value for '" + key +
+                                  "' must be a scalar");
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+void ServeDaemon::Connection::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mu);
+  if (!open.load(std::memory_order_acquire)) return;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Peer went away; further events for this subscriber are dropped.
+      open.store(false, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void ServeDaemon::Connection::close_fd() {
+  open.store(false, std::memory_order_release);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+ServeDaemon::ServeDaemon(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+#if defined(SIGPIPE) && !defined(MSG_NOSIGNAL)
+  ::signal(SIGPIPE, SIG_IGN);
+#endif
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("ServeDaemon: socket path is required");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("ServeDaemon: socket path too long: " +
+                             options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("ServeDaemon: socket(): " +
+                             std::string(std::strerror(errno)));
+  }
+  // A stale socket file from a dead daemon would make bind fail; a live
+  // daemon on the same path loses its socket, so paths should be unique.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ServeDaemon: bind(" + options_.socket_path +
+                             "): " + message);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ServeDaemon: listen(): " + message);
+  }
+  log("listening on " + options_.socket_path);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ServeDaemon::~ServeDaemon() {
+  stop(/*drain=*/false);
+}
+
+void ServeDaemon::log(const std::string& message) const {
+  if (!options_.verbose) return;
+  std::cerr << "[ownsim_serve] " << message << "\n";
+}
+
+void ServeDaemon::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed during stop()
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || shutdown_requested_) {
+        ::close(fd);
+        return;
+      }
+      connections_.push_back(conn);
+      connection_threads_.emplace_back(
+          [this, conn] { serve_connection(conn); });
+    }
+    log("client connected");
+  }
+}
+
+void ServeDaemon::serve_connection(const ConnectionPtr& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, or close_fd() during stop
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline = 0;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_request(conn, line);
+    }
+  }
+  conn->open.store(false, std::memory_order_release);
+  log("client disconnected");
+}
+
+void ServeDaemon::handle_request(const ConnectionPtr& conn,
+                                 const std::string& line) {
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const std::exception& e) {
+    conn->write_line(error_event(std::string("bad request JSON: ") + e.what())
+                         .dump());
+    return;
+  }
+  std::string verb;
+  try {
+    if (!request.is_object()) {
+      throw std::invalid_argument("request must be a JSON object");
+    }
+    const Json* verb_field = request.find("verb");
+    if (verb_field == nullptr || !verb_field->is_string()) {
+      throw std::invalid_argument("request needs a string \"verb\"");
+    }
+    verb = verb_field->as_string();
+
+    if (verb == "ping") {
+      Json::Object o;
+      o["event"] = Json("pong");
+      o["code_version"] = Json(code_version());
+      conn->write_line(Json(std::move(o)).dump());
+    } else if (verb == "submit") {
+      const Json* config_field = request.find("config");
+      if (config_field == nullptr || !config_field->is_object()) {
+        throw std::invalid_argument("submit needs a \"config\" object");
+      }
+      const ExperimentConfig config =
+          parse_experiment_config(config_from_json(*config_field));
+      int priority = 0;
+      if (const Json* p = request.find("priority")) {
+        priority = static_cast<int>(p->as_int());
+      }
+      bool stream = true;
+      if (const Json* s = request.find("stream")) stream = s->as_bool();
+
+      ExperimentService::EventFn subscriber;
+      if (stream) {
+        subscriber = [conn](const Json& event) {
+          conn->write_line(event.dump());
+        };
+      }
+      const ExperimentService::SubmitOutcome outcome =
+          service_.submit(config, priority, subscriber);
+      if (outcome.rejected && !stream) {
+        conn->write_line(error_event("service is shutting down").dump());
+      } else if (!stream) {
+        Json::Object o;
+        o["event"] = Json("accepted");
+        o["job"] = Json(outcome.job_id);
+        o["key"] = Json(outcome.cache_key);
+        o["cache_hit"] = Json(outcome.cache_hit);
+        o["attached"] = Json(outcome.attached);
+        conn->write_line(Json(std::move(o)).dump());
+      }
+      log("submit " + outcome.job_id + " key=" +
+          outcome.cache_key.substr(0, 12) +
+          (outcome.cache_hit ? " (cache hit)"
+                             : (outcome.attached ? " (attached)" : "")));
+    } else if (verb == "status") {
+      if (const Json* job = request.find("job")) {
+        const Json status = service_.status(job->as_string());
+        if (status.is_null()) {
+          conn->write_line(
+              error_event("unknown job: " + job->as_string()).dump());
+        } else {
+          conn->write_line(status.dump());
+        }
+      } else {
+        conn->write_line(service_.status_all().dump());
+      }
+    } else if (verb == "result") {
+      const Json* job = request.find("job");
+      if (job == nullptr) throw std::invalid_argument("result needs \"job\"");
+      conn->write_line(service_.result_event(job->as_string()).dump());
+    } else if (verb == "cancel") {
+      const Json* job = request.find("job");
+      if (job == nullptr) throw std::invalid_argument("cancel needs \"job\"");
+      const bool ok = service_.cancel(job->as_string());
+      Json::Object o;
+      o["event"] = Json("cancel_ack");
+      o["job"] = Json(job->as_string());
+      o["ok"] = Json(ok);
+      conn->write_line(Json(std::move(o)).dump());
+    } else if (verb == "stats") {
+      conn->write_line(service_.stats().dump());
+    } else if (verb == "shutdown") {
+      bool drain = true;
+      if (const Json* d = request.find("drain")) drain = d->as_bool();
+      Json::Object o;
+      o["event"] = Json("shutdown_ack");
+      o["drain"] = Json(drain);
+      conn->write_line(Json(std::move(o)).dump());
+      request_shutdown(drain);
+    } else {
+      throw std::invalid_argument("unknown verb: " + verb);
+    }
+  } catch (const std::exception& e) {
+    conn->write_line(error_event(e.what()).dump());
+  }
+}
+
+void ServeDaemon::request_shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_requested_) return;
+    shutdown_requested_ = true;
+    shutdown_drain_ = drain;
+  }
+  log(std::string("shutdown requested (drain=") + (drain ? "true" : "false") +
+      ")");
+  shutdown_cv_.notify_all();
+}
+
+void ServeDaemon::wait_for_shutdown() {
+  bool drain = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+    drain = shutdown_drain_;
+  }
+  stop(drain);
+}
+
+void ServeDaemon::stop(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+    shutdown_drain_ = drain;
+  }
+  shutdown_cv_.notify_all();
+
+  // Finish or cancel the work first so streamed done/cancelled events reach
+  // their still-open connections, then tear the transport down.
+  service_.shutdown(drain);
+
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<ConnectionPtr> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+    threads.swap(connection_threads_);
+  }
+  for (const ConnectionPtr& conn : connections) {
+    conn->close_fd();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const ConnectionPtr& conn : connections) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  ::unlink(options_.socket_path.c_str());
+  log("stopped");
+}
+
+}  // namespace ownsim::serve

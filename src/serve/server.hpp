@@ -1,0 +1,103 @@
+// ServeDaemon: the socket front end of ownsim_serve.
+//
+// Listens on an AF_UNIX stream socket and speaks newline-delimited JSON:
+// every request is one JSON object on one line, every reply is a stream of
+// JSONL events on the same connection. No external dependencies — the wire
+// format is the serve::Json layer, the transport is POSIX sockets.
+//
+// Request verbs (field "verb"):
+//   ping      -> {"event":"pong", "code_version":...}
+//   submit    -> config in "config" (flat key=value object, the ownsim_cli
+//                vocabulary), optional "priority" (int, higher first) and
+//                "stream" (bool, default true). Replies `accepted`, then —
+//                when streaming — the job's `started`/`progress` events and
+//                finally exactly one of `done` / `cancelled` / `failed`.
+//                Cache hits reply `accepted` + `done` immediately with
+//                "cache_hit": true.
+//   status    -> optional "job"; one job's status or all jobs.
+//   result    -> "job"; the done event (payload included) or `pending`.
+//   cancel    -> "job"; {"event":"cancel_ack", "ok":...}.
+//   stats     -> service + store counters.
+//   shutdown  -> optional "drain" (bool, default true); acks, then the
+//                daemon stops (wait_for_shutdown returns).
+//
+// Malformed lines get an `error` event; the connection stays open. A client
+// may pipeline many submits on one connection; events carry "job" ids so
+// interleaved streams can be demultiplexed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace ownsim::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< AF_UNIX path; replaced if already present
+  ServiceOptions service;
+  bool verbose = false;  ///< per-connection logging on stderr
+};
+
+class ServeDaemon {
+ public:
+  /// Binds + listens and starts the accept thread.
+  /// Throws std::runtime_error when the socket cannot be created.
+  explicit ServeDaemon(ServerOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Blocks until a `shutdown` verb arrives (or `stop` is called from
+  /// another thread), then tears the daemon down and returns.
+  void wait_for_shutdown();
+
+  /// Programmatic shutdown: stop accepting, finish (`drain`) or cancel
+  /// queued work, close every connection, join all threads. Idempotent.
+  void stop(bool drain);
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  ExperimentService& service() { return service_; }
+
+ private:
+  // One client connection: the fd plus a write lock so events emitted from
+  // worker threads interleave with verb replies line-atomically.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+
+    /// Writes `line` + '\n'; ignores failures on a closed/broken peer.
+    void write_line(const std::string& line);
+    void close_fd();
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  void accept_loop();
+  void serve_connection(const ConnectionPtr& conn);
+  void handle_request(const ConnectionPtr& conn, const std::string& line);
+  void request_shutdown(bool drain);
+  void log(const std::string& message) const;
+
+  ServerOptions options_;
+  ExperimentService service_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool shutdown_drain_ = true;
+  bool stopped_ = false;
+  std::vector<ConnectionPtr> connections_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace ownsim::serve

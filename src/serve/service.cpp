@@ -1,0 +1,412 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/numfmt.hpp"
+#include "common/sha256.hpp"
+
+namespace ownsim::serve {
+namespace {
+
+/// Wall-clock submission timestamp for job telemetry (events/status only —
+/// never part of a cached payload). src/serve is on the determinism-lint
+/// wall-clock allowlist for exactly this kind of field.
+std::int64_t unix_millis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+ExperimentService::ExperimentService(ServiceOptions options)
+    : options_(std::move(options)),
+      store_(options_.store_dir),
+      pool_(options_.threads > 0 ? options_.threads
+                                 : exec::default_threads()) {}
+
+ExperimentService::~ExperimentService() {
+  shutdown(/*drain=*/false);
+}
+
+void ExperimentService::emit(const JobPtr& job, const Json& event) {
+  std::vector<EventFn> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers = job->subscribers;
+  }
+  for (const EventFn& subscriber : subscribers) {
+    if (subscriber) subscriber(event);
+  }
+}
+
+Json ExperimentService::make_done_event(const Job& job) const {
+  Json::Object o;
+  o["event"] = Json("done");
+  o["job"] = Json(job.id);
+  o["key"] = Json(job.key);
+  o["cache_hit"] = Json(job.cache_hit);
+  o["result"] = Json::parse(job.payload);
+  o["result_sha256"] = Json(sha256_hex(job.payload));
+  o["watchdog_tripped"] = Json(job.watchdog_tripped);
+  return Json(std::move(o));
+}
+
+Json ExperimentService::job_status_locked(const Job& job) const {
+  Json::Object o;
+  o["event"] = Json("status");
+  o["job"] = Json(job.id);
+  o["key"] = Json(job.key);
+  o["state"] = Json(to_string(job.state));
+  o["priority"] = Json(job.priority);
+  o["cache_hit"] = Json(job.cache_hit);
+  o["attached"] = Json(job.attached_count);
+  o["phase"] = Json(job.phase);
+  o["total_cycles"] = Json(job.total_cycles);
+  o["watchdog_tripped"] = Json(job.watchdog_tripped);
+  o["submitted_unix_ms"] = Json(job.submitted_unix_ms);
+  if (!job.error.empty()) o["error"] = Json(job.error);
+  return Json(std::move(o));
+}
+
+ExperimentService::SubmitOutcome ExperimentService::submit(
+    const ExperimentConfig& config, int priority, EventFn subscriber) {
+  SubmitOutcome outcome;
+  outcome.cache_key = experiment_cache_key(config);
+
+  JobPtr job;
+  bool need_worker = false;
+  bool serve_from_store = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      outcome.rejected = true;
+    } else {
+      ++submitted_;
+      const auto inflight_it = inflight_.find(outcome.cache_key);
+      if (inflight_it != inflight_.end()) {
+        // In-flight dedupe: attach to the queued/running job; the point
+        // simulates once no matter how many clients ask for it.
+        job = inflight_it->second;
+        if (subscriber) job->subscribers.push_back(subscriber);
+        ++job->attached_count;
+        ++inflight_dedup_;
+        outcome.job_id = job->id;
+        outcome.attached = true;
+      } else if (std::optional<std::string> payload =
+                     store_.load(outcome.cache_key)) {
+        // Completed point: serve the verified bytes, no simulation.
+        job = std::make_shared<Job>();
+        job->id = "j" + format_uint(++next_seq_);
+        job->key = outcome.cache_key;
+        job->config = config;
+        job->priority = priority;
+        job->state = JobState::kDone;
+        job->cache_hit = true;
+        job->payload = std::move(*payload);
+        job->submitted_unix_ms = unix_millis();
+        job->submitted_seconds = clock_.seconds();
+        job->finished_seconds = job->submitted_seconds;
+        if (subscriber) job->subscribers.push_back(subscriber);
+        jobs_[job->id] = job;
+        ++cache_hits_;
+        outcome.job_id = job->id;
+        outcome.cache_hit = true;
+        serve_from_store = true;
+      } else {
+        job = std::make_shared<Job>();
+        job->id = "j" + format_uint(++next_seq_);
+        job->key = outcome.cache_key;
+        job->config = config;
+        job->priority = priority;
+        job->seq = next_seq_;
+        job->submitted_unix_ms = unix_millis();
+        job->submitted_seconds = clock_.seconds();
+        if (subscriber) job->subscribers.push_back(subscriber);
+        jobs_[job->id] = job;
+        inflight_[job->key] = job;
+        pending_[{-priority, job->seq}] = job;
+        ++active_;
+        need_worker = true;
+        outcome.job_id = job->id;
+      }
+    }
+  }
+
+  if (outcome.rejected) {
+    if (subscriber) {
+      Json::Object o;
+      o["event"] = Json("rejected");
+      o["error"] = Json("service is shutting down");
+      subscriber(Json(std::move(o)));
+    }
+    return outcome;
+  }
+
+  if (subscriber) {
+    Json::Object o;
+    o["event"] = Json("accepted");
+    o["job"] = Json(outcome.job_id);
+    o["key"] = Json(outcome.cache_key);
+    o["cache_hit"] = Json(outcome.cache_hit);
+    o["attached"] = Json(outcome.attached);
+    o["state"] = Json(to_string(serve_from_store ? JobState::kDone
+                                                 : JobState::kQueued));
+    subscriber(Json(std::move(o)));
+    if (serve_from_store) subscriber(make_done_event(*job));
+  }
+  if (need_worker) {
+    pool_.submit([this] { run_next(); });
+  }
+  return outcome;
+}
+
+void ExperimentService::run_next() {
+  JobPtr job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return;  // the job this task was queued for was
+                                   // cancelled while still pending
+    job = pending_.begin()->second;
+    pending_.erase(pending_.begin());
+    job->state = JobState::kRunning;
+    job->phase = "build";
+  }
+  {
+    Json::Object o;
+    o["event"] = Json("started");
+    o["job"] = Json(job->id);
+    o["key"] = Json(job->key);
+    o["unix_ms"] = Json(unix_millis());
+    emit(job, Json(std::move(o)));
+  }
+
+  RunHooks hooks;
+  hooks.cancel = job->cancel.token();
+  hooks.progress = [this, job](const RunProgress& p) {
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const bool phase_change = job->phase != p.phase;
+      job->phase = p.phase;
+      job->total_cycles = p.total_cycles;
+      if (phase_change || p.total_cycles - job->last_streamed_cycles >=
+                              options_.progress_interval) {
+        job->last_streamed_cycles = p.total_cycles;
+        fire = !job->subscribers.empty();
+      }
+    }
+    if (!fire) return;
+    Json::Object o;
+    o["event"] = Json("progress");
+    o["job"] = Json(job->id);
+    o["phase"] = Json(std::string(p.phase));
+    o["phase_cycles"] = Json(p.phase_cycles);
+    o["total_cycles"] = Json(p.total_cycles);
+    o["wall_seconds"] = Json(clock_.seconds() - job->submitted_seconds);
+    emit(job, Json(std::move(o)));
+  };
+
+  ExperimentResult result;
+  try {
+    result = run_experiment(job->config, hooks);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->error = e.what();
+    }
+    finish_job(job, JobState::kFailed);
+    Json::Object o;
+    o["event"] = Json("failed");
+    o["job"] = Json(job->id);
+    o["error"] = Json(std::string(e.what()));
+    emit(job, Json(std::move(o)));
+    return;
+  }
+
+  if (result.run.cancelled) {
+    // Cancelled or watchdog-aborted runs carry partial state; they are
+    // reported but never cached (the store holds only complete results).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->watchdog_tripped = result.watchdog_tripped;
+    }
+    finish_job(job, JobState::kCancelled);
+    Json::Object o;
+    o["event"] = Json("cancelled");
+    o["job"] = Json(job->id);
+    o["reason"] = Json(result.watchdog_tripped
+                           ? "watchdog"
+                           : (job->shutdown_cancel ? "shutdown"
+                                                   : "client_cancel"));
+    o["watchdog_tripped"] = Json(result.watchdog_tripped);
+    emit(job, Json(std::move(o)));
+    return;
+  }
+
+  const std::string payload = experiment_result_json(result);
+  store_.put(job->key, payload);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->payload = payload;
+    job->watchdog_tripped = result.watchdog_tripped;
+    ++computed_;
+  }
+  finish_job(job, JobState::kDone);
+  emit(job, make_done_event(*job));
+}
+
+void ExperimentService::finish_job(const JobPtr& job, JobState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  job->state = state;
+  job->finished_seconds = clock_.seconds();
+  inflight_.erase(job->key);
+  --active_;
+  if (state == JobState::kCancelled) ++cancelled_;
+  if (state == JobState::kFailed) ++failed_;
+  idle_cv_.notify_all();
+}
+
+bool ExperimentService::cancel(const std::string& job_id) {
+  JobPtr queued_job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return false;
+    const JobPtr& job = it->second;
+    if (job->state == JobState::kQueued) {
+      pending_.erase({-job->priority, job->seq});
+      queued_job = job;
+    } else if (job->state == JobState::kRunning) {
+      job->cancel.request_cancel();
+      return true;  // run_next reports the cancellation when it lands
+    } else {
+      return false;  // already terminal
+    }
+  }
+  finish_job(queued_job, JobState::kCancelled);
+  Json::Object o;
+  o["event"] = Json("cancelled");
+  o["job"] = Json(queued_job->id);
+  o["reason"] = Json("client_cancel");
+  o["watchdog_tripped"] = Json(false);
+  emit(queued_job, Json(std::move(o)));
+  return true;
+}
+
+Json ExperimentService::status(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return Json(nullptr);
+  return job_status_locked(*it->second);
+}
+
+Json ExperimentService::status_all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json::Array jobs;
+  jobs.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    jobs.push_back(job_status_locked(*job));
+  }
+  Json::Object o;
+  o["event"] = Json("status");
+  o["jobs"] = Json(std::move(jobs));
+  return Json(std::move(o));
+}
+
+Json ExperimentService::result_event(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    Json::Object o;
+    o["event"] = Json("error");
+    o["error"] = Json("unknown job: " + job_id);
+    return Json(std::move(o));
+  }
+  const Job& job = *it->second;
+  if (job.state == JobState::kDone) return make_done_event(job);
+  Json::Object o;
+  o["event"] = Json("pending");
+  o["job"] = Json(job.id);
+  o["state"] = Json(to_string(job.state));
+  return Json(std::move(o));
+}
+
+Json ExperimentService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ResultStore::Stats store = store_.stats();
+  Json::Object s;
+  s["event"] = Json("stats");
+  s["accepted"] = Json(submitted_);
+  s["cache_hits"] = Json(cache_hits_);
+  s["inflight_dedup"] = Json(inflight_dedup_);
+  s["computed"] = Json(computed_);
+  s["cancelled"] = Json(cancelled_);
+  s["failed"] = Json(failed_);
+  s["queue_depth"] = Json(static_cast<std::int64_t>(pending_.size()));
+  s["running"] = Json(active_ - static_cast<std::int64_t>(pending_.size()));
+  s["threads"] = Json(static_cast<std::int64_t>(pool_.size()));
+  s["code_version"] = Json(code_version());
+  // Fraction of submissions served without a fresh simulation (store hits
+  // plus in-flight attachments).
+  s["hit_rate"] =
+      Json(submitted_ > 0
+               ? static_cast<double>(cache_hits_ + inflight_dedup_) /
+                     static_cast<double>(submitted_)
+               : 0.0);
+  Json::Object st;
+  st["hits"] = Json(store.hits);
+  st["misses"] = Json(store.misses);
+  st["writes"] = Json(store.writes);
+  st["corrupt_rejected"] = Json(store.corrupt_rejected);
+  st["root"] = Json(store_.root().string());
+  s["store"] = Json(std::move(st));
+  return Json(std::move(s));
+}
+
+void ExperimentService::shutdown(bool drain) {
+  std::vector<JobPtr> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    if (!drain) {
+      for (auto& [key, job] : pending_) {
+        job->shutdown_cancel = true;
+        to_cancel.push_back(job);
+      }
+      pending_.clear();
+      for (auto& [key, job] : inflight_) {
+        if (job->state == JobState::kRunning) {
+          job->shutdown_cancel = true;
+          job->cancel.request_cancel();
+        }
+      }
+    }
+  }
+  for (const JobPtr& job : to_cancel) {
+    finish_job(job, JobState::kCancelled);
+    Json::Object o;
+    o["event"] = Json("cancelled");
+    o["job"] = Json(job->id);
+    o["reason"] = Json("shutdown");
+    o["watchdog_tripped"] = Json(false);
+    emit(job, Json(std::move(o)));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+}  // namespace ownsim::serve

@@ -1,0 +1,165 @@
+// ExperimentService: the scheduling + memoization core of ownsim_serve.
+//
+// One service owns an exec::ThreadPool, a priority queue of experiment
+// points, and a content-addressed ResultStore. The contract (DESIGN.md §5g):
+//
+//   * Exactness — a point is identified by experiment_cache_key(config):
+//     SHA-256 of (canonical config JSON, code version). Determinism
+//     (lint_determinism + deterministic_eq + the kernel bit-identity CI
+//     legs) guarantees hash -> one result, so a cache hit serves the exact
+//     bytes a fresh run would produce.
+//   * Store-before-serve — a completed point is serialized once
+//     (experiment_result_json), written to the store, and every future
+//     submission of the key is answered from the verified entry with
+//     `cache_hit: true`.
+//   * In-flight dedupe — submitting a key that is already queued/running
+//     attaches the new subscriber to the existing job: N concurrent
+//     identical submissions simulate exactly once (stats: inflight_dedup
+//     counts the N-1 attachments).
+//   * Cancellation & health — every job carries a CancellationSource
+//     (merged with the fault watchdog's token when one is armed); cancelled
+//     and watchdog-tripped runs are reported but never cached.
+//
+// Subscribers receive the job lifecycle as JSON events (accepted, started,
+// progress, done, cancelled, failed); the socket layer (server.hpp) renders
+// them as JSONL. Subscriber callbacks run on service threads and must not
+// call back into the service.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <vector>
+
+#include "driver/experiment_config.hpp"
+#include "exec/thread_pool.hpp"
+#include "metrics/bench_json.hpp"
+#include "serve/json.hpp"
+#include "serve/result_store.hpp"
+
+namespace ownsim::serve {
+
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
+const char* to_string(JobState state);
+
+struct ServiceOptions {
+  std::filesystem::path store_dir;  ///< ResultStore root (required)
+  unsigned threads = 0;             ///< workers; 0 = exec::default_threads()
+  /// Minimum simulated cycles between streamed progress events per job.
+  Cycle progress_interval = 4096;
+};
+
+class ExperimentService {
+ public:
+  /// Receives one JSON event; invoked from service worker threads.
+  using EventFn = std::function<void(const Json&)>;
+
+  explicit ExperimentService(ServiceOptions options);
+  ~ExperimentService();
+
+  ExperimentService(const ExperimentService&) = delete;
+  ExperimentService& operator=(const ExperimentService&) = delete;
+
+  struct SubmitOutcome {
+    std::string job_id;
+    std::string cache_key;
+    bool cache_hit = false;  ///< answered from the store, no simulation
+    bool attached = false;   ///< deduped onto an in-flight job
+    bool rejected = false;   ///< service is shutting down
+  };
+
+  /// Schedules `config` (higher `priority` runs first; FIFO within a
+  /// priority). The subscriber receives this job's events, starting with
+  /// `accepted`; for a cache hit the `done` event follows immediately.
+  SubmitOutcome submit(const ExperimentConfig& config, int priority = 0,
+                       EventFn subscriber = {});
+
+  /// Requests cancellation. Queued jobs cancel immediately; running jobs
+  /// stop at the next slice boundary. False when unknown or already
+  /// terminal.
+  bool cancel(const std::string& job_id);
+
+  /// Job status object, or JSON null when the id is unknown.
+  Json status(const std::string& job_id) const;
+  /// Status summaries of every job this service has seen.
+  Json status_all() const;
+
+  /// For a done job: the full `done` event (result payload included).
+  /// Otherwise a `pending` event carrying the current state.
+  Json result_event(const std::string& job_id) const;
+
+  /// Service-level counters: submissions, cache hits, in-flight dedupe
+  /// attachments, queue depth, store stats, hit rate.
+  Json stats() const;
+
+  /// Stops accepting submissions; `drain` finishes queued work, otherwise
+  /// queued jobs are cancelled and running jobs get their tokens fired.
+  /// Blocks until every job is terminal. Idempotent.
+  void shutdown(bool drain);
+
+  ResultStore& store() { return store_; }
+  unsigned threads() const { return pool_.size(); }
+
+ private:
+  struct Job {
+    std::string id;
+    std::string key;
+    ExperimentConfig config;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    JobState state = JobState::kQueued;
+    bool cache_hit = false;
+    bool shutdown_cancel = false;  ///< cancelled by shutdown, not a client
+    std::string error;
+    std::string payload;  ///< canonical result JSON once done
+    bool watchdog_tripped = false;
+    exec::CancellationSource cancel;
+    std::vector<EventFn> subscribers;
+    int attached_count = 0;
+    std::int64_t submitted_unix_ms = 0;
+    double submitted_seconds = 0.0;  ///< service clock (WallTimer)
+    double finished_seconds = 0.0;
+    // Latest progress snapshot (for the status verb).
+    std::string phase;
+    Cycle total_cycles = 0;
+    Cycle last_streamed_cycles = 0;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void run_next();
+  void finish_job(const JobPtr& job, JobState state);
+  void emit(const JobPtr& job, const Json& event);
+  Json make_done_event(const Job& job) const;
+  Json job_status_locked(const Job& job) const;
+
+  ServiceOptions options_;
+  ResultStore store_;
+  WallTimer clock_;  ///< service-relative wall time for telemetry fields
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;  ///< signalled on job termination
+  bool accepting_ = true;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::string, JobPtr> jobs_;      ///< by job id (full history)
+  std::map<std::string, JobPtr> inflight_;  ///< queued/running, by cache key
+  /// {-priority, seq} -> job: begin() is highest priority, FIFO within.
+  std::map<std::pair<int, std::uint64_t>, JobPtr> pending_;
+  std::int64_t active_ = 0;  ///< jobs in kQueued or kRunning
+
+  // Counters (guarded by mu_).
+  std::int64_t submitted_ = 0;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t inflight_dedup_ = 0;
+  std::int64_t computed_ = 0;
+  std::int64_t cancelled_ = 0;
+  std::int64_t failed_ = 0;
+
+  exec::ThreadPool pool_;  ///< last member: destroyed (and drained) first
+};
+
+}  // namespace ownsim::serve

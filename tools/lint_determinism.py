@@ -12,8 +12,11 @@ lint fails if first-party code reintroduces a nondeterministic source:
   * wall clocks:       std::chrono system_clock / high_resolution_clock
 
 steady_clock is allowed, but only in the telemetry paths (src/exec,
-src/metrics) where it measures elapsed wall time and never feeds a seed or a
-simulated decision.
+src/metrics, src/serve) where it measures elapsed wall time and never feeds
+a seed or a simulated decision. system_clock is allowed only in src/serve,
+which timestamps daemon events (job submission times, JSONL logs) — those
+timestamps never enter a simulated result, whose bytes the serve cache
+requires to be a pure function of (config, code version).
 
 Run:  python3 tools/lint_determinism.py        (from the repo root)
 Exit: 0 clean, 1 violations found.
@@ -43,12 +46,18 @@ FORBIDDEN: list[tuple[re.Pattern[str], str]] = [
                 r"minstd_rand0?|ranlux\w+|knuth_b)\b"),
      "std <random> engines are not part of the seed-derivation scheme; "
      "use ownsim::Rng"),
-    (re.compile(r"\bstd::chrono::(system_clock|high_resolution_clock)\b"),
-     "wall clocks are nondeterministic; steady_clock telemetry only"),
+    (re.compile(r"\bstd::chrono::high_resolution_clock\b"),
+     "high_resolution_clock is nondeterministic; steady_clock telemetry only"),
 ]
 
 STEADY_CLOCK = re.compile(r"\bstd::chrono::steady_clock\b")
-STEADY_CLOCK_ALLOWED_PREFIXES = ("src/exec/", "src/metrics/")
+STEADY_CLOCK_ALLOWED_PREFIXES = ("src/exec/", "src/metrics/", "src/serve/")
+
+# Wall-clock timestamps are allowed only in the serve daemon, where they
+# annotate protocol events and never touch a simulated result (the result
+# cache depends on results being a pure function of config + code version).
+SYSTEM_CLOCK = re.compile(r"\bstd::chrono::system_clock\b")
+SYSTEM_CLOCK_ALLOWED_PREFIXES = ("src/serve/",)
 
 # An Rng constructed from a literal in src/ would silently correlate streams;
 # require derive_seed (tests/bench may pin literal seeds on purpose).
@@ -93,7 +102,14 @@ def lint_file(path: Path) -> list[str]:
                 STEADY_CLOCK_ALLOWED_PREFIXES):
             errors.append(
                 f"{rel}:{lineno}: steady_clock is only allowed in telemetry "
-                f"code under src/exec/ or src/metrics/\n    {raw.strip()}")
+                f"code under src/exec/, src/metrics/ or src/serve/\n"
+                f"    {raw.strip()}")
+        if SYSTEM_CLOCK.search(line) and not rel.startswith(
+                SYSTEM_CLOCK_ALLOWED_PREFIXES):
+            errors.append(
+                f"{rel}:{lineno}: system_clock is only allowed in the serve "
+                f"daemon (src/serve/), for protocol timestamps\n"
+                f"    {raw.strip()}")
         if rel.startswith("src/") and RNG_LITERAL_SEED.search(line):
             if "rng.hpp" not in rel:  # the default-arg declaration itself
                 errors.append(

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Reference client for the ownsim_serve experiment daemon.
+
+The daemon (examples/ownsim_serve.cpp) listens on an AF_UNIX socket and
+speaks newline-delimited JSON: one request object per line in, a stream of
+JSONL events out. This client wraps the verbs and adds a batch mode that
+replays a config file (one `key=value ...` experiment per line) and waits
+for every job to finish.
+
+Examples:
+    ownsim_client.py --socket /tmp/ownsim.sock ping
+    ownsim_client.py submit topology=own cores=256 rate=0.004 measure=800
+    ownsim_client.py batch sweep.conf --log events.jsonl --digests out.txt
+    ownsim_client.py batch sweep.conf --expect-all-hits   # second pass
+    ownsim_client.py stats
+    ownsim_client.py shutdown
+
+Exit codes: 0 success; 1 usage/connection error; 2 an expectation failed
+(--expect-all-hits saw a fresh simulation, or a batch job failed).
+"""
+
+import argparse
+import json
+import shlex
+import socket
+import sys
+import threading
+
+TERMINAL_EVENTS = ("done", "cancelled", "failed", "rejected", "error")
+
+
+def connect(path):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.connect(path)
+    except OSError as e:
+        sys.stderr.write("cannot connect to %s: %s\n" % (path, e))
+        sys.exit(1)
+    return sock
+
+
+def send_request(sock, obj):
+    sock.sendall((json.dumps(obj) + "\n").encode("utf-8"))
+
+
+def read_events(sock):
+    """Yields decoded JSON events from the socket until it closes."""
+    reader = sock.makefile("r", encoding="utf-8")
+    for line in reader:
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+def parse_config_tokens(tokens):
+    """['topology=own', 'rate=0.004'] -> {'topology': 'own', ...}."""
+    config = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError("expected key=value, got %r" % token)
+        key, value = token.split("=", 1)
+        config[key] = value
+    return config
+
+
+def one_shot(args, request):
+    """Sends one request, prints the single reply event."""
+    sock = connect(args.socket)
+    send_request(sock, request)
+    for event in read_events(sock):
+        print(json.dumps(event, sort_keys=True))
+        return 0 if event.get("event") != "error" else 1
+    sys.stderr.write("connection closed without a reply\n")
+    return 1
+
+
+def cmd_ping(args):
+    return one_shot(args, {"verb": "ping"})
+
+
+def cmd_status(args):
+    request = {"verb": "status"}
+    if args.job:
+        request["job"] = args.job
+    return one_shot(args, request)
+
+
+def cmd_result(args):
+    return one_shot(args, {"verb": "result", "job": args.job})
+
+
+def cmd_stats(args):
+    return one_shot(args, {"verb": "stats"})
+
+
+def cmd_cancel(args):
+    return one_shot(args, {"verb": "cancel", "job": args.job})
+
+
+def cmd_shutdown(args):
+    return one_shot(args, {"verb": "shutdown", "drain": not args.no_drain})
+
+
+def cmd_submit(args):
+    config = parse_config_tokens(args.config)
+    sock = connect(args.socket)
+    send_request(sock, {"verb": "submit", "config": config,
+                        "priority": args.priority, "stream": True})
+    status = 1  # connection died before a terminal event
+    for event in read_events(sock):
+        print(json.dumps(event, sort_keys=True))
+        kind = event.get("event")
+        if kind in ("done",):
+            status = 0
+        if kind in TERMINAL_EVENTS:
+            if kind in ("failed", "cancelled", "rejected", "error"):
+                status = 2
+            break
+    sock.close()
+    return status
+
+
+def load_batch_file(path):
+    """One experiment per non-comment line: 'key=value key2=value2 ...'."""
+    configs = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                configs.append(parse_config_tokens(shlex.split(line)))
+            except ValueError as e:
+                raise ValueError("%s:%d: %s" % (path, lineno, e))
+    return configs
+
+
+def cmd_batch(args):
+    try:
+        configs = load_batch_file(args.file)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("batch: %s\n" % e)
+        return 1
+    if not configs:
+        sys.stderr.write("batch: no experiments in %s\n" % args.file)
+        return 1
+
+    sock = connect(args.socket)
+    log = open(args.log, "w", encoding="utf-8") if args.log else None
+
+    # Events arrive from daemon worker threads while we are still submitting,
+    # so collect them on a reader thread.
+    terminal = []      # terminal events, one expected per submission
+    done_events = []   # the done subset (carry result_sha256 + cache_hit)
+    lock = threading.Lock()
+    finished = threading.Event()
+
+    def reader():
+        try:
+            for event in read_events(sock):
+                with lock:
+                    if log:
+                        log.write(json.dumps(event, sort_keys=True) + "\n")
+                    kind = event.get("event")
+                    if kind == "done":
+                        done_events.append(event)
+                    if kind in TERMINAL_EVENTS:
+                        terminal.append(event)
+                        if len(terminal) >= len(configs):
+                            finished.set()
+                            return
+        finally:
+            finished.set()
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    for config in configs:
+        send_request(sock, {"verb": "submit", "config": config,
+                            "priority": args.priority, "stream": True})
+    finished.wait(timeout=args.timeout)
+    thread.join(timeout=1.0)
+    sock.close()
+    if log:
+        log.close()
+
+    if len(terminal) < len(configs):
+        sys.stderr.write("batch: %d of %d jobs finished before timeout\n"
+                         % (len(terminal), len(configs)))
+        return 1
+
+    hits = sum(1 for e in done_events if e.get("cache_hit"))
+    failures = [e for e in terminal if e.get("event") != "done"]
+    print("batch: %d experiments, %d done (%d cache hits), %d failed"
+          % (len(configs), len(done_events), hits, len(failures)))
+
+    if args.digests:
+        with open(args.digests, "w", encoding="utf-8") as f:
+            for key, sha in sorted({(e["key"], e["result_sha256"])
+                                    for e in done_events}):
+                f.write("%s %s\n" % (key, sha))
+
+    if failures:
+        for event in failures:
+            sys.stderr.write("batch: job did not complete: %s\n"
+                             % json.dumps(event, sort_keys=True))
+        return 2
+    if args.expect_all_hits and hits < len(done_events):
+        sys.stderr.write("batch: expected 100%% cache hits, got %d/%d\n"
+                         % (hits, len(done_events)))
+        return 2
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", default="/tmp/ownsim.sock",
+                        help="daemon AF_UNIX socket path")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ping").set_defaults(func=cmd_ping)
+
+    p = sub.add_parser("submit", help="submit one experiment, stream events")
+    p.add_argument("config", nargs="+", metavar="key=value")
+    p.add_argument("--priority", type=int, default=0)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("batch", help="replay a config file of experiments")
+    p.add_argument("file", help="one 'key=value ...' experiment per line")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--log", help="write every received event (JSONL)")
+    p.add_argument("--digests",
+                   help="write 'cache_key result_sha256' per done job")
+    p.add_argument("--expect-all-hits", action="store_true",
+                   help="fail unless every result came from the cache")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the batch [600]")
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser("status")
+    p.add_argument("job", nargs="?", help="job id (omit for all jobs)")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("result")
+    p.add_argument("job")
+    p.set_defaults(func=cmd_result)
+
+    sub.add_parser("stats").set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("cancel")
+    p.add_argument("job")
+    p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser("shutdown")
+    p.add_argument("--no-drain", action="store_true",
+                   help="cancel queued/running jobs instead of finishing them")
+    p.set_defaults(func=cmd_shutdown)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()
