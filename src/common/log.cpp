@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace ownsim {
 namespace {
@@ -12,7 +13,7 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 // Serializes line emission so concurrent workers (exec::ThreadPool jobs)
 // never interleave characters of different lines. The `enabled()` fast path
 // stays lock-free: disabled levels still cost only the atomic load.
-std::mutex g_write_mutex;
+Mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -45,7 +46,7 @@ void Log::write(LogLevel level, const std::string& msg) {
   line += "] ";
   line += msg;
   line += '\n';
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::cerr << line;
 }
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
 #include "exec/parallel_for.hpp"
 
 namespace ownsim::exec {
@@ -48,7 +48,7 @@ std::vector<JobReport> JobGraph::run(ThreadPool& pool,
   }
 
   std::vector<char> skip(n, 0);
-  std::mutex progress_mu;
+  Mutex progress_mu;
   for (std::size_t wave = 0; wave < num_levels; ++wave) {
     std::vector<JobId> ids;
     for (std::size_t i = 0; i < n; ++i) {
@@ -80,7 +80,7 @@ std::vector<JobReport> JobGraph::run(ThreadPool& pool,
           std::chrono::steady_clock::now() - start;
       report.wall_seconds = wall.count();
       if (progress) {
-        std::lock_guard<std::mutex> lock(progress_mu);
+        MutexLock lock(progress_mu);
         progress(report);
       }
     });

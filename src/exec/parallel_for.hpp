@@ -15,13 +15,13 @@
 #include <cstddef>
 #include <exception>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "exec/cancellation.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -45,7 +45,7 @@ bool parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
   std::atomic<std::size_t> completed{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
-  std::mutex error_mu;
+  Mutex error_mu;
 
   const auto body = [&] {
     for (;;) {
@@ -56,7 +56,7 @@ bool parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
         fn(i);
         completed.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;

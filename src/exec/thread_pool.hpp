@@ -8,17 +8,17 @@
 // contract: jobs must not communicate except through their return values.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace ownsim::exec {
 
@@ -56,7 +56,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
@@ -69,11 +69,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ OWNSIM_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< written only in ctor/dtor
+  bool stopping_ OWNSIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ownsim::exec

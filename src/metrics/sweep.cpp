@@ -3,12 +3,12 @@
 #include <chrono>
 #include <cstddef>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "exec/cancellation.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -28,16 +28,18 @@ RunResult run_fresh(const NetworkFactory& factory, PatternKind pattern,
 }
 
 /// Controller state shared by the sweep's worker tasks. Index 0 is the
-/// zero-load probe; index i >= 1 is rates[i-1].
+/// zero-load probe; index i >= 1 is rates[i-1]. `cancels` is not guarded:
+/// the vector is sized before any task starts and CancellationSource is
+/// internally atomic, so request_cancel/token race benignly by design.
 struct SweepState {
-  std::mutex mu;
-  std::vector<std::optional<RunResult>> results;
-  std::vector<char> settled;
+  Mutex mu;
+  std::vector<std::optional<RunResult>> results OWNSIM_GUARDED_BY(mu);
+  std::vector<char> settled OWNSIM_GUARDED_BY(mu);
   std::vector<exec::CancellationSource> cancels;
-  bool cancel_issued = false;
-  int completed = 0;
-  int cancelled = 0;
-  std::int64_t cycles = 0;
+  bool cancel_issued OWNSIM_GUARDED_BY(mu) = false;
+  int completed OWNSIM_GUARDED_BY(mu) = 0;
+  int cancelled OWNSIM_GUARDED_BY(mu) = 0;
+  std::int64_t cycles OWNSIM_GUARDED_BY(mu) = 0;
 };
 
 bool is_saturated(const RunResult& r, double zero_load_latency,
@@ -50,8 +52,9 @@ bool is_saturated(const RunResult& r, double zero_load_latency,
 /// prefix whose first saturated point is known, every later point is
 /// speculative and gets cancelled. Points at or before the knee are never
 /// cancelled, so the assembled result matches the serial stop-at-saturation
-/// sweep exactly. Caller holds `state.mu`.
-void maybe_cancel_tail(SweepState& state, const SweepOptions& options) {
+/// sweep exactly.
+void maybe_cancel_tail(SweepState& state, const SweepOptions& options)
+    OWNSIM_REQUIRES(state.mu) {
   if (!options.stop_after_saturation || state.cancel_issued) return;
   if (!state.settled[0]) return;  // zero-load latency not known yet
   const double zero = state.results[0]->avg_latency;
@@ -107,7 +110,7 @@ SweepResult latency_sweep(const NetworkFactory& factory,
                                 options.phases, params, token);
         if (!r.cancelled) result = std::move(r);
       }
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       state.settled[i] = 1;
       if (result) {
         ++state.completed;
@@ -138,7 +141,10 @@ SweepResult latency_sweep(const NetworkFactory& factory,
 
   // Serial assembly, identical to the historical one-point-at-a-time loop:
   // visit rates ascending, stop at the first saturated point when asked.
-  // Speculative results past the knee are discarded here.
+  // Speculative results past the knee are discarded here. Every task has
+  // settled, so the lock is uncontended — it is taken so the guarded reads
+  // below stay inside a scope the thread-safety analysis can verify.
+  MutexLock lock(state.mu);
   SweepResult sweep;
   sweep.zero_load_latency = state.results[0]->avg_latency;
   bool saturated = false;

@@ -59,7 +59,7 @@ std::optional<std::string> ResultStore::read_verified(const std::string& key) {
 
   const auto reject = [&]() -> std::optional<std::string> {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.corrupt_rejected;
     }
     // Remove the bad entry so the recomputed result can replace it (best
@@ -103,7 +103,7 @@ std::optional<std::string> ResultStore::read_verified(const std::string& key) {
 
 std::optional<std::string> ResultStore::load(const std::string& key) {
   std::optional<std::string> payload = read_verified(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (payload.has_value()) {
     ++stats_.hits;
   } else {
@@ -126,7 +126,7 @@ void ResultStore::put(const std::string& key, std::string_view payload) {
   }
   std::uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seq = ++temp_seq_;
   }
   const std::filesystem::path temp =
@@ -155,12 +155,12 @@ void ResultStore::put(const std::string& key, std::string_view payload) {
     std::filesystem::remove(temp, ignored);
     throw std::runtime_error("ResultStore: rename failed: " + ec.message());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.writes;
 }
 
 ResultStore::Stats ResultStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -26,10 +26,11 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.hpp"
 
 namespace ownsim::serve {
 
@@ -65,9 +66,11 @@ class ResultStore {
   std::optional<std::string> read_verified(const std::string& key);
 
   std::filesystem::path root_;
-  mutable std::mutex mu_;  ///< guards stats_ and temp_seq_ only
-  Stats stats_;
-  std::uint64_t temp_seq_ = 0;
+  // Entry files themselves need no lock: writers publish via atomic rename
+  // and readers verify before serving (see the concurrency rule above).
+  mutable Mutex mu_;
+  Stats stats_ OWNSIM_GUARDED_BY(mu_);
+  std::uint64_t temp_seq_ OWNSIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ownsim::serve

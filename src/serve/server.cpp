@@ -55,7 +55,7 @@ Config config_from_json(const Json& object) {
 }  // namespace
 
 void ServeDaemon::Connection::write_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(write_mu);
+  MutexLock lock(write_mu);
   if (!open.load(std::memory_order_acquire)) return;
   std::string framed = line;
   framed.push_back('\n');
@@ -133,16 +133,20 @@ void ServeDaemon::log(const std::string& message) const {
 }
 
 void ServeDaemon::accept_loop() {
+  // Local copy: stop() shuts the listener down to wake accept(), then joins
+  // this thread, and only then writes listen_fd_ — re-reading the member
+  // here would race that write.
+  const int listen_fd = listen_fd_;
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener closed during stop()
+      return;  // listener shut down during stop()
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopped_ || shutdown_requested_) {
         ::close(fd);
         return;
@@ -284,7 +288,7 @@ void ServeDaemon::handle_request(const ConnectionPtr& conn,
 
 void ServeDaemon::request_shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_requested_) return;
     shutdown_requested_ = true;
     shutdown_drain_ = drain;
@@ -297,8 +301,8 @@ void ServeDaemon::request_shutdown(bool drain) {
 void ServeDaemon::wait_for_shutdown() {
   bool drain = true;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+    MutexLock lock(mu_);
+    while (!shutdown_requested_ && !stopped_) shutdown_cv_.wait(lock);
     drain = shutdown_drain_;
   }
   stop(drain);
@@ -306,7 +310,7 @@ void ServeDaemon::wait_for_shutdown() {
 
 void ServeDaemon::stop(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
     shutdown_requested_ = true;
@@ -319,16 +323,20 @@ void ServeDaemon::stop(bool drain) {
   service_.shutdown(drain);
 
   if (listen_fd_ >= 0) {
+    // Wake the blocked accept() first, join the accept thread, and only then
+    // close + clear the member (accept_loop holds its own copy of the fd).
     ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
     ::close(listen_fd_);
     listen_fd_ = -1;
+  } else if (accept_thread_.joinable()) {
+    accept_thread_.join();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
 
   std::vector<ConnectionPtr> connections;
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     connections.swap(connections_);
     threads.swap(connection_threads_);
   }

@@ -27,13 +27,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "serve/service.hpp"
 
 namespace ownsim::serve {
@@ -70,11 +69,14 @@ class ServeDaemon {
   // worker threads interleave with verb replies line-atomically.
   struct Connection {
     int fd = -1;
-    std::mutex write_mu;
+    Mutex write_mu;
     std::atomic<bool> open{true};
 
     /// Writes `line` + '\n'; ignores failures on a closed/broken peer.
-    void write_line(const std::string& line);
+    void write_line(const std::string& line) OWNSIM_EXCLUDES(write_mu);
+    /// Marks the connection closed and shuts the socket down. Deliberately
+    /// does NOT take write_mu: a sender blocked in send() would deadlock the
+    /// shutdown; `open` is atomic and ::shutdown unblocks the sender.
     void close_fd();
   };
   using ConnectionPtr = std::shared_ptr<Connection>;
@@ -88,16 +90,19 @@ class ServeDaemon {
   ServerOptions options_;
   ExperimentService service_;
 
+  /// Written by the constructor before the accept thread starts and by
+  /// stop() only after that thread is joined; accept_loop works on a local
+  /// copy taken at thread start (it must never re-read this member).
   int listen_fd_ = -1;
   std::thread accept_thread_;
 
-  std::mutex mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
-  bool shutdown_drain_ = true;
-  bool stopped_ = false;
-  std::vector<ConnectionPtr> connections_;
-  std::vector<std::thread> connection_threads_;
+  Mutex mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_requested_ OWNSIM_GUARDED_BY(mu_) = false;
+  bool shutdown_drain_ OWNSIM_GUARDED_BY(mu_) = true;
+  bool stopped_ OWNSIM_GUARDED_BY(mu_) = false;
+  std::vector<ConnectionPtr> connections_ OWNSIM_GUARDED_BY(mu_);
+  std::vector<std::thread> connection_threads_ OWNSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace ownsim::serve

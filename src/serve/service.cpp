@@ -45,7 +45,7 @@ ExperimentService::~ExperimentService() {
 void ExperimentService::emit(const JobPtr& job, const Json& event) {
   std::vector<EventFn> subscribers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     subscribers = job->subscribers;
   }
   for (const EventFn& subscriber : subscribers) {
@@ -53,7 +53,7 @@ void ExperimentService::emit(const JobPtr& job, const Json& event) {
   }
 }
 
-Json ExperimentService::make_done_event(const Job& job) const {
+Json ExperimentService::done_event_locked(const Job& job) const {
   Json::Object o;
   o["event"] = Json("done");
   o["job"] = Json(job.id);
@@ -90,8 +90,9 @@ ExperimentService::SubmitOutcome ExperimentService::submit(
   JobPtr job;
   bool need_worker = false;
   bool serve_from_store = false;
+  Json done_event;  // built under the lock for the store-hit path
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!accepting_) {
       outcome.rejected = true;
     } else {
@@ -126,6 +127,7 @@ ExperimentService::SubmitOutcome ExperimentService::submit(
         outcome.job_id = job->id;
         outcome.cache_hit = true;
         serve_from_store = true;
+        done_event = done_event_locked(*job);
       } else {
         job = std::make_shared<Job>();
         job->id = "j" + format_uint(++next_seq_);
@@ -166,7 +168,7 @@ ExperimentService::SubmitOutcome ExperimentService::submit(
     o["state"] = Json(to_string(serve_from_store ? JobState::kDone
                                                  : JobState::kQueued));
     subscriber(Json(std::move(o)));
-    if (serve_from_store) subscriber(make_done_event(*job));
+    if (serve_from_store) subscriber(done_event);
   }
   if (need_worker) {
     pool_.submit([this] { run_next(); });
@@ -177,7 +179,7 @@ ExperimentService::SubmitOutcome ExperimentService::submit(
 void ExperimentService::run_next() {
   JobPtr job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pending_.empty()) return;  // the job this task was queued for was
                                    // cancelled while still pending
     job = pending_.begin()->second;
@@ -198,8 +200,9 @@ void ExperimentService::run_next() {
   hooks.cancel = job->cancel.token();
   hooks.progress = [this, job](const RunProgress& p) {
     bool fire = false;
+    double wall_seconds = 0.0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const bool phase_change = job->phase != p.phase;
       job->phase = p.phase;
       job->total_cycles = p.total_cycles;
@@ -207,6 +210,7 @@ void ExperimentService::run_next() {
                               options_.progress_interval) {
         job->last_streamed_cycles = p.total_cycles;
         fire = !job->subscribers.empty();
+        wall_seconds = clock_.seconds() - job->submitted_seconds;
       }
     }
     if (!fire) return;
@@ -216,7 +220,7 @@ void ExperimentService::run_next() {
     o["phase"] = Json(std::string(p.phase));
     o["phase_cycles"] = Json(p.phase_cycles);
     o["total_cycles"] = Json(p.total_cycles);
-    o["wall_seconds"] = Json(clock_.seconds() - job->submitted_seconds);
+    o["wall_seconds"] = Json(wall_seconds);
     emit(job, Json(std::move(o)));
   };
 
@@ -225,65 +229,76 @@ void ExperimentService::run_next() {
     result = run_experiment(job->config, hooks);
   } catch (const std::exception& e) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job->error = e.what();
     }
-    finish_job(job, JobState::kFailed);
     Json::Object o;
     o["event"] = Json("failed");
     o["job"] = Json(job->id);
     o["error"] = Json(std::string(e.what()));
-    emit(job, Json(std::move(o)));
+    finish_job(job, JobState::kFailed, Json(std::move(o)));
     return;
   }
 
   if (result.run.cancelled) {
     // Cancelled or watchdog-aborted runs carry partial state; they are
     // reported but never cached (the store holds only complete results).
+    std::string reason;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job->watchdog_tripped = result.watchdog_tripped;
+      // shutdown_cancel is written by shutdown() under mu_; read it under
+      // the same lock (it used to be read unlocked below — a data race).
+      reason = result.watchdog_tripped
+                   ? "watchdog"
+                   : (job->shutdown_cancel ? "shutdown" : "client_cancel");
     }
-    finish_job(job, JobState::kCancelled);
     Json::Object o;
     o["event"] = Json("cancelled");
     o["job"] = Json(job->id);
-    o["reason"] = Json(result.watchdog_tripped
-                           ? "watchdog"
-                           : (job->shutdown_cancel ? "shutdown"
-                                                   : "client_cancel"));
+    o["reason"] = Json(reason);
     o["watchdog_tripped"] = Json(result.watchdog_tripped);
-    emit(job, Json(std::move(o)));
+    finish_job(job, JobState::kCancelled, Json(std::move(o)));
     return;
   }
 
   const std::string payload = experiment_result_json(result);
   store_.put(job->key, payload);
+  Json done_event;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job->payload = payload;
     job->watchdog_tripped = result.watchdog_tripped;
     ++computed_;
+    done_event = done_event_locked(*job);
   }
-  finish_job(job, JobState::kDone);
-  emit(job, make_done_event(*job));
+  finish_job(job, JobState::kDone, done_event);
 }
 
-void ExperimentService::finish_job(const JobPtr& job, JobState state) {
-  std::lock_guard<std::mutex> lock(mu_);
-  job->state = state;
-  job->finished_seconds = clock_.seconds();
-  inflight_.erase(job->key);
+void ExperimentService::finish_job(const JobPtr& job, JobState state,
+                                   const Json& event) {
+  {
+    MutexLock lock(mu_);
+    job->state = state;
+    job->finished_seconds = clock_.seconds();
+    inflight_.erase(job->key);
+    if (state == JobState::kCancelled) ++cancelled_;
+    if (state == JobState::kFailed) ++failed_;
+  }
+  // Deliver the terminal event BEFORE releasing the job from active_:
+  // shutdown() (and therefore ServeDaemon::stop, which closes the client
+  // sockets afterwards) must not return while a subscriber is still being
+  // handed this event — doing so used to race socket writes against close().
+  emit(job, event);
+  MutexLock lock(mu_);
   --active_;
-  if (state == JobState::kCancelled) ++cancelled_;
-  if (state == JobState::kFailed) ++failed_;
   idle_cv_.notify_all();
 }
 
 bool ExperimentService::cancel(const std::string& job_id) {
   JobPtr queued_job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return false;
     const JobPtr& job = it->second;
@@ -297,25 +312,24 @@ bool ExperimentService::cancel(const std::string& job_id) {
       return false;  // already terminal
     }
   }
-  finish_job(queued_job, JobState::kCancelled);
   Json::Object o;
   o["event"] = Json("cancelled");
   o["job"] = Json(queued_job->id);
   o["reason"] = Json("client_cancel");
   o["watchdog_tripped"] = Json(false);
-  emit(queued_job, Json(std::move(o)));
+  finish_job(queued_job, JobState::kCancelled, Json(std::move(o)));
   return true;
 }
 
 Json ExperimentService::status(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return Json(nullptr);
   return job_status_locked(*it->second);
 }
 
 Json ExperimentService::status_all() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Json::Array jobs;
   jobs.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) {
@@ -328,7 +342,7 @@ Json ExperimentService::status_all() const {
 }
 
 Json ExperimentService::result_event(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     Json::Object o;
@@ -337,7 +351,7 @@ Json ExperimentService::result_event(const std::string& job_id) const {
     return Json(std::move(o));
   }
   const Job& job = *it->second;
-  if (job.state == JobState::kDone) return make_done_event(job);
+  if (job.state == JobState::kDone) return done_event_locked(job);
   Json::Object o;
   o["event"] = Json("pending");
   o["job"] = Json(job.id);
@@ -346,7 +360,7 @@ Json ExperimentService::result_event(const std::string& job_id) const {
 }
 
 Json ExperimentService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const ResultStore::Stats store = store_.stats();
   Json::Object s;
   s["event"] = Json("stats");
@@ -380,7 +394,7 @@ Json ExperimentService::stats() const {
 void ExperimentService::shutdown(bool drain) {
   std::vector<JobPtr> to_cancel;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     accepting_ = false;
     if (!drain) {
       for (auto& [key, job] : pending_) {
@@ -397,16 +411,18 @@ void ExperimentService::shutdown(bool drain) {
     }
   }
   for (const JobPtr& job : to_cancel) {
-    finish_job(job, JobState::kCancelled);
     Json::Object o;
     o["event"] = Json("cancelled");
     o["job"] = Json(job->id);
     o["reason"] = Json("shutdown");
     o["watchdog_tripped"] = Json(false);
-    emit(job, Json(std::move(o)));
+    finish_job(job, JobState::kCancelled, Json(std::move(o)));
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return active_ == 0; });
+  // Waiting on active_ == 0 (not just job states) is what makes the
+  // "terminal events delivered before shutdown returns" guarantee hold:
+  // finish_job keeps the job in active_ until its event lands.
+  MutexLock lock(mu_);
+  while (active_ != 0) idle_cv_.wait(lock);
 }
 
 }  // namespace ownsim::serve

@@ -31,11 +31,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "driver/experiment_config.hpp"
 #include "exec/thread_pool.hpp"
 #include "metrics/bench_json.hpp"
@@ -99,13 +98,22 @@ class ExperimentService {
 
   /// Stops accepting submissions; `drain` finishes queued work, otherwise
   /// queued jobs are cancelled and running jobs get their tokens fired.
-  /// Blocks until every job is terminal. Idempotent.
-  void shutdown(bool drain);
+  /// Blocks until every job is terminal AND its terminal event has been
+  /// delivered to subscribers. Idempotent. Must not be called from a
+  /// subscriber callback (it would self-deadlock waiting for its own event).
+  void shutdown(bool drain) OWNSIM_EXCLUDES(mu_);
 
   ResultStore& store() { return store_; }
   unsigned threads() const { return pool_.size(); }
 
  private:
+  // Job fields fall in two classes: `id`, `key`, `config`, `priority`,
+  // `seq`, `cancel` and the submission timestamps are immutable after the
+  // job is published into `jobs_` (safe to read anywhere); every other
+  // field is mutable state guarded by ExperimentService::mu_. The analysis
+  // cannot attach GUARDED_BY to another object's mutex, so the discipline
+  // is enforced by routing all mutable access through OWNSIM_REQUIRES(mu_)
+  // helpers and locked scopes in service.cpp.
   struct Job {
     std::string id;
     std::string key;
@@ -131,33 +139,43 @@ class ExperimentService {
   };
   using JobPtr = std::shared_ptr<Job>;
 
-  void run_next();
-  void finish_job(const JobPtr& job, JobState state);
-  void emit(const JobPtr& job, const Json& event);
-  Json make_done_event(const Job& job) const;
-  Json job_status_locked(const Job& job) const;
+  void run_next() OWNSIM_EXCLUDES(mu_);
+  /// Marks `job` terminal, delivers its terminal `event` to subscribers,
+  /// and only then releases the job from `active_` — so `shutdown` cannot
+  /// return while a terminal event is still being delivered.
+  void finish_job(const JobPtr& job, JobState state, const Json& event)
+      OWNSIM_EXCLUDES(mu_);
+  /// Invokes subscribers outside the lock (they may block on sockets).
+  void emit(const JobPtr& job, const Json& event) OWNSIM_EXCLUDES(mu_);
+  Json done_event_locked(const Job& job) const OWNSIM_REQUIRES(mu_);
+  Json job_status_locked(const Job& job) const OWNSIM_REQUIRES(mu_);
 
   ServiceOptions options_;
   ResultStore store_;
   WallTimer clock_;  ///< service-relative wall time for telemetry fields
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;  ///< signalled on job termination
-  bool accepting_ = true;
-  std::uint64_t next_seq_ = 0;
-  std::map<std::string, JobPtr> jobs_;      ///< by job id (full history)
-  std::map<std::string, JobPtr> inflight_;  ///< queued/running, by cache key
+  mutable Mutex mu_;
+  CondVar idle_cv_;  ///< signalled on job termination
+  bool accepting_ OWNSIM_GUARDED_BY(mu_) = true;
+  std::uint64_t next_seq_ OWNSIM_GUARDED_BY(mu_) = 0;
+  /// By job id (full history).
+  std::map<std::string, JobPtr> jobs_ OWNSIM_GUARDED_BY(mu_);
+  /// Queued/running, by cache key.
+  std::map<std::string, JobPtr> inflight_ OWNSIM_GUARDED_BY(mu_);
   /// {-priority, seq} -> job: begin() is highest priority, FIFO within.
-  std::map<std::pair<int, std::uint64_t>, JobPtr> pending_;
-  std::int64_t active_ = 0;  ///< jobs in kQueued or kRunning
+  std::map<std::pair<int, std::uint64_t>, JobPtr> pending_
+      OWNSIM_GUARDED_BY(mu_);
+  /// Jobs in kQueued or kRunning, or terminal with their final event still
+  /// being delivered (see finish_job).
+  std::int64_t active_ OWNSIM_GUARDED_BY(mu_) = 0;
 
-  // Counters (guarded by mu_).
-  std::int64_t submitted_ = 0;
-  std::int64_t cache_hits_ = 0;
-  std::int64_t inflight_dedup_ = 0;
-  std::int64_t computed_ = 0;
-  std::int64_t cancelled_ = 0;
-  std::int64_t failed_ = 0;
+  // Counters.
+  std::int64_t submitted_ OWNSIM_GUARDED_BY(mu_) = 0;
+  std::int64_t cache_hits_ OWNSIM_GUARDED_BY(mu_) = 0;
+  std::int64_t inflight_dedup_ OWNSIM_GUARDED_BY(mu_) = 0;
+  std::int64_t computed_ OWNSIM_GUARDED_BY(mu_) = 0;
+  std::int64_t cancelled_ OWNSIM_GUARDED_BY(mu_) = 0;
+  std::int64_t failed_ OWNSIM_GUARDED_BY(mu_) = 0;
 
   exec::ThreadPool pool_;  ///< last member: destroyed (and drained) first
 };

@@ -39,9 +39,12 @@ class RequestReplyTraffic final : public Clocked {
 
   void eval(Cycle now) override;
   void commit(Cycle /*now*/) override {}
-  // Note: inherits is_idle() == false — closed-loop traffic draws request
-  // Bernoullis every cycle, so the component stays in the active set and the
-  // whole run executes in lockstep order (conservative, bit-identical).
+  // Explicitly never idle — closed-loop traffic draws request Bernoullis
+  // every cycle, so the component stays in the active set and the whole run
+  // executes in lockstep order (conservative, bit-identical). Spelled out
+  // (rather than inheriting the base default) so the eval/is_idle pairing
+  // the quiescence contract demands is visible and checkable.
+  bool is_idle() const override { return false; }
 
   /// Pauses/resumes request generation (replies still flow for outstanding
   /// requests).

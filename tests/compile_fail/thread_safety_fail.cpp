@@ -1,0 +1,69 @@
+// Negative-compilation tests for the thread-safety annotations
+// (common/thread_annotations.hpp). Compiled only under Clang with
+// -Wthread-safety -Werror=thread-safety-analysis (see CMakeLists.txt):
+// GCC expands the annotations to nothing, so it can neither check nor
+// fail these cases.
+//
+//   CASE_TS_OK               positive control: disciplined code compiles.
+//   CASE_TS_UNGUARDED_WRITE  writing a GUARDED_BY field without the lock
+//                            must be rejected.
+//   CASE_TS_REQUIRES_UNLOCKED calling an OWNSIM_REQUIRES(mu_) method
+//                            without holding mu_ must be rejected.
+//
+// The analysis diagnoses a violation at the offending function DEFINITION,
+// so each bad body exists only under its case macro — the OK control class
+// is fully disciplined.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    ownsim::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  void adjust_locked(int amount) OWNSIM_REQUIRES(mu_) { balance_ += amount; }
+
+  void adjust_with_lock(int amount) {
+    ownsim::MutexLock lock(mu_);
+    adjust_locked(amount);
+  }
+
+#if defined(CASE_TS_UNGUARDED_WRITE)
+  void deposit_unguarded(int amount) {
+    balance_ += amount;  // BAD: guarded field written without mu_
+  }
+#endif
+
+#if defined(CASE_TS_REQUIRES_UNLOCKED)
+  void adjust_without_lock(int amount) {
+    adjust_locked(amount);  // BAD: REQUIRES(mu_) callee, mu_ not held
+  }
+#endif
+
+ private:
+  ownsim::Mutex mu_;
+  int balance_ OWNSIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+#if defined(CASE_TS_OK) || defined(CASE_TS_UNGUARDED_WRITE) || \
+    defined(CASE_TS_REQUIRES_UNLOCKED)
+void compile_fail_probe() {
+  Account account;
+  account.deposit(1);
+  account.adjust_with_lock(2);
+#if defined(CASE_TS_UNGUARDED_WRITE)
+  account.deposit_unguarded(3);
+#endif
+#if defined(CASE_TS_REQUIRES_UNLOCKED)
+  account.adjust_without_lock(4);
+#endif
+}
+#else
+#error "define exactly one CASE_TS_* macro"
+#endif

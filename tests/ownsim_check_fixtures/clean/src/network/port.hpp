@@ -1,0 +1,29 @@
+// Fixture: clean obs-counter usage — obs_ naming, mutation-only in sim code
+// — and id-keyed (not pointer-keyed) ordered containers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace obs {
+class Counter {
+ public:
+  void inc() {}
+  long long value() const { return 0; }
+};
+}  // namespace obs
+
+namespace fixture {
+
+class Port {
+ public:
+  void eval() {
+    obs_flits_.inc();  // OK: mutation only; never read in sim code
+  }
+
+ private:
+  obs::Counter obs_flits_;
+  std::map<std::uint32_t, int> next_hop_by_id_;  // OK: stable-id key
+};
+
+}  // namespace fixture

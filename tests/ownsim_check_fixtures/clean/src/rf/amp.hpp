@@ -1,0 +1,21 @@
+// Fixture: clean model API — units carried by dimensioned wrapper types;
+// the names stay descriptive but the suffix lives on the type.
+#pragma once
+
+namespace fixture {
+
+struct Decibels {
+  double value = 0.0;
+};
+struct DbmPower {
+  double value = 0.0;
+};
+
+class Amplifier {
+ public:
+  DbmPower output_power(DbmPower input, Decibels gain) const;
+  // OK: dimensionless double parameters are allowed.
+  double compression_ratio(double backoff_fraction) const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+// Fixture: clean control for every rule — unordered containers used for
+// point lookups only, an ordered map iterated instead, a fully specified
+// Clocked subclass, and a reviewed suppression marker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+using Cycle = long long;
+
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void eval(Cycle now) = 0;
+  virtual void commit(Cycle now) = 0;
+  virtual bool is_idle() const { return false; }
+};
+
+class Engine final : public Clocked {
+ public:
+  void eval(Cycle now) override;
+  void commit(Cycle /*now*/) override {}
+  bool is_idle() const override { return wake_at_.empty(); }
+
+  // OK: point lookups into an unordered map never observe its order.
+  bool pending(std::uint64_t id) const {
+    return lookup_.find(id) != lookup_.end();
+  }
+  void forget(std::uint64_t id) { lookup_.erase(id); }
+
+  // OK: iteration happens over the ordered mirror.
+  std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (const auto& [at, count] : wake_at_) sum += count;
+    return sum;
+  }
+
+  // A reviewed exception: order provably cannot leak (the sum is
+  // commutative), kept as an example of the suppression syntax.
+  std::int64_t checksum() const {
+    std::int64_t sum = 0;
+    // ownsim-check: allow(unordered-iteration)
+    for (const auto& [id, count] : lookup_) sum += count;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> lookup_;
+  std::map<Cycle, std::int64_t> wake_at_;
+};
+
+}  // namespace fixture

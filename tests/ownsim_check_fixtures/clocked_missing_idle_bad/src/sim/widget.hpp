@@ -1,0 +1,37 @@
+// Fixture: trips clocked-idle-contract — overrides eval() but stays silent
+// on is_idle(), hiding the quiescence contract behind the base default.
+#pragma once
+
+namespace fixture {
+
+using Cycle = long long;
+
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void eval(Cycle now) = 0;
+  virtual void commit(Cycle now) = 0;
+  virtual bool is_idle() const { return false; }
+};
+
+class Widget final : public Clocked {
+ public:
+  void eval(Cycle now) override;  // BAD: no is_idle() override in the class
+  void commit(Cycle /*now*/) override {}
+
+ private:
+  int state_ = 0;
+};
+
+// Control within the fixture: pairing eval with is_idle is fine.
+class GoodWidget final : public Clocked {
+ public:
+  void eval(Cycle now) override;
+  void commit(Cycle /*now*/) override {}
+  bool is_idle() const override { return state_ == 0; }
+
+ private:
+  int state_ = 0;
+};
+
+}  // namespace fixture

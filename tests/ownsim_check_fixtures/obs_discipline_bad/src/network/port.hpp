@@ -1,0 +1,30 @@
+// Fixture: trips obs-counter-discipline both ways — a handle without the
+// obs_ prefix, and simulation code reading a counter value.
+#pragma once
+
+namespace obs {
+class Counter {
+ public:
+  void inc() {}
+  long long value() const { return 0; }
+};
+}  // namespace obs
+
+namespace fixture {
+
+class Port {
+ public:
+  void eval() {
+    obs_flits_.inc();
+    if (obs_flits_.value() > 100) {  // BAD: sim decision reads a counter
+      throttle_ = true;
+    }
+  }
+
+ private:
+  obs::Counter obs_flits_;
+  obs::Counter drops_;  // BAD: obs handle not named obs_*
+  bool throttle_ = false;
+};
+
+}  // namespace fixture

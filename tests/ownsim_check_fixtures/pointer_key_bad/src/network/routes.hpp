@@ -1,0 +1,18 @@
+// Fixture: trips pointer-ordered-key — std::map/std::set keyed by pointers
+// iterate in allocation order, which differs run to run.
+#pragma once
+
+#include <map>
+#include <set>
+
+namespace fixture {
+
+class Router;
+
+class RouteTable {
+ private:
+  std::map<Router*, int> next_hop_;  // BAD: pointer-keyed ordered map
+  std::set<const Router*> visited_;  // BAD: pointer-keyed ordered set
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: trips raw-unit-double — a model API whose parameter and field
+// carry units in their names instead of their types.
+#pragma once
+
+namespace fixture {
+
+class Amplifier {
+ public:
+  // BAD: unit lives in the name, not the type.
+  double output_power(double input_dbm, double gain_db) const;
+
+ private:
+  double bandwidth_ghz_ = 1.0;  // BAD: unit-suffixed raw double field
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: iterates a member the paired header declares unordered — the
+// checker must see the declaration across the .hpp/.cpp pair.
+#include "table.hpp"
+
+namespace fixture {
+
+struct Scanner {
+  std::unordered_map<std::uint64_t, std::int64_t> slots_;
+
+  std::int64_t drain() {
+    std::int64_t sum = 0;
+    for (const auto& entry : slots_) {  // BAD: unordered iteration
+      sum += entry.second;
+    }
+    slots_.clear();
+    return sum;
+  }
+};
+
+}  // namespace fixture

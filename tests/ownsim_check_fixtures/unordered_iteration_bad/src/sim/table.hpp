@@ -1,0 +1,35 @@
+// Fixture: trips unordered-iteration three ways — a range-for over a member
+// declared here, a range-for in the paired .cpp over the same member, and an
+// explicit .begin() walk.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class FlitTable {
+ public:
+  void touch(std::uint64_t id) { slots_[id] += 1; }
+
+  std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (const auto& [id, count] : slots_) {  // BAD: unordered iteration
+      sum += count;
+    }
+    return sum;
+  }
+
+  std::int64_t walk() const {
+    std::int64_t sum = 0;
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {  // BAD
+      sum += it->second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> slots_;
+};
+
+}  // namespace fixture

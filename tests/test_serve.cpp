@@ -538,6 +538,53 @@ TEST(ExperimentService, ShutdownWithoutDrainCancelsRunningJobs) {
   EXPECT_TRUE(service.submit(small_config(301)).rejected);
 }
 
+// Regression: shutdown() must block until terminal events have been
+// DELIVERED, not merely until jobs are terminal. The old finish_job released
+// the job from active_ (waking shutdown) before emitting the done event, so
+// ServeDaemon::stop could close client sockets while a subscriber was still
+// mid-send — a use-after-close on the fd. A slow subscriber makes the window
+// deterministic: if shutdown can return before delivery, the flag check
+// fails every time.
+TEST(ExperimentService, ShutdownDrainWaitsForDoneDelivery) {
+  serve::ServiceOptions options;
+  options.store_dir = fresh_temp_dir("svc_drain_deliver");
+  options.threads = 1;
+  serve::ExperimentService service(options);
+
+  std::atomic<bool> done_delivered{false};
+  service.submit(small_config(500), 0, [&](const Json& event) {
+    if (event.find("event")->as_string() == "done") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      done_delivered.store(true);
+    }
+  });
+  service.shutdown(true);
+  EXPECT_TRUE(done_delivered.load())
+      << "shutdown(drain) returned before the done event was delivered";
+}
+
+TEST(ExperimentService, ShutdownNoDrainWaitsForCancelledDelivery) {
+  serve::ServiceOptions options;
+  options.store_dir = fresh_temp_dir("svc_abort_deliver");
+  options.threads = 1;
+  serve::ExperimentService service(options);
+
+  ExperimentConfig longrun = small_config(501);
+  longrun.phases.warmup = 50000;
+  longrun.phases.measure = 200000;
+  std::atomic<bool> cancelled_delivered{false};
+  service.submit(longrun, 0, [&](const Json& event) {
+    if (event.find("event")->as_string() == "cancelled") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      cancelled_delivered.store(true);
+    }
+  });
+  service.shutdown(false);
+  EXPECT_TRUE(cancelled_delivered.load())
+      << "shutdown(no drain) returned before the cancelled event was "
+         "delivered";
+}
+
 TEST(ExperimentService, CorruptStoreEntryRecomputedNotServed) {
   serve::ServiceOptions options;
   options.store_dir = fresh_temp_dir("svc_corrupt");

@@ -11,12 +11,15 @@ lint fails if first-party code reintroduces a nondeterministic source:
                        std::default_random_engine, std::minstd_rand[0]
   * wall clocks:       std::chrono system_clock / high_resolution_clock
 
-steady_clock is allowed, but only in the telemetry paths (src/exec,
-src/metrics, src/serve) where it measures elapsed wall time and never feeds
-a seed or a simulated decision. system_clock is allowed only in src/serve,
-which timestamps daemon events (job submission times, JSONL logs) — those
-timestamps never enter a simulated result, whose bytes the serve cache
-requires to be a pure function of (config, code version).
+The absolute bans above apply to every scanned tree (src, tests, bench,
+examples). Three further rules are path-scoped, with their scopes and
+exemptions declared in the SCOPED_RULES table below: steady_clock is
+telemetry-only (src/exec, src/metrics, src/serve), system_clock is
+serve-daemon-only (protocol timestamps that never enter a simulated
+result), and literal Rng seeds are banned not just in src/ but also in the
+shipped drivers under bench/ and examples/ — a benchmark that pins a seed
+literal correlates its streams exactly like library code would. Unit tests
+keep the right to pin seeds on purpose.
 
 Run:  python3 tools/lint_determinism.py        (from the repo root)
 Exit: 0 clean, 1 violations found.
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import re
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -50,18 +54,60 @@ FORBIDDEN: list[tuple[re.Pattern[str], str]] = [
      "high_resolution_clock is nondeterministic; steady_clock telemetry only"),
 ]
 
-STEADY_CLOCK = re.compile(r"\bstd::chrono::steady_clock\b")
-STEADY_CLOCK_ALLOWED_PREFIXES = ("src/exec/", "src/metrics/", "src/serve/")
+# Path-scoped rules: the pattern is forbidden wherever `applies_to` matches
+# unless the file sits under an `allowed` prefix (or IS an allowed file).
+# Keeping scope + exemptions declarative here means a new directory or a new
+# exemption is one table edit, reviewable in isolation.
+@dataclass(frozen=True)
+class ScopedRule:
+    pattern: re.Pattern[str]
+    message: str
+    applies_to: tuple[str, ...]  # path prefixes the rule covers
+    allowed: tuple[str, ...] = ()  # prefixes or exact files exempt from it
 
-# Wall-clock timestamps are allowed only in the serve daemon, where they
-# annotate protocol events and never touch a simulated result (the result
-# cache depends on results being a pure function of config + code version).
-SYSTEM_CLOCK = re.compile(r"\bstd::chrono::system_clock\b")
-SYSTEM_CLOCK_ALLOWED_PREFIXES = ("src/serve/",)
+    def violates(self, rel: str, line: str) -> bool:
+        if not rel.startswith(self.applies_to):
+            return False
+        if rel.startswith(self.allowed):
+            return False
+        return bool(self.pattern.search(line))
 
-# An Rng constructed from a literal in src/ would silently correlate streams;
-# require derive_seed (tests/bench may pin literal seeds on purpose).
-RNG_LITERAL_SEED = re.compile(r"\bRng\s*[({]\s*\d")
+
+SCOPED_RULES: tuple[ScopedRule, ...] = (
+    # steady_clock measures elapsed wall time in telemetry paths only; it
+    # must never reach code that computes a simulated result.
+    ScopedRule(
+        pattern=re.compile(r"\bstd::chrono::steady_clock\b"),
+        message="steady_clock is only allowed in telemetry code under "
+                "src/exec/, src/metrics/ or src/serve/ (and in the "
+                "harnesses under tests/, bench/, examples/ that time "
+                "themselves)",
+        applies_to=("src/",),
+        allowed=("src/exec/", "src/metrics/", "src/serve/"),
+    ),
+    # Wall-clock timestamps are allowed only in the serve daemon, where they
+    # annotate protocol events and never touch a simulated result (the
+    # result cache depends on results being a pure function of config +
+    # code version).
+    ScopedRule(
+        pattern=re.compile(r"\bstd::chrono::system_clock\b"),
+        message="system_clock is only allowed in the serve daemon "
+                "(src/serve/), for protocol timestamps",
+        applies_to=("src/", "tests/", "bench/", "examples/"),
+        allowed=("src/serve/", "tests/test_serve"),
+    ),
+    # An Rng constructed from a literal would silently correlate streams;
+    # first-party code AND the shipped drivers (bench/, examples/) must
+    # derive seeds via derive_seed(master, stream). Unit tests may pin
+    # literal seeds on purpose. rng.hpp itself declares the default arg.
+    ScopedRule(
+        pattern=re.compile(r"\bRng\s*[({]\s*\d"),
+        message="Rng must be seeded via derive_seed(master, stream), "
+                "not a literal (unit tests excepted)",
+        applies_to=("src/", "bench/", "examples/"),
+        allowed=("src/common/rng.hpp",),
+    ),
+)
 
 
 def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
@@ -98,24 +144,10 @@ def lint_file(path: Path) -> list[str]:
         for pattern, rule in FORBIDDEN:
             if pattern.search(line):
                 errors.append(f"{rel}:{lineno}: {rule}\n    {raw.strip()}")
-        if STEADY_CLOCK.search(line) and not rel.startswith(
-                STEADY_CLOCK_ALLOWED_PREFIXES):
-            errors.append(
-                f"{rel}:{lineno}: steady_clock is only allowed in telemetry "
-                f"code under src/exec/, src/metrics/ or src/serve/\n"
-                f"    {raw.strip()}")
-        if SYSTEM_CLOCK.search(line) and not rel.startswith(
-                SYSTEM_CLOCK_ALLOWED_PREFIXES):
-            errors.append(
-                f"{rel}:{lineno}: system_clock is only allowed in the serve "
-                f"daemon (src/serve/), for protocol timestamps\n"
-                f"    {raw.strip()}")
-        if rel.startswith("src/") and RNG_LITERAL_SEED.search(line):
-            if "rng.hpp" not in rel:  # the default-arg declaration itself
+        for scoped in SCOPED_RULES:
+            if scoped.violates(rel, line):
                 errors.append(
-                    f"{rel}:{lineno}: Rng in src/ must be seeded via "
-                    f"derive_seed(master, stream), not a literal\n"
-                    f"    {raw.strip()}")
+                    f"{rel}:{lineno}: {scoped.message}\n    {raw.strip()}")
     return errors
 
 

@@ -1,0 +1,774 @@
+#!/usr/bin/env python3
+"""ownsim_check: AST-level contract enforcement for the sim core.
+
+The determinism and quiescence contracts (DESIGN.md §5e/§5h) have rules that
+a compiler never sees: replay order must not depend on hash-table iteration
+or pointer values, dormant components must pair eval() with is_idle(), model
+APIs must carry units in the type system, and observability counters must
+stay observational. This checker enforces them mechanically:
+
+  unordered-iteration     No iteration over std::unordered_{map,set} in
+                          src/sim, src/network, src/topology, src/fault.
+                          Hash-table order is libstdc++-version- and
+                          allocation-dependent; iterating one in replay-
+                          ordered code silently breaks bit-identity.
+                          Point lookups (find/at/count/erase-by-key) are
+                          fine; iteration must use an ordered container or
+                          an explicitly sorted snapshot.
+  pointer-ordered-key     No std::{map,set,multimap,multiset} keyed by a
+                          pointer in the same directories. Pointer order is
+                          allocation order — different on every run. Key by
+                          a stable id instead.
+  clocked-idle-contract   Every Clocked subclass that overrides eval() must
+                          also override is_idle() — either with a real
+                          quiescence predicate or an explicit `return false`
+                          that documents the component as always-active.
+                          Silently inheriting the base default makes the
+                          activity-driven kernel's contract invisible.
+  raw-unit-double         Public model headers in src/rf, src/wireless,
+                          src/photonic must not declare double/float
+                          parameters or fields with unit-suffixed names
+                          (gain_db, freq_hz, power_watts, ...). Use the
+                          dimensioned types from common/quantity.hpp
+                          (Decibels, DbmPower, Hertz, Watts, ...) so unit
+                          errors are compile errors.
+  obs-counter-discipline  obs::Counter / obs::Gauge members outside src/obs
+                          must be named obs_* (greppable observational
+                          surface), and simulation code (src/sim,
+                          src/network, src/topology, src/fault, src/traffic)
+                          must never read a counter via .value() — counters
+                          are observational by contract; results must be
+                          bit-identical with OWNSIM_OBS=OFF.
+
+Backends:
+  * libclang — clang.cindex over a compile_commands.json (--compile-commands)
+    when the python clang module is importable. Precise: sees through
+    typedefs and canonical types.
+  * text — a comment-aware lexical backend with no dependencies beyond the
+    standard library. This is what runs in environments without clang, and
+    what the fixture self-tests pin down.
+  --backend auto (default) prefers libclang and falls back to text.
+
+Suppression: a finding on line N is suppressed by the marker
+    // ownsim-check: allow(rule-id[, rule-id...])
+on line N or line N-1. Use it for the rare, reviewed exception; the marker
+is greppable.
+
+Allowlist: --allowlist (default tools/ownsim_check_allow.json) maps rule id
+-> [{"file": "repo/relative/path", "reason": "..."}]. Allowlisted files are
+skipped for that rule. The shipped file is empty by policy: in particular
+unordered-iteration and clocked-idle-contract must hold with zero entries.
+
+Run:  python3 tools/ownsim_check.py                      (from the repo root)
+      python3 tools/ownsim_check.py --list-rules
+      python3 tools/ownsim_check.py --backend libclang \
+          --compile-commands build/compile_commands.json
+Exit: 0 clean, 1 findings, 2 usage/internal error.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent
+
+REPLAY_DIRS = ("src/sim/", "src/network/", "src/topology/", "src/fault/")
+MODEL_DIRS = ("src/rf/", "src/wireless/", "src/photonic/")
+OBS_READ_DIRS = REPLAY_DIRS + ("src/traffic/",)
+
+UNIT_SUFFIXES = (
+    "db", "dbm", "dbi", "hz", "khz", "mhz", "ghz", "thz",
+    "watts", "milliwatts", "mw", "uw", "nw",
+    "joules", "pj", "fj", "nj",
+    "nm", "um", "mm", "meters",
+)
+
+SUPPRESS_RE = re.compile(r"//\s*ownsim-check:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Rule:
+    rule_id: str
+    summary: str
+
+    def applies_to(self, rel: str) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class Finding:
+    rule_id: str
+    rel: str
+    line: int  # 1-based
+    message: str
+    snippet: str
+
+    def render(self) -> str:
+        return (f"{self.rel}:{self.line}: [{self.rule_id}] {self.message}\n"
+                f"    {self.snippet.strip()}")
+
+
+# ---------------------------------------------------------------------------
+# Shared lexical helpers (used by the text backend and by suppression logic).
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Lengths and newlines are kept so (line, column) positions in the result
+    map 1:1 onto the original text.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def match_brace(text: str, open_index: int) -> int:
+    """Index of the '}' matching the '{' at open_index, or -1.
+
+    `text` must already have comments/strings blanked.
+    """
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def line_of(text: str, index: int) -> int:
+    return text.count("\n", 0, index) + 1
+
+
+class SourceFile:
+    """One scanned file: raw lines plus a comment/string-blanked view."""
+
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text(errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.clean = strip_comments_and_strings(self.raw)
+        self.clean_lines = self.clean.splitlines()
+
+    def raw_line(self, line: int) -> str:
+        if 1 <= line <= len(self.raw_lines):
+            return self.raw_lines[line - 1]
+        return ""
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        for candidate in (line, line - 1):
+            m = SUPPRESS_RE.search(self.raw_line(candidate))
+            if m and rule_id in [s.strip() for s in m.group(1).split(",")]:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Text backend rules.
+
+UNORDERED_DECL_RE = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+# `std::unordered_map<K, V> name` — capture the declared name. The template
+# argument list is brace-matched separately; this regex finds the anchor.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+ORDERED_PTR_KEY_RE = re.compile(
+    r"std\s*::\s*(map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:<>\s]*?\*\s*[,>]")
+CLASS_DECL_RE = re.compile(
+    r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?:\s*([^{;]*)\{")
+EVAL_OVERRIDE_RE = re.compile(r"\beval\s*\([^)]*\)\s*(?:const\s*)?override\b")
+IS_IDLE_RE = re.compile(r"\bis_idle\s*\(")
+RAW_UNIT_RE = re.compile(
+    r"\b(?:double|float)\s+([A-Za-z_]\w*_(?:%s)_?)\b"
+    % "|".join(UNIT_SUFFIXES))
+OBS_DECL_RE = re.compile(r"\bobs\s*::\s*(Counter|Gauge)\s+([A-Za-z_]\w*)")
+OBS_VALUE_READ_RE = re.compile(r"\b(obs_\w*)\s*\.\s*value\s*\(")
+IDENT_TAIL_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+def template_args_end(clean: str, lt_index: int) -> int:
+    """Index just past the '>' closing the '<' at lt_index, or -1."""
+    depth = 0
+    i = lt_index
+    while i < len(clean):
+        c = clean[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            return -1
+        i += 1
+    return -1
+
+
+def unordered_decl_names(src: SourceFile) -> set[str]:
+    """Names of variables/members declared with an unordered container type."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(src.clean):
+        lt = src.clean.find("<", m.start())
+        end = template_args_end(src.clean, lt)
+        if end < 0:
+            continue
+        tail = src.clean[end:end + 160]
+        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;={(]", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def check_unordered_iteration(src: SourceFile,
+                              extra_names: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    names = unordered_decl_names(src) | extra_names
+    clean = src.clean
+
+    def add(index: int, message: str) -> None:
+        line = line_of(clean, index)
+        findings.append(Finding("unordered-iteration", src.rel, line, message,
+                                src.raw_line(line)))
+
+    # Range-for over a declared-unordered name or an inline unordered type.
+    for m in RANGE_FOR_RE.finditer(clean):
+        close = clean.find(")", m.end())
+        # find the ':' separating decl from range expr at paren depth 1
+        depth = 1
+        colon = -1
+        i = m.end()
+        while i < len(clean) and depth > 0:
+            c = clean[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                close = i
+            elif c == ":" and depth == 1 and clean[i - 1] != ":" and \
+                    (i + 1 >= len(clean) or clean[i + 1] != ":"):
+                colon = i
+            i += 1
+        if colon < 0 or close < 0:
+            continue
+        range_expr = clean[colon + 1:close].strip()
+        if "unordered_" in range_expr:
+            add(m.start(), "range-for over an unordered container; "
+                "iteration order is not replay-stable")
+            continue
+        tail = IDENT_TAIL_RE.search(
+            range_expr.rstrip(")").rstrip())
+        if tail and tail.group(1) in names:
+            add(m.start(), f"range-for over unordered container "
+                f"'{tail.group(1)}'; iteration order is not replay-stable")
+
+    # Explicit iterator walks: name.begin() / name.cbegin().
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(", clean):
+        if m.group(1) in names:
+            add(m.start(), f"iterator over unordered container "
+                f"'{m.group(1)}'; iteration order is not replay-stable")
+    return findings
+
+
+def check_pointer_ordered_key(src: SourceFile) -> list[Finding]:
+    findings = []
+    for m in ORDERED_PTR_KEY_RE.finditer(src.clean):
+        line = line_of(src.clean, m.start())
+        findings.append(Finding(
+            "pointer-ordered-key", src.rel, line,
+            f"std::{m.group(1)} keyed by a pointer orders by allocation "
+            f"address, which differs run to run; key by a stable id",
+            src.raw_line(line)))
+    return findings
+
+
+def check_clocked_idle_contract(src: SourceFile) -> list[Finding]:
+    findings = []
+    clean = src.clean
+    for m in CLASS_DECL_RE.finditer(clean):
+        bases = m.group(3)
+        if not re.search(r"\bClocked\b", bases):
+            continue
+        open_brace = m.end() - 1
+        close_brace = match_brace(clean, open_brace)
+        if close_brace < 0:
+            continue
+        body = clean[open_brace:close_brace]
+        if EVAL_OVERRIDE_RE.search(body) and not IS_IDLE_RE.search(body):
+            line = line_of(clean, m.start())
+            findings.append(Finding(
+                "clocked-idle-contract", src.rel, line,
+                f"{m.group(2)} overrides eval() without overriding "
+                f"is_idle(); state the quiescence contract explicitly "
+                f"(a predicate, or 'return false' for always-active)",
+                src.raw_line(line)))
+    return findings
+
+
+def check_raw_unit_double(src: SourceFile) -> list[Finding]:
+    findings = []
+    for m in RAW_UNIT_RE.finditer(src.clean):
+        line = line_of(src.clean, m.start())
+        findings.append(Finding(
+            "raw-unit-double", src.rel, line,
+            f"'{m.group(1)}' encodes its unit in the name but not the type; "
+            f"use the dimensioned types from common/quantity.hpp",
+            src.raw_line(line)))
+    return findings
+
+
+def check_obs_counter_discipline(src: SourceFile) -> list[Finding]:
+    findings = []
+    for m in OBS_DECL_RE.finditer(src.clean):
+        if not m.group(2).startswith("obs_"):
+            line = line_of(src.clean, m.start())
+            findings.append(Finding(
+                "obs-counter-discipline", src.rel, line,
+                f"obs::{m.group(1)} handle '{m.group(2)}' must be named "
+                f"obs_* so the observational surface stays greppable",
+                src.raw_line(line)))
+    if src.rel.startswith(OBS_READ_DIRS):
+        for m in OBS_VALUE_READ_RE.finditer(src.clean):
+            line = line_of(src.clean, m.start())
+            findings.append(Finding(
+                "obs-counter-discipline", src.rel, line,
+                f"simulation code reads counter '{m.group(1)}' via .value(); "
+                f"counters are observational — results must be identical "
+                f"with OWNSIM_OBS=OFF",
+                src.raw_line(line)))
+    return findings
+
+
+class TextBackend:
+    name = "text"
+
+    def __init__(self, root: Path):
+        self.root = root
+
+    def collect_files(self) -> list[SourceFile]:
+        files = []
+        src = self.root / "src"
+        if not src.is_dir():
+            return files
+        for path in sorted(src.rglob("*")):
+            if path.suffix in {".hpp", ".h", ".cpp", ".cc"} and path.is_file():
+                files.append(SourceFile(path, path.relative_to(
+                    self.root).as_posix()))
+        return files
+
+    def run(self, rule_ids: set[str]) -> list[Finding]:
+        files = self.collect_files()
+        by_rel = {f.rel: f for f in files}
+        findings: list[Finding] = []
+        for src in files:
+            rel = src.rel
+            if rel.startswith(REPLAY_DIRS):
+                if "unordered-iteration" in rule_ids:
+                    # Members declared in the paired header are iterable from
+                    # the .cpp: merge the header's declared names in.
+                    extra: set[str] = set()
+                    if rel.endswith((".cpp", ".cc")):
+                        stem = rel.rsplit(".", 1)[0]
+                        for ext in (".hpp", ".h"):
+                            partner = by_rel.get(stem + ext)
+                            if partner is not None:
+                                extra |= unordered_decl_names(partner)
+                    findings += check_unordered_iteration(src, extra)
+                if "pointer-ordered-key" in rule_ids:
+                    findings += check_pointer_ordered_key(src)
+            if rel.startswith("src/") and "clocked-idle-contract" in rule_ids:
+                findings += check_clocked_idle_contract(src)
+            if rel.startswith(MODEL_DIRS) and rel.endswith((".hpp", ".h")) \
+                    and "raw-unit-double" in rule_ids:
+                findings += check_raw_unit_double(src)
+            if rel.startswith("src/") and not rel.startswith("src/obs/") \
+                    and "obs-counter-discipline" in rule_ids:
+                findings += check_obs_counter_discipline(src)
+        return [f for f in findings
+                if not by_rel[f.rel].suppressed(f.line, f.rule_id)]
+
+
+# ---------------------------------------------------------------------------
+# libclang backend.
+
+class LibclangBackend:
+    """clang.cindex over compile_commands.json.
+
+    Canonical types see through typedefs/aliases, so this backend catches
+    e.g. `using FlitMap = std::unordered_map<...>` that the text backend
+    cannot. Rule semantics are identical.
+    """
+
+    name = "libclang"
+
+    def __init__(self, root: Path, compile_commands: Path):
+        from clang import cindex  # noqa: import guarded by caller
+        self.cindex = cindex
+        self.root = root
+        self.db = cindex.CompilationDatabase.fromDirectory(
+            str(compile_commands.parent))
+        self.index = cindex.Index.create()
+        self._sources: dict[str, SourceFile] = {}
+
+    def _source(self, rel: str) -> SourceFile:
+        if rel not in self._sources:
+            self._sources[rel] = SourceFile(self.root / rel, rel)
+        return self._sources[rel]
+
+    def _rel(self, cursor) -> str | None:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        try:
+            return Path(loc.file.name).resolve().relative_to(
+                self.root).as_posix()
+        except ValueError:
+            return None
+
+    def run(self, rule_ids: set[str]) -> list[Finding]:
+        findings: list[Finding] = []
+        seen: set[tuple[str, str, int, str]] = set()
+        for cmd in self.db.getAllCompileCommands():
+            path = Path(cmd.filename)
+            if not path.is_absolute():
+                path = Path(cmd.directory) / path
+            try:
+                rel = path.resolve().relative_to(self.root).as_posix()
+            except ValueError:
+                continue
+            if not rel.startswith("src/"):
+                continue
+            # Keep flags only: drop the compiler argv[0], -c, -o <target>,
+            # and the source operand itself.
+            args = []
+            skip = False
+            for a in list(cmd.arguments)[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a == "-c":
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                if Path(a).name == path.name:
+                    continue
+                args.append(a)
+            try:
+                tu = self.index.parse(str(path), args=args)
+            except self.cindex.TranslationUnitLoadError:
+                continue
+            for node in tu.cursor.walk_preorder():
+                for f in self._check_node(node, rule_ids):
+                    key = (f.rule_id, f.rel, f.line, f.message)
+                    if key not in seen:
+                        seen.add(key)
+                        findings.append(f)
+        return [f for f in findings
+                if not self._source(f.rel).suppressed(f.line, f.rule_id)]
+
+    def _mk(self, rule_id: str, cursor, message: str) -> Finding:
+        rel = self._rel(cursor)
+        line = cursor.location.line
+        return Finding(rule_id, rel, line, message,
+                       self._source(rel).raw_line(line))
+
+    def _check_node(self, node, rule_ids: set[str]):
+        ck = self.cindex.CursorKind
+        rel = self._rel(node)
+        if rel is None or not rel.startswith("src/"):
+            return
+        canon = ""
+        if node.kind in (ck.CXX_FOR_RANGE_STMT, ck.FIELD_DECL, ck.VAR_DECL,
+                         ck.PARM_DECL):
+            try:
+                canon = node.type.get_canonical().spelling
+            except Exception:  # pragma: no cover - defensive
+                canon = ""
+
+        if "unordered-iteration" in rule_ids and rel.startswith(REPLAY_DIRS) \
+                and node.kind == ck.CXX_FOR_RANGE_STMT:
+            # The range initializer is the first non-loop-variable child.
+            for child in node.get_children():
+                if child.kind == ck.VAR_DECL:
+                    continue
+                range_type = child.type.get_canonical().spelling or ""
+                if "unordered_" in range_type:
+                    yield self._mk(
+                        "unordered-iteration", node,
+                        "range-for over an unordered container; iteration "
+                        "order is not replay-stable")
+                break
+
+        if "pointer-ordered-key" in rule_ids and rel.startswith(REPLAY_DIRS) \
+                and node.kind in (ck.FIELD_DECL, ck.VAR_DECL):
+            if re.search(r"std::(map|set|multimap|multiset)<[^,<]*\*", canon):
+                yield self._mk(
+                    "pointer-ordered-key", node,
+                    "ordered container keyed by a pointer orders by "
+                    "allocation address; key by a stable id")
+
+        if "clocked-idle-contract" in rule_ids and \
+                node.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                node.is_definition():
+            bases = [c for c in node.get_children()
+                     if c.kind == ck.CXX_BASE_SPECIFIER]
+            if any("Clocked" in b.type.spelling for b in bases):
+                methods = {c.spelling for c in node.get_children()
+                           if c.kind == ck.CXX_METHOD}
+                if "eval" in methods and "is_idle" not in methods:
+                    yield self._mk(
+                        "clocked-idle-contract", node,
+                        f"{node.spelling} overrides eval() without "
+                        f"overriding is_idle(); state the quiescence "
+                        f"contract explicitly")
+
+        if "raw-unit-double" in rule_ids and rel.startswith(MODEL_DIRS) \
+                and node.kind in (ck.PARM_DECL, ck.FIELD_DECL):
+            name = node.spelling or ""
+            stripped = name.rstrip("_")
+            if canon in ("double", "float") and "_" in stripped and \
+                    stripped.rsplit("_", 1)[-1] in UNIT_SUFFIXES:
+                yield self._mk(
+                    "raw-unit-double", node,
+                    f"'{name}' encodes its unit in the name but not the "
+                    f"type; use the dimensioned types from "
+                    f"common/quantity.hpp")
+
+        if "obs-counter-discipline" in rule_ids and \
+                not rel.startswith("src/obs/"):
+            if node.kind in (ck.FIELD_DECL, ck.VAR_DECL) and \
+                    re.search(r"\bobs::(Counter|Gauge)\b",
+                              node.type.spelling or ""):
+                if not (node.spelling or "").startswith("obs_"):
+                    yield self._mk(
+                        "obs-counter-discipline", node,
+                        f"obs handle '{node.spelling}' must be named obs_*")
+            if rel.startswith(OBS_READ_DIRS) and \
+                    node.kind == ck.CALL_EXPR and node.spelling == "value":
+                ref = next(iter(node.get_children()), None)
+                base = next(iter(ref.get_children()), None) if ref else None
+                base_name = (base.spelling if base else "") or ""
+                if base_name.startswith("obs_"):
+                    yield self._mk(
+                        "obs-counter-discipline", node,
+                        f"simulation code reads counter '{base_name}' via "
+                        f".value(); counters are observational")
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+
+ALL_RULES = {
+    "unordered-iteration":
+        "no unordered-container iteration in replay-ordered code",
+    "pointer-ordered-key":
+        "no pointer-keyed ordered containers in replay-ordered code",
+    "clocked-idle-contract":
+        "eval() overrides must pair with an explicit is_idle()",
+    "raw-unit-double":
+        "model APIs carry units in types, not double names",
+    "obs-counter-discipline":
+        "obs handles named obs_*; sim code never reads counters",
+}
+
+
+def load_allowlist(path: Path) -> dict[str, set[str]]:
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    allow: dict[str, set[str]] = {}
+    for rule_id, entries in data.items():
+        if rule_id.startswith("_"):
+            continue  # comment keys
+        if rule_id not in ALL_RULES:
+            raise SystemExit(f"ownsim_check: allowlist references unknown "
+                             f"rule '{rule_id}'")
+        files = set()
+        for entry in entries:
+            if not isinstance(entry, dict) or "file" not in entry \
+                    or "reason" not in entry:
+                raise SystemExit(
+                    "ownsim_check: allowlist entries must be objects with "
+                    "'file' and 'reason' keys")
+            files.add(entry["file"])
+        allow[rule_id] = files
+    return allow
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ownsim_check.py",
+        description="AST-level contract checks for the ownsim tree")
+    parser.add_argument("--root", type=Path, default=DEFAULT_ROOT,
+                        help="repo root to scan (default: this repo)")
+    parser.add_argument("--backend", choices=("auto", "text", "libclang"),
+                        default="auto")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json for the libclang backend")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="per-rule allowlist JSON "
+                             "(default: <root>/tools/ownsim_check_allow.json)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule ids")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--stats-json", type=Path, default=None,
+                        help="write per-rule hit counts to this file")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in ALL_RULES.items():
+            print(f"{rule_id:24} {summary}")
+        return 0
+
+    rule_ids = set(ALL_RULES)
+    if args.rules:
+        rule_ids = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = rule_ids - set(ALL_RULES)
+        if unknown:
+            print(f"ownsim_check: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"ownsim_check: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    allow_path = args.allowlist or (root / "tools" / "ownsim_check_allow.json")
+    try:
+        allowlist = load_allowlist(allow_path)
+    except json.JSONDecodeError as e:
+        print(f"ownsim_check: bad allowlist {allow_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    backend = None
+    backend_note = ""
+    if args.backend in ("auto", "libclang"):
+        cc = args.compile_commands
+        try:
+            import clang.cindex  # noqa: F401
+            if cc is None or not cc.is_file():
+                raise RuntimeError(
+                    "libclang backend needs --compile-commands pointing at "
+                    "an existing compile_commands.json")
+            backend = LibclangBackend(root, cc.resolve())
+        except Exception as e:  # ImportError, LibclangError, RuntimeError
+            if args.backend == "libclang":
+                print(f"ownsim_check: libclang backend unavailable: {e}",
+                      file=sys.stderr)
+                return 2
+            backend_note = f" (libclang unavailable: {e})"
+    if backend is None:
+        backend = TextBackend(root)
+
+    try:
+        findings = backend.run(rule_ids)
+    except Exception as e:
+        if backend.name == "libclang" and args.backend == "auto":
+            # A half-configured clang install must not wedge `auto` runs.
+            print(f"ownsim_check: libclang backend failed ({e}); "
+                  f"falling back to text backend", file=sys.stderr)
+            backend = TextBackend(root)
+            findings = backend.run(rule_ids)
+        else:
+            raise
+
+    kept: list[Finding] = []
+    waived = 0
+    for f in findings:
+        if f.rel in allowlist.get(f.rule_id, set()):
+            waived += 1
+        else:
+            kept.append(f)
+    kept.sort(key=lambda f: (f.rel, f.line, f.rule_id))
+
+    counts = {rule_id: 0 for rule_id in sorted(rule_ids)}
+    for f in kept:
+        counts[f.rule_id] += 1
+    if args.stats_json:
+        stats = {
+            "backend": backend.name,
+            "rules": counts,
+            "findings": len(kept),
+            "allowlisted": waived,
+        }
+        args.stats_json.write_text(json.dumps(stats, indent=2,
+                                              sort_keys=True) + "\n")
+
+    if kept:
+        print(f"ownsim_check [{backend.name}]{backend_note}: "
+              f"{len(kept)} finding(s):\n")
+        for f in kept:
+            print(f.render())
+        print("\nSuppress a reviewed exception with "
+              "'// ownsim-check: allow(rule-id)' on or above the line, or "
+              f"add an entry to {allow_path.name}.")
+        return 1
+    waived_note = f", {waived} allowlisted" if waived else ""
+    print(f"ownsim_check [{backend.name}]{backend_note}: OK "
+          f"({', '.join(sorted(rule_ids))}{waived_note})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
