@@ -115,7 +115,9 @@ const char* scenario_name(Scenario scenario) {
 KernelMode parse_kernel(const std::string& name) {
   if (name == "activity") return KernelMode::kActivity;
   if (name == "lockstep") return KernelMode::kLockstep;
-  throw std::invalid_argument("bad kernel (want activity|lockstep): " + name);
+  if (name == "parallel") return KernelMode::kParallel;
+  throw std::invalid_argument(
+      "bad kernel (want activity|lockstep|parallel): " + name);
 }
 
 }  // namespace
@@ -161,6 +163,14 @@ ExperimentConfig parse_experiment_config(const Config& args) {
 
   if (args.contains("kernel")) {
     config.kernel = parse_kernel(args.require_string("kernel"));
+  }
+  // Parallel-kernel execution knobs; result-neutral, so NOT part of the
+  // canonical config JSON below (same cache entry for any thread count).
+  config.threads = static_cast<int>(args.get_int("threads", 0));
+  config.partitions = static_cast<int>(args.get_int("partitions", 0));
+  if (config.threads < 0) throw std::invalid_argument("threads: want >= 0");
+  if (config.partitions < 0) {
+    throw std::invalid_argument("partitions: want >= 0");
   }
 
   config.fault.enabled = args.get_bool("fault", false);

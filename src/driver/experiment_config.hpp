@@ -15,9 +15,11 @@
 //     cache-key input of the serve result store: two configs hash equal iff
 //     their canonical JSON is byte-equal. Deliberately EXCLUDED from the
 //     canonical form (DESIGN.md §5g):
-//       - `kernel`: activity vs lockstep is bit-identical by contract
-//         (§5e, enforced by bench_kernel in CI), so both kernels may share
-//         one cache entry;
+//       - `kernel` (and the parallel-kernel `threads`/`partitions` knobs):
+//         activity, lockstep and parallel are bit-identical by contract
+//         (§5e/§5i, enforced by bench_kernel and the pdes-parity CI job),
+//         so all kernels — at any thread/partition count — share one cache
+//         entry;
 //       - `injector.rate`: always overridden by the top-level `rate`;
 //       - `fault.diagnostics`: an output stream, not configuration.
 #pragma once
@@ -44,7 +46,8 @@ std::string canonical_config_json(const ExperimentConfig& config);
 
 /// Inverse of `canonical_config_json`. Unknown keys throw (schema drift must
 /// not be silently dropped — the string is a cache-key input). Fields the
-/// canonical form excludes (kernel, injector.rate) come back default.
+/// canonical form excludes (kernel, threads, partitions, injector.rate) come
+/// back default.
 ExperimentConfig experiment_config_from_canonical_json(std::string_view json);
 
 /// Version tag of the simulated-result-producing code. Bump the suffix

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/numfmt.hpp"
+#include "exec/thread_pool.hpp"
 #include "metrics/report.hpp"
 #include "serve/json.hpp"
 #include "topology/own_fault.hpp"
@@ -52,6 +53,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const RunHooks& hooks) {
   Network network(build_experiment_spec(config));
   if (config.kernel.has_value()) network.engine().set_mode(*config.kernel);
+  // kernel=parallel (or OWNSIM_PDES=1) needs a partition plan; install or
+  // replace one when the config carries explicit threads/partitions knobs.
+  // Thread and partition counts never change a simulated result (§5i).
+  if (network.engine().mode() == KernelMode::kParallel &&
+      (!network.engine().parallel_configured() || config.threads > 0 ||
+       config.partitions > 0)) {
+    const unsigned threads = config.threads > 0
+                                 ? static_cast<unsigned>(config.threads)
+                                 : exec::default_threads();
+    network.configure_parallel(threads, config.partitions);
+  }
 
   TrafficPattern pattern(config.pattern, config.options.num_cores);
   Injector::Params injector_params = config.injector;

@@ -35,7 +35,9 @@ void write_bench_record_json(std::ostream& os, const BenchRecord& record) {
   os << "{\"schema_version\": " << kBenchSchemaVersion << ", \"bench\": \""
      << obs::json_escape(record.bench) << "\", \"paper_ref\": \""
      << obs::json_escape(record.paper_ref) << "\", \"config\": \""
-     << obs::json_escape(record.config) << "\", \"metrics\": [";
+     << obs::json_escape(record.config) << "\", \"threads\": "
+     << record.threads << ", \"kernel\": \""
+     << obs::json_escape(record.kernel) << "\", \"metrics\": [";
   for (std::size_t i = 0; i < record.metrics.size(); ++i) {
     const BenchMetric& m = record.metrics[i];
     os << (i == 0 ? "" : ", ") << "{\"name\": \"" << obs::json_escape(m.name)

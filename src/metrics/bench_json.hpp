@@ -19,8 +19,9 @@
 
 namespace ownsim {
 
-/// Bump when the record layout changes; perf_compare.py refuses mismatches.
-inline constexpr int kBenchSchemaVersion = 1;
+/// Bump when the record layout changes; perf_compare.py accepts v1 and v2
+/// (v2 added `threads` + `kernel` so one bench can record per-kernel rows).
+inline constexpr int kBenchSchemaVersion = 2;
 
 struct BenchMetric {
   std::string name;               ///< unique within the record
@@ -34,6 +35,11 @@ struct BenchRecord {
   std::string bench;      ///< binary name, e.g. "bench_fig7a"
   std::string paper_ref;  ///< figure/table the bench reproduces
   std::string config;     ///< phase preset: "quick" or "full"
+  /// Schema v2: execution context of the record. Part of the baseline key
+  /// (bench, config, kernel, threads), so the same bench can record one row
+  /// per kernel/thread-count without the rows clobbering each other.
+  int threads = 1;               ///< simulation worker threads
+  std::string kernel = "activity";  ///< "activity" | "lockstep" | "parallel"
   std::vector<BenchMetric> metrics;
 };
 

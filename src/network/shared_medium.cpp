@@ -126,7 +126,10 @@ void SharedMedium::Writer::accept(const Flit& flit, Cycle now) {
   assert(can_accept(flit, now));
   (void)now;
   ClassStaging& lane = per_class[static_cast<std::size_t>(flit.vc)];
-  if (lane.staged_in.empty()) medium->dirty_writers_.push_back(index);
+  if (lane.staged_in.empty()) {
+    MutexLock lock(medium->dirty_mu_);
+    medium->dirty_writers_.push_back(index);
+  }
   lane.staged_in.push_back(flit);
   ++lane.staged_count;
   if (flit.tail) lane.packet_open = false;
@@ -149,7 +152,10 @@ void SharedMedium::Reader::pop(Cycle /*now*/) {
 }
 
 void SharedMedium::Reader::push_credit(VcId vc, Cycle now) {
-  if (staged_credits.empty()) medium->dirty_readers_.push_back(index);
+  if (staged_credits.empty()) {
+    MutexLock lock(medium->dirty_mu_);
+    medium->dirty_readers_.push_back(index);
+  }
   staged_credits.push_back({vc, now + 1});
   // Latch this cycle. No wake: a dormant medium has nothing to spend credits
   // on, and every non-idle eval absorbs all credits due by then first.
@@ -346,6 +352,7 @@ void SharedMedium::eval(Cycle now) {
 }
 
 void SharedMedium::commit(Cycle /*now*/) {
+  MutexLock lock(dirty_mu_);
   for (const int w : dirty_writers_) {
     Writer& writer = writers_[static_cast<std::size_t>(w)];
     for (auto& lane : writer.per_class) {

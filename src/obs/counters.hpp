@@ -2,11 +2,15 @@
 //
 // A `Registry` owns named 64-bit slots; components resolve `Counter` /
 // `Gauge` handles ONCE at registration (a handle is a raw pointer to its
-// slot), so the hot-path cost of an increment is one indirect add — no map
-// lookup, no lock, no branch beyond the unbound-handle check. A registry
-// belongs to one `Network` and is only touched from the thread simulating
-// that network (parallel sweeps build one network — and one registry — per
-// load point), so slots are plain integers, not atomics.
+// slot), so the hot-path cost of an increment is one indirect atomic add —
+// no map lookup, no lock, no branch beyond the unbound-handle check. A
+// registry belongs to one `Network`; under the parallel kernel (DESIGN.md
+// §5i) partition workers update slots concurrently — shared slots like the
+// aggregate fault counters from several channels at once — so updates go
+// through relaxed `std::atomic_ref` operations. Increments commute exactly
+// (integer adds, max), so totals stay bit-identical to a sequential run for
+// any thread count. Registry-level reads (for_each, value) remain plain:
+// they only run while the simulation is quiesced.
 //
 // Counters are observational by contract: nothing in src/ may read a counter
 // to make a simulated decision, so results are bit-identical whether the
@@ -18,6 +22,7 @@
 // them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -40,12 +45,23 @@ class Counter {
   Counter() = default;
 
   void inc() {
-    if (slot_ != nullptr) ++*slot_;
+    if (slot_ != nullptr) {
+      std::atomic_ref<std::int64_t>(*slot_).fetch_add(
+          1, std::memory_order_relaxed);
+    }
   }
   void add(std::int64_t n) {
-    if (slot_ != nullptr) *slot_ += n;
+    if (slot_ != nullptr) {
+      std::atomic_ref<std::int64_t>(*slot_).fetch_add(
+          n, std::memory_order_relaxed);
+    }
   }
-  std::int64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+  std::int64_t value() const {
+    return slot_ != nullptr
+               ? std::atomic_ref<const std::int64_t>(*slot_).load(
+                     std::memory_order_relaxed)
+               : 0;
+  }
   bool bound() const { return slot_ != nullptr; }
 
  private:
@@ -61,12 +77,25 @@ class Gauge {
   Gauge() = default;
 
   void observe_max(std::int64_t v) {
-    if (slot_ != nullptr && v > *slot_) *slot_ = v;
+    if (slot_ == nullptr) return;
+    std::atomic_ref<std::int64_t> slot(*slot_);
+    std::int64_t seen = slot.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !slot.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
   }
   void set(std::int64_t v) {
-    if (slot_ != nullptr) *slot_ = v;
+    if (slot_ != nullptr) {
+      std::atomic_ref<std::int64_t>(*slot_).store(v,
+                                                  std::memory_order_relaxed);
+    }
   }
-  std::int64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+  std::int64_t value() const {
+    return slot_ != nullptr
+               ? std::atomic_ref<const std::int64_t>(*slot_).load(
+                     std::memory_order_relaxed)
+               : 0;
+  }
   bool bound() const { return slot_ != nullptr; }
 
  private:

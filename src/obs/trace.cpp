@@ -14,6 +14,7 @@ void TraceWriter::begin(std::string name, std::string cat, int pid, int tid,
   e.pid = pid;
   e.tid = tid;
   e.ts = ts;
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
@@ -23,6 +24,7 @@ void TraceWriter::end(int pid, int tid, Cycle ts) {
   e.pid = pid;
   e.tid = tid;
   e.ts = ts;
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
@@ -38,6 +40,7 @@ void TraceWriter::complete(
   e.ts = ts;
   e.dur = dur;
   e.args = std::move(args);
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
@@ -52,6 +55,7 @@ void TraceWriter::instant(
   e.tid = tid;
   e.ts = ts;
   e.args = std::move(args);
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
@@ -61,6 +65,7 @@ void TraceWriter::set_process_name(int pid, const std::string& name) {
   e.name = "process_name";
   e.pid = pid;
   e.args.emplace_back("name", '"' + json_escape(name) + '"');
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
@@ -71,10 +76,12 @@ void TraceWriter::set_thread_name(int pid, int tid, const std::string& name) {
   e.pid = pid;
   e.tid = tid;
   e.args.emplace_back("name", '"' + json_escape(name) + '"');
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
 void TraceWriter::write_json(std::ostream& os) const {
+  MutexLock lock(mu_);
   os << "{\"traceEvents\": [";
   bool first = true;
   for (const TraceEvent& e : events_) {

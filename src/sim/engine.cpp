@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sim/parallel.hpp"
+
 namespace ownsim {
 
 // Defined here (not in clocked.hpp) to break the Clocked <-> Engine include
@@ -17,8 +19,13 @@ void Clocked::request_commit() {
 }
 
 Engine::Engine() {
+  // OWNSIM_PDES=1 opts every engine in the process into the parallel kernel
+  // (Network installs a default partition plan when it sees the mode).
+  const char* pdes = std::getenv("OWNSIM_PDES");
+  if (pdes != nullptr && pdes[0] == '1') mode_ = KernelMode::kParallel;
   // Escape hatch: OWNSIM_LOCKSTEP=1 reverts every engine in the process to
-  // the tick-everything kernel (differential debugging, A/B timing).
+  // the tick-everything kernel (differential debugging, A/B timing). Wins
+  // over OWNSIM_PDES when both are set.
   const char* env = std::getenv("OWNSIM_LOCKSTEP");
   if (env != nullptr && env[0] == '1') mode_ = KernelMode::kLockstep;
 }
@@ -33,16 +40,27 @@ void Engine::add(Clocked* component) {
   components_.push_back(component);
   // New components start active (lockstep semantics from the next cycle);
   // idle ones retire after their first evaluated cycle. Ids are monotone, so
-  // appending keeps `active_` sorted.
-  active_.push_back(component->sched_id_);
-  is_active_.push_back(true);
-  commit_requested_.push_back(false);
+  // appending keeps the active lists sorted. With a parallel plan installed,
+  // ids past the plan belong to the serial lane (driver extras keep their
+  // exact sequential schedule there).
+  is_active_.push_back(1);
+  commit_requested_.push_back(0);
+  if (runtime_ != nullptr) {
+    lane_add_active(component->sched_id_);
+  } else {
+    active_.push_back(component->sched_id_);
+  }
 }
 
 void Engine::set_mode(KernelMode mode) {
   if (now_ != 0) {
     throw std::logic_error(
         "Engine::set_mode: kernels agree only from a cold start (now()==0)");
+  }
+  // Leaving kParallel returns the lane state to the global scheduler so the
+  // selected kernel sees exactly the cold-start picture it expects.
+  if (mode != KernelMode::kParallel && runtime_ != nullptr) {
+    teardown_parallel();
   }
   mode_ = mode;
 }
@@ -51,29 +69,54 @@ void Engine::wake(Clocked* component, Cycle at) {
   // Lockstep evaluates everything anyway; recording wakes would only grow
   // the wheel without ever draining it.
   if (mode_ == KernelMode::kLockstep) return;
+  const int id = component->sched_id_;
+  ParallelEvalCtx* ctx = detail::tl_parallel_ctx;
+  if (ctx != nullptr && ctx->engine == this) {
+    // Inside a parallel phase the floor is always ctx->now + 1, so the
+    // active-and-already-due skip below can never fire — boundary wakes go
+    // straight to the staging buffers.
+    parallel_wake(*ctx, id, std::max(at, ctx->now + 1));
+    return;
+  }
   // Mid-step wakes cannot rewind into the executing cycle (the target's eval
   // slot may already be past); between steps, cycle now_ is still upcoming.
   const Cycle floor = stepping_ ? now_ + 1 : now_;
   const Cycle effective = std::max(at, floor);
-  const int id = component->sched_id_;
-  if (is_active_[static_cast<std::size_t>(id)] && effective <= now_) return;
-  wheel_.push({effective, id});
+  if (is_active_[static_cast<std::size_t>(id)] != 0 && effective <= now_) {
+    return;
+  }
+  if (runtime_ != nullptr) {
+    lane_wheel_push(id, effective);
+  } else {
+    wheel_.push({effective, id});
+  }
   ++stats_.wakes;
 }
 
 void Engine::commit_request(Clocked* component) {
   if (mode_ == KernelMode::kLockstep) return;
   const int id = component->sched_id_;
-  if (is_active_[static_cast<std::size_t>(id)] ||
-      commit_requested_[static_cast<std::size_t>(id)]) {
+  ParallelEvalCtx* ctx = detail::tl_parallel_ctx;
+  if (ctx != nullptr && ctx->engine == this) {
+    parallel_commit_request(*ctx, id);
     return;
   }
-  commit_requested_[static_cast<std::size_t>(id)] = true;
-  commit_extras_.push_back(id);
+  if (is_active_[static_cast<std::size_t>(id)] != 0 ||
+      commit_requested_[static_cast<std::size_t>(id)] != 0) {
+    return;
+  }
+  commit_requested_[static_cast<std::size_t>(id)] = 1;
+  if (runtime_ != nullptr) {
+    lane_commit_extra_push(id);
+  } else {
+    commit_extras_.push_back(id);
+  }
 }
 
 void Engine::step() {
-  if (mode_ == KernelMode::kLockstep) {
+  if (runtime_ != nullptr) {
+    parallel_step();
+  } else if (mode_ == KernelMode::kLockstep) {
     step_lockstep();
   } else {
     step_activity();
@@ -163,6 +206,10 @@ void Engine::skip_to_next_event(Cycle deadline) {
 }
 
 void Engine::run(Cycle cycles) {
+  if (runtime_ != nullptr) {
+    parallel_run(cycles);
+    return;
+  }
   const Cycle deadline = now_ + cycles;
   while (now_ < deadline) {
     if (globally_idle()) {
@@ -174,6 +221,7 @@ void Engine::run(Cycle cycles) {
 }
 
 bool Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  if (runtime_ != nullptr) return parallel_run_until(done, max_cycles);
   const Cycle deadline = now_ + max_cycles;
   if (mode_ == KernelMode::kLockstep) {
     while (now_ < deadline) {

@@ -12,10 +12,16 @@
 //  * kLockstep — the original tick-everything loop: eval all, commit all,
 //    now()+1. Escape hatch + differential-testing baseline; selected with
 //    OWNSIM_LOCKSTEP=1 or `set_mode`.
+//  * kParallel — activity semantics with the network partitioned across
+//    worker threads (sim/parallel.hpp, DESIGN.md §5i). Behaves exactly like
+//    kActivity until `configure_parallel` installs a partition plan;
+//    selected with OWNSIM_PDES=1 or `set_mode`. Bit-identical to both other
+//    kernels for any partition count and thread count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -27,12 +33,23 @@ namespace ownsim {
 enum class KernelMode {
   kActivity,  ///< active set + wake wheel + idle skip-ahead
   kLockstep,  ///< eval/commit every component every cycle
+  kParallel,  ///< activity semantics, partitions evaluated on worker threads
 };
+
+class ParallelRuntime;
+struct ParallelEvalCtx;
+struct ParallelLane;
+struct ParallelPlan;
 
 class Engine {
  public:
-  /// Mode defaults to kActivity unless the environment sets OWNSIM_LOCKSTEP=1.
+  /// Mode defaults to kActivity unless the environment overrides it:
+  /// OWNSIM_PDES=1 selects kParallel, OWNSIM_LOCKSTEP=1 wins over both.
   Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Registers a component. Must not be null, must not already be registered;
   /// pointer must outlive the engine. Newly added components start active
@@ -41,9 +58,18 @@ class Engine {
   void add(Clocked* component);
 
   /// Selects the kernel. Only allowed before the first cycle (now() == 0):
-  /// the two kernels agree on component state only from a cold start.
+  /// the kernels agree on component state only from a cold start. Switching
+  /// away from kParallel tears down any configured partition runtime.
   void set_mode(KernelMode mode);
   KernelMode mode() const { return mode_; }
+
+  /// Installs a partition plan and spins up `threads` workers for the
+  /// kParallel kernel (requires mode() == kParallel and now() == 0; the plan
+  /// must cover the components registered so far — later additions fall into
+  /// the serial lane). Replaces any previous plan. The worker count is
+  /// clamped to [1, plan.num_partitions].
+  void configure_parallel(ParallelPlan plan, unsigned threads);
+  bool parallel_configured() const { return runtime_ != nullptr; }
 
   /// Current cycle (number of completed steps).
   Cycle now() const { return now_; }
@@ -65,12 +91,10 @@ class Engine {
   std::size_t num_components() const { return components_.size(); }
 
   /// Components currently in the active set (diagnostics/tests).
-  std::size_t num_active() const { return active_.size(); }
+  std::size_t num_active() const;
 
   /// Earliest pending wakeup, or kNeverCycle when the wheel is empty.
-  Cycle next_wake() const {
-    return wheel_.empty() ? kNeverCycle : wheel_.top().first;
-  }
+  Cycle next_wake() const;
 
   /// Kernel statistics (observational; reset never, monotone within a run).
   struct Stats {
@@ -79,10 +103,13 @@ class Engine {
     std::int64_t evals = 0;           ///< component evals performed
     std::int64_t wakes = 0;           ///< wakeups posted to the wheel
   };
-  const Stats& stats() const { return stats_; }
+  /// Aggregated over the partition lanes when a parallel plan is configured.
+  /// Safe to call between cycles and from the serial phase (workers parked).
+  Stats stats() const;
 
  private:
   friend class Clocked;
+  friend class ParallelRuntime;
 
   /// Posts a wakeup for `component` at cycle `at` (clamped: never before the
   /// next cycle the engine will execute). Called via Clocked::request_wake.
@@ -98,12 +125,34 @@ class Engine {
   /// True when no component is active and no wakeup is due at `now_`
   /// (then nothing can change until `next_wake()`).
   bool globally_idle() const {
-    return mode_ == KernelMode::kActivity && active_.empty() &&
+    return mode_ != KernelMode::kLockstep && active_.empty() &&
            (wheel_.empty() || wheel_.top().first > now_);
   }
 
   /// Jumps `now_` to the next wakeup, clamped to `deadline`.
   void skip_to_next_event(Cycle deadline);
+
+  // --- Parallel kernel (engine_parallel.cpp). Once `configure_parallel`
+  // installed a runtime, the per-lane structures ARE the scheduler state;
+  // the global `active_`/`wheel_` above stay empty until teardown.
+  void teardown_parallel();
+  void distribute_to_lanes();
+  void collect_from_lanes();
+  void parallel_step();
+  void parallel_run(Cycle cycles);
+  bool parallel_run_until(const std::function<bool()>& done, Cycle max_cycles);
+  bool parallel_globally_idle() const;
+  void parallel_skip(Cycle deadline);
+  void parallel_worker(ParallelRuntime* rt, int slot);
+  void activate_lane(ParallelRuntime& rt, ParallelLane& lane, Cycle now);
+  void run_lane_front(ParallelRuntime& rt, int lane_index, Cycle now);
+  void run_lane_wave2(ParallelRuntime& rt, int lane_index, Cycle now);
+  void finish_lane(ParallelRuntime& rt, int lane_index, Cycle now);
+  void parallel_wake(ParallelEvalCtx& ctx, int id, Cycle effective);
+  void parallel_commit_request(ParallelEvalCtx& ctx, int id);
+  void lane_wheel_push(int id, Cycle effective);
+  void lane_commit_extra_push(int id);
+  void lane_add_active(int id);
 
   std::vector<Clocked*> components_;
   Cycle now_ = 0;
@@ -111,18 +160,22 @@ class Engine {
 
   // Activity-kernel state. `active_` is kept sorted by registration id so a
   // partial sweep preserves lockstep's relative eval order (determinism).
+  // The flag vectors use unsigned char, not bool: under the parallel kernel
+  // distinct component ids are flipped from distinct threads, which needs
+  // distinct memory locations (vector<bool> packs bits).
   std::vector<int> active_;
-  std::vector<bool> is_active_;  ///< per component id
+  std::vector<unsigned char> is_active_;  ///< per component id
   using WheelEntry = std::pair<Cycle, int>;  // (cycle, component id)
   std::priority_queue<WheelEntry, std::vector<WheelEntry>,
                       std::greater<WheelEntry>>
       wheel_;
-  std::vector<int> commit_extras_;       ///< dormant ids to commit this cycle
-  std::vector<bool> commit_requested_;   ///< per component id, cleared per cycle
-  std::vector<int> newly_active_;        ///< scratch for the activation merge
+  std::vector<int> commit_extras_;  ///< dormant ids to commit this cycle
+  std::vector<unsigned char> commit_requested_;  ///< per id, cleared per cycle
+  std::vector<int> newly_active_;  ///< scratch for the activation merge
   bool stepping_ = false;  ///< inside step(): same-cycle wakes defer to now+1
 
   Stats stats_;
+  std::unique_ptr<ParallelRuntime> runtime_;
 };
 
 }  // namespace ownsim

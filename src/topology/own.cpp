@@ -191,6 +191,12 @@ NetworkSpec build_own256_impl(const TopologyOptions& options,
       spec.route_table[r][d] = entry;
     }
   }
+  // Parallel-kernel partition hint: one partition per physical cluster, so a
+  // partition cut crosses only inter-cluster media (wireless / gateway hops).
+  spec.partition_hint.resize(static_cast<std::size_t>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    spec.partition_hint[static_cast<std::size_t>(r)] = r / kOwnTilesPerCluster;
+  }
   fill_own_positions(spec, 1);
   return spec;
 }
@@ -290,6 +296,12 @@ NetworkSpec build_own1024(const TopologyOptions& options) {
       }
       spec.route_table[r][d] = entry;
     }
+  }
+  // Parallel-kernel partition hint: one partition per physical cluster, so a
+  // partition cut crosses only inter-cluster media (wireless / gateway hops).
+  spec.partition_hint.resize(static_cast<std::size_t>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    spec.partition_hint[static_cast<std::size_t>(r)] = r / kOwnTilesPerCluster;
   }
   fill_own_positions(spec, 4);
   return spec;

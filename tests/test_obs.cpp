@@ -321,8 +321,11 @@ TEST(BenchJson, WritesSchemaVersionedRecord) {
   std::ostringstream os;
   write_bench_record_json(os, sample_record());
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"bench\": \"bench_unit\""), std::string::npos);
+  // Schema v2 context fields, with their defaults when the bench sets none.
+  EXPECT_NE(json.find("\"threads\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\": \"activity\""), std::string::npos);
   EXPECT_NE(json.find("\"deterministic\": true"), std::string::npos);
   EXPECT_NE(json.find("\"better\": \"lower\""), std::string::npos);
   EXPECT_EQ(json.find('\n'), std::string::npos);  // single line (JSONL)
@@ -347,7 +350,7 @@ TEST(BenchJson, EmitHonorsEnvironment) {
   int lines = 0;
   while (std::getline(in, line)) {
     ++lines;
-    EXPECT_EQ(line.find("{\"schema_version\": 1"), 0u);
+    EXPECT_EQ(line.find("{\"schema_version\": 2"), 0u);
   }
   EXPECT_EQ(lines, 2);
   std::remove(path.c_str());

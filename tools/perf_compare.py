@@ -5,8 +5,10 @@ Usage:
   python3 tools/perf_compare.py BASELINE.json CURRENT.json [options]
 
 Both files hold one JSON object per line (JSONL) in the schema emitted by
-ownsim's emit_bench_json() (src/metrics/bench_json.hpp, schema_version 1).
-Records pair up on (bench, config); metrics pair up on name within a record.
+ownsim's emit_bench_json() (src/metrics/bench_json.hpp). Schema version 1
+and 2 are both accepted; v2 added `kernel` and `threads` fields (v1 records
+read as kernel="activity", threads=1). Records pair up on
+(bench, config, kernel, threads); metrics pair up on name within a record.
 
 Comparison rules, per metric:
   * deterministic metrics (simulated quantities) use --tol-deterministic
@@ -16,9 +18,21 @@ Comparison rules, per metric:
     only fail in the *worse* direction given the metric's "better" field
     ("lower" means an increase is a regression); "either" never fails.
 
+Floors (--floor NAME=BOUND or --floor CONFIG:NAME=BOUND, repeatable) check
+CURRENT values against an absolute bound, direction-aware via the metric's
+"better" field: a better="higher" metric must be >= BOUND, a better="lower"
+metric <= BOUND. The qualified form restricts the floor to records whose
+`config` field equals CONFIG (a promise can hold in one regime only — e.g.
+the parallel-kernel speedup on the saturated point but not the idle one).
+A floor violation fails the run EVEN UNDER --advisory — floors encode hard
+promises (e.g. "the parallel kernel is not slower than the sequential one"),
+not noisy wall-clock baselines. A floor whose metric never appears in the
+current file (within its CONFIG, if qualified) is itself a failure (the
+promise was not measured).
+
 Exit codes:
-  0  no regressions (or --advisory)
-  1  at least one regression
+  0  no regressions (or --advisory with no floor violations)
+  1  at least one regression / floor violation
   2  malformed input / schema mismatch
 """
 from __future__ import annotations
@@ -27,7 +41,8 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+ACCEPTED_SCHEMA_VERSIONS = (1, 2)
 
 
 class FormatError(Exception):
@@ -35,7 +50,8 @@ class FormatError(Exception):
 
 
 def load_records(path):
-    """Parse a JSONL bench file -> {(bench, config): {metric: dict}}."""
+    """Parse a JSONL bench file -> {(bench, config, kernel, threads):
+    {metric: dict}}."""
     records = {}
     try:
         with open(path, encoding="utf-8") as fh:
@@ -53,14 +69,20 @@ def load_records(path):
         if not isinstance(obj, dict):
             raise FormatError(f"{path}:{lineno}: expected a JSON object")
         version = obj.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in ACCEPTED_SCHEMA_VERSIONS:
             raise FormatError(
                 f"{path}:{lineno}: schema_version {version!r}, "
-                f"expected {SCHEMA_VERSION}")
+                f"expected one of {sorted(ACCEPTED_SCHEMA_VERSIONS)}")
         for field in ("bench", "config", "metrics"):
             if field not in obj:
                 raise FormatError(f"{path}:{lineno}: missing field {field!r}")
-        key = (obj["bench"], obj["config"])
+        # v1 records predate the kernel/threads fields; they were always
+        # single-threaded activity-kernel runs.
+        kernel = obj.get("kernel", "activity")
+        threads = obj.get("threads", 1)
+        if not isinstance(threads, int):
+            raise FormatError(f"{path}:{lineno}: 'threads' is not an integer")
+        key = (obj["bench"], obj["config"], kernel, threads)
         metrics = records.setdefault(key, {})
         for metric in obj["metrics"]:
             if not isinstance(metric, dict) or "name" not in metric \
@@ -75,6 +97,14 @@ def load_records(path):
     return records
 
 
+def record_label(key):
+    bench, config, kernel, threads = key
+    label = f"{bench}[{config}]"
+    if kernel != "activity" or threads != 1:
+        label += f"[{kernel}/t{threads}]"
+    return label
+
+
 def relative_delta(baseline, current):
     if baseline == 0.0:
         return 0.0 if current == 0.0 else float("inf")
@@ -84,8 +114,7 @@ def relative_delta(baseline, current):
 def compare(baseline, current, tol_deterministic, tol_wall):
     """Yields (severity, message); severity is 'regression' or 'info'."""
     for key in sorted(set(baseline) | set(current)):
-        bench, config = key
-        label = f"{bench}[{config}]"
+        label = record_label(key)
         if key not in current:
             yield "info", f"{label}: present in baseline only (not rerun)"
             continue
@@ -118,6 +147,55 @@ def compare(baseline, current, tol_deterministic, tol_wall):
                 yield "info", detail + " (improved)"
 
 
+def parse_floors(specs):
+    """Parses repeated [CONFIG:]NAME=BOUND options -> {(config, name): bound};
+    config is None for unqualified floors (all records)."""
+    floors = {}
+    for spec in specs:
+        qualified, sep, bound = spec.partition("=")
+        if not sep or not qualified:
+            raise FormatError(f"--floor {spec!r}: expected [CONFIG:]NAME=BOUND")
+        config, sep, name = qualified.rpartition(":")
+        if not sep:
+            config, name = None, qualified
+        if not name or (sep and not config):
+            raise FormatError(f"--floor {spec!r}: expected [CONFIG:]NAME=BOUND")
+        try:
+            floors[(config, name)] = float(bound)
+        except ValueError as err:
+            raise FormatError(
+                f"--floor {spec!r}: bound is not a number") from err
+    return floors
+
+
+def check_floors(current, floors):
+    """Yields (violated, message) per floor, direction-aware per metric."""
+    def floor_label(config, name):
+        return name if config is None else f"{config}:{name}"
+
+    for config, name in sorted(floors, key=lambda k: (k[0] or "", k[1])):
+        bound = floors[(config, name)]
+        matches = [(key, metrics[name]) for key, metrics in sorted(
+            current.items())
+            if name in metrics and (config is None or key[1] == config)]
+        if not matches:
+            yield True, (f"floor {floor_label(config, name)}={bound}: metric "
+                         f"not present in current results")
+            continue
+        for key, metric in matches:
+            value = float(metric["value"])
+            better = metric.get("better", "higher")
+            if better == "lower":
+                violated = value > bound
+                op = "<="
+            else:
+                violated = value < bound
+                op = ">="
+            state = "VIOLATED" if violated else "ok"
+            yield violated, (f"floor {record_label(key)}.{name} {op} {bound}: "
+                             f"measured {value} [{state}]")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline JSONL file")
@@ -128,12 +206,21 @@ def main(argv=None):
     parser.add_argument("--tol-wall", type=float, default=0.5,
                         help="relative tolerance for wall-clock metrics "
                              "(default 0.5 = 50%%)")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="[CONFIG:]NAME=BOUND",
+                        help="absolute bound on a current metric (better="
+                             "'higher': value must be >= BOUND; better="
+                             "'lower': <= BOUND), optionally restricted to "
+                             "records with a given config; violations fail "
+                             "even under --advisory; repeatable")
     parser.add_argument("--advisory", action="store_true",
-                        help="report regressions but always exit 0 "
-                             "(shared-runner CI: wall time is noisy)")
+                        help="report baseline regressions but exit 0 for "
+                             "them (shared-runner CI: wall time is noisy); "
+                             "floor violations still fail")
     args = parser.parse_args(argv)
 
     try:
+        floors = parse_floors(args.floor)
         baseline = load_records(args.baseline)
         current = load_records(args.current)
     except FormatError as err:
@@ -141,17 +228,23 @@ def main(argv=None):
         return 2
 
     regressions = 0
-    compared = 0
     for severity, message in compare(baseline, current,
                                      args.tol_deterministic, args.tol_wall):
-        compared += 1
         prefix = "REGRESSION" if severity == "regression" else "info"
         print(f"[{prefix}] {message}")
         if severity == "regression":
             regressions += 1
+    floor_violations = 0
+    for violated, message in check_floors(current, floors):
+        print(f"[{'FLOOR' if violated else 'info'}] {message}")
+        if violated:
+            floor_violations += 1
     total_metrics = sum(len(m) for m in current.values())
     print(f"perf_compare: {total_metrics} metric(s) across "
-          f"{len(current)} bench(es); {regressions} regression(s)")
+          f"{len(current)} bench(es); {regressions} regression(s); "
+          f"{floor_violations} floor violation(s)")
+    if floor_violations:
+        return 1
     if regressions and args.advisory:
         print("perf_compare: advisory mode, not failing the build")
         return 0
