@@ -35,8 +35,11 @@ namespace {
 void print_help() {
   std::cout <<
       "ownsim_cli key=value ...\n"
-      "  topology   own | cmesh | wcmesh | optxb | pclos      [own]\n"
-      "  cores      256 | 1024 (others where the topology allows) [256]\n"
+      "  topology   own | cmesh | wcmesh | optxb | pclos | file:PATH [own]\n"
+      "             file:PATH loads a declarative .topo.json topology\n"
+      "             (docs/TOPOLOGY_FORMAT.md; deadlock-checked at load)\n"
+      "  cores      256 | 1024 (others where the topology allows) [256;\n"
+      "             file topologies default to the file's node count]\n"
       "  pattern    UN | BR | MT | PS | NBR | tornado | hotspot  [UN]\n"
       "  rate       offered load, flits/node/cycle             [0.004]\n"
       "  config     1..4 (Table IV, OWN only)                  [4]\n"

@@ -1,0 +1,189 @@
+// Topology-file toolbox (docs/TOPOLOGY_FORMAT.md).
+//
+//   ./ownsim_topo export topology=cmesh cores=1024 out=cmesh1024.topo.json
+//   ./ownsim_topo export topology=own cores=256 out=own256.topo.json
+//   ./ownsim_topo check configs/topologies/*.topo.json [vcs=4]
+//   ./ownsim_topo info some.topo.json
+//
+// `export` serializes a built-in topology to the declarative format;
+// `check` parses + validates + deadlock-checks files (the CI leg runs it
+// over configs/topologies/); `info` prints a file's header probe.
+//
+// Export policy per topology: CMesh emits `"routing": {"mode": "generated"}`
+// (the generator provably reproduces XY DOR; o1turn keeps its explicit
+// tables) and `"cpf": "bisection"` on electrical links; OWN keeps its
+// explicit class-annotated tables, defers wireless serialization to the
+// bisection rule, and tags `"emulates": "own"` so reports and the energy
+// model treat the file run as the real thing. Override with
+// routing=generated|table and emulates=NAME.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "topofile/routegen.hpp"
+#include "topofile/topofile.hpp"
+#include "topology/registry.hpp"
+
+namespace {
+
+using namespace ownsim;
+
+int usage() {
+  std::cout <<
+      "ownsim_topo <command> ...\n"
+      "  export topology=NAME out=PATH [cores=N] [concentration=N] [vcs=N]\n"
+      "         [routing=generated|table] [emulates=NAME] [o1turn=1] ...\n"
+      "         serialize a built-in topology to a .topo.json file\n"
+      "  check  FILE... [vcs=N] [buffer_depth=N]\n"
+      "         parse + validate + deadlock-check each file (exit 1 on the\n"
+      "         first failure, naming the offending cycle)\n"
+      "  info   FILE\n"
+      "         print the file's name, node count and emulates tag\n";
+  return 2;
+}
+
+TopologyOptions options_from(const Config& args, int default_cores) {
+  TopologyOptions options;
+  options.num_cores =
+      static_cast<int>(args.get_int("cores", default_cores));
+  options.concentration = static_cast<int>(
+      args.get_int("concentration", options.concentration));
+  options.num_vcs = static_cast<int>(args.get_int("vcs", options.num_vcs));
+  options.buffer_depth = static_cast<int>(
+      args.get_int("buffer_depth", options.buffer_depth));
+  options.clock_ghz = args.get_double("clock_ghz", options.clock_ghz);
+  options.flit_bits =
+      static_cast<int>(args.get_int("flit_bits", options.flit_bits));
+  options.ideal_arbitration =
+      args.get_bool("ideal_arbitration", options.ideal_arbitration);
+  options.cmesh_o1turn = args.get_bool("o1turn", options.cmesh_o1turn);
+  return options;
+}
+
+int run_export(const Config& args) {
+  const TopologyKind kind = parse_topology(args.require_string("topology"));
+  if (kind == TopologyKind::kFile) {
+    throw std::invalid_argument("export: already a file topology");
+  }
+  const std::string out_path = args.require_string("out");
+  const TopologyOptions options = options_from(args, 256);
+  const NetworkSpec spec = build_topology(kind, options);
+
+  topofile::ExportPolicy policy;
+  switch (kind) {
+    case TopologyKind::kCMesh: {
+      // Generated routing reproduces XY DOR; O1TURN's dual tables do not
+      // fit the generator, so they stay explicit.
+      policy.generated_routing = !options.cmesh_o1turn;
+      policy.emulates = "cmesh";
+      const int k = static_cast<int>(std::lround(
+          std::sqrt(options.num_cores / options.concentration)));
+      policy.bisection["electrical"] = 2.0 * k;
+      break;
+    }
+    case TopologyKind::kOwn:
+      policy.emulates = "own";
+      policy.bisection["wireless"] = 8.0;  // own.cpp's crossing count
+      break;
+    default:
+      policy.emulates = args.require_string("topology");
+      break;
+  }
+  if (args.contains("emulates")) {
+    policy.emulates = args.require_string("emulates");
+  }
+  if (args.contains("routing")) {
+    const std::string routing = args.require_string("routing");
+    if (routing != "generated" && routing != "table") {
+      throw std::invalid_argument("routing: want generated|table");
+    }
+    policy.generated_routing = routing == "generated";
+  }
+
+  const std::string text = topofile::export_topofile(spec, options, policy);
+  // Round-trip before writing: the exported file must load back into a
+  // valid, deadlock-free spec under the same options.
+  TopologyOptions reload = options;
+  reload.topofile_text = text;
+  const NetworkSpec loaded = topofile::load_topofile(text, reload);
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open output file: " + out_path);
+  }
+  out << text;
+  std::cout << out_path << ": " << loaded.name << ", "
+            << loaded.num_nodes << " nodes, " << loaded.num_routers()
+            << " routers, " << loaded.links.size() << " links, "
+            << loaded.media.size() << " media, "
+            << loaded.vc_classes.size() << " vc classes\n";
+  return 0;
+}
+
+int run_check(const std::vector<std::string>& files, const Config& args) {
+  if (files.empty()) {
+    std::cerr << "check: no files given\n";
+    return 2;
+  }
+  for (const std::string& path : files) {
+    const std::string text = topofile::read_topofile(path);
+    TopologyOptions options = options_from(args, 0);
+    options.num_cores = topofile::probe_topofile(text).num_nodes;
+    options.topofile_path = path;
+    options.topofile_text = text;
+    // load_topofile = parse + spec.validate() + deadlock check; any failure
+    // throws with the offending detail (cycle named by channel).
+    const NetworkSpec spec = topofile::load_topofile(text, options);
+    std::cout << path << ": OK (" << spec.name << ", "
+              << spec.num_nodes << " nodes, " << spec.num_routers()
+              << " routers, " << spec.vc_classes.size()
+              << " vc classes, deadlock-free)\n";
+  }
+  return 0;
+}
+
+int run_info(const std::vector<std::string>& files) {
+  if (files.size() != 1) {
+    std::cerr << "info: want exactly one file\n";
+    return 2;
+  }
+  const topofile::TopofileInfo info =
+      topofile::probe_topofile(topofile::read_topofile(files[0]));
+  std::cout << "name:     " << info.name << "\n"
+            << "nodes:    " << info.num_nodes << "\n"
+            << "emulates: " << (info.emulates.empty() ? "-" : info.emulates)
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> files;
+  std::ostringstream joined;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.find('=') == std::string::npos) {
+      files.push_back(arg);
+    } else {
+      joined << arg << ' ';
+    }
+  }
+  try {
+    const Config args = Config::from_string(joined.str());
+    if (command == "export") return run_export(args);
+    if (command == "check") return run_check(files, args);
+    if (command == "info") return run_info(files);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

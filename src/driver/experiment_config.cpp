@@ -5,6 +5,7 @@
 #include "common/numfmt.hpp"
 #include "common/sha256.hpp"
 #include "serve/json.hpp"
+#include "topofile/topofile.hpp"
 
 namespace ownsim {
 namespace {
@@ -124,9 +125,28 @@ KernelMode parse_kernel(const std::string& name) {
 
 ExperimentConfig parse_experiment_config(const Config& args) {
   ExperimentConfig config;
-  config.topology = parse_topology(args.get_string("topology", "own"));
+  const std::string topology = args.get_string("topology", "own");
+  if (topology.rfind("file:", 0) == 0) {
+    // topology=file:PATH — load the file body NOW so the cache key, the
+    // deadlock check and the simulated network all come from the same
+    // bytes (a later mutation of the file cannot alias a cached result).
+    config.topology = TopologyKind::kFile;
+    config.options.topofile_path = topology.substr(5);
+    config.options.topofile_text =
+        topofile::read_topofile(config.options.topofile_path);
+    // Default the core count to the file's node count; an explicit cores=
+    // that disagrees still fails loudly in the loader.
+    config.options.num_cores =
+        topofile::probe_topofile(config.options.topofile_text).num_nodes;
+  } else {
+    config.topology = parse_topology(topology);
+    if (config.topology == TopologyKind::kFile) {
+      throw std::invalid_argument("topology=file needs a path: file:PATH");
+    }
+  }
   config.pattern = parse_pattern(args.get_string("pattern", "UN"));
-  config.options.num_cores = static_cast<int>(args.get_int("cores", 256));
+  config.options.num_cores =
+      static_cast<int>(args.get_int("cores", config.options.num_cores));
   config.rate = args.get_double("rate", 0.004);
   const std::int64_t own_config = args.get_int("config", 4);
   if (own_config < 1 || own_config > 4) {
@@ -201,6 +221,23 @@ ExperimentConfig parse_experiment_config(const Config& args) {
 std::string canonical_config_json(const ExperimentConfig& config) {
   Json::Object o;
   o["topology"] = Json(to_string(config.topology));
+  if (config.topology == TopologyKind::kFile) {
+    // The cache key must cover the file *content* (not its path — the same
+    // file moved must hit, the same path mutated must miss) and the
+    // generator version (regenerated routes re-key unchanged bytes).
+    std::string sha = config.topofile_sha256;
+    if (sha.empty()) {
+      if (config.options.topofile_text.empty()) {
+        throw std::logic_error(
+            "canonical config: file topology without loaded text or sha256");
+      }
+      Sha256 hasher;
+      hasher.update(config.options.topofile_text);
+      sha = hasher.hex_digest();
+    }
+    o["topofile.sha256"] = Json(std::move(sha));
+    o["topofile.generator"] = Json(topofile::kTopofileGeneratorVersion);
+  }
   o["pattern"] = Json(to_string(config.pattern));
   o["rate"] = Json(config.rate);
   o["own_config"] = Json(static_cast<int>(config.own_config));
@@ -380,6 +417,17 @@ ExperimentConfig experiment_config_from_canonical_json(std::string_view json) {
     } else if (key == "fault.events") {
       for (const Json& event : v.as_array()) {
         c.fault.events.push_back(event_from_json(event));
+      }
+    } else if (key == "topofile.sha256") {
+      // The file body itself is not in the canonical JSON; carry its hash so
+      // re-keying the reconstructed config reproduces the original key.
+      c.topofile_sha256 = v.as_string();
+    } else if (key == "topofile.generator") {
+      if (v.as_string() != topofile::kTopofileGeneratorVersion) {
+        throw std::invalid_argument(
+            "canonical config: topology file was keyed by generator '" +
+            v.as_string() + "', this build is '" +
+            topofile::kTopofileGeneratorVersion + "'");
       }
     } else {
       throw std::invalid_argument("canonical config: unknown key: " + key);

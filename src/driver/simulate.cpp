@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/numfmt.hpp"
 #include "exec/thread_pool.hpp"
 #include "metrics/report.hpp"
 #include "serve/json.hpp"
+#include "topofile/topofile.hpp"
 #include "topology/own_fault.hpp"
 
 namespace ownsim {
@@ -27,6 +29,10 @@ NetworkFactory make_network_factory(TopologyKind topology,
 }
 
 NetworkSpec build_experiment_spec(const ExperimentConfig& config) {
+  if (config.fault.enabled && config.topology == TopologyKind::kFile) {
+    throw std::invalid_argument(
+        "fault campaigns are not supported on file: topologies");
+  }
   if (config.fault.enabled && config.topology == TopologyKind::kOwn &&
       config.options.num_cores == 256) {
     // Campaign-capable OWN-256: the healthy floorplan (no pre-declared
@@ -91,12 +97,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     result.watchdog_tripped = campaign->watchdog_tripped();
   }
 
+  // File topologies report (and meter energy) as the topology they emulate,
+  // so an exported OWN-256 file is byte-identical to the hand-built one.
+  const TopologyKind reported =
+      config.topology == TopologyKind::kFile
+          ? topofile::topofile_reporting_kind(config.options)
+          : config.topology;
+
   // A run cancelled before its first slice has no elapsed cycles, and the
   // energy model (rightly) refuses a never-simulated network. Cancelled
   // results are partial either way — power stays zeroed in that case.
   if (!result.run.cancelled || result.run.cycles_simulated > 0) {
     EnergyModel energy(config.power,
-                       own_channel_energy(config.topology,
+                       own_channel_energy(reported,
                                           config.options.num_cores,
                                           config.own_config, config.scenario));
     result.power = energy.compute(network, config.options.clock_ghz);
@@ -111,9 +124,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       });
 
   std::ostringstream name;
-  name << to_string(config.topology) << '-' << config.options.num_cores << '/'
+  name << to_string(reported) << '-' << config.options.num_cores << '/'
        << to_string(config.pattern);
-  if (config.topology == TopologyKind::kOwn) {
+  if (reported == TopologyKind::kOwn) {
     name << '/' << to_string(config.own_config) << '/'
          << to_string(config.scenario);
   }

@@ -55,6 +55,11 @@ struct ExperimentConfig {
   /// the topology is built campaign-capable: the healthy floorplan with the
   /// 5-class degraded route scheme, so mid-run deaths can reroute online.
   fault::CampaignConfig fault;
+
+  /// File topologies only: SHA-256 of the file body, carried so a config
+  /// reconstructed from canonical JSON (options.topofile_text unavailable)
+  /// still produces the same cache key as the original parse.
+  std::string topofile_sha256;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,501 @@
+#include "topofile/routegen.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace ownsim::topofile {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 2;
+
+/// One outgoing channel of a router. `resource` ids: links first
+/// ([0, num_links)), then media (num_links + medium index).
+struct OutEdge {
+  PortId port = kInvalidId;
+  int resource = -1;
+  bool is_medium = false;
+  int index = -1;  ///< into spec.links or spec.media
+  int weight = 1;  ///< channel latency (>= 1)
+};
+
+struct ChannelGraph {
+  const NetworkSpec* spec = nullptr;
+  std::vector<std::vector<OutEdge>> out;  ///< per router, sorted by port
+  /// First node attached to each router (kInvalidId when none); passed to
+  /// select_reader, which may ignore it.
+  std::vector<NodeId> first_node;
+  /// True for routers with at least one attached node — the only valid
+  /// traffic destinations.
+  std::vector<bool> attached;
+};
+
+ChannelGraph make_channel_graph(const NetworkSpec& spec) {
+  ChannelGraph g;
+  g.spec = &spec;
+  const std::size_t num_routers = spec.routers.size();
+  g.out.resize(num_routers);
+  g.first_node.assign(num_routers, kInvalidId);
+  g.attached.assign(num_routers, false);
+  for (NodeId n = 0; n < spec.num_nodes; ++n) {
+    const auto r = static_cast<std::size_t>(spec.nodes[n].router);
+    if (!g.attached[r]) {
+      g.attached[r] = true;
+      g.first_node[r] = n;
+    }
+  }
+  const int num_links = static_cast<int>(spec.links.size());
+  for (int i = 0; i < num_links; ++i) {
+    const LinkSpec& link = spec.links[static_cast<std::size_t>(i)];
+    g.out[static_cast<std::size_t>(link.src_router)].push_back(
+        {link.src_port, i, false, i, std::max(1, link.latency)});
+  }
+  for (int m = 0; m < static_cast<int>(spec.media.size()); ++m) {
+    const MediumSpec& medium = spec.media[static_cast<std::size_t>(m)];
+    for (const auto& [router, port] : medium.writers) {
+      g.out[static_cast<std::size_t>(router)].push_back(
+          {port, num_links + m, true, m, std::max(1, medium.latency)});
+    }
+  }
+  for (auto& edges : g.out) {
+    std::sort(edges.begin(), edges.end(),
+              [](const OutEdge& a, const OutEdge& b) { return a.port < b.port; });
+  }
+  return g;
+}
+
+/// Router a packet arrives at after traversing `edge` toward `dst_router`.
+RouterId edge_target(const ChannelGraph& g, const OutEdge& edge,
+                     RouterId dst_router) {
+  if (!edge.is_medium) {
+    return g.spec->links[static_cast<std::size_t>(edge.index)].dst_router;
+  }
+  const MediumSpec& medium = g.spec->media[static_cast<std::size_t>(edge.index)];
+  int reader = 0;
+  if (medium.readers.size() > 1) {
+    if (!medium.select_reader) {
+      throw std::runtime_error("topofile: medium '" + medium.name +
+                               "' has several readers but no select_reader");
+    }
+    const NodeId node = g.first_node[static_cast<std::size_t>(dst_router)];
+    reader = medium.select_reader(node == kInvalidId ? 0 : node, dst_router);
+    if (reader < 0 || reader >= static_cast<int>(medium.readers.size())) {
+      throw std::runtime_error("topofile: select_reader of medium '" +
+                               medium.name + "' returned a bad index");
+    }
+  }
+  return medium.readers[static_cast<std::size_t>(reader)].first;
+}
+
+/// The outgoing channel of `router` on `port` (every network output port is
+/// wired to exactly one link or medium writer; spec.validate enforces it).
+const OutEdge& edge_on_port(const ChannelGraph& g, RouterId router,
+                            PortId port) {
+  for (const OutEdge& edge : g.out[static_cast<std::size_t>(router)]) {
+    if (edge.port == port) return edge;
+  }
+  throw std::runtime_error(
+      "topofile: route table uses unwired output port " + std::to_string(port) +
+      " on router " + std::to_string(router));
+}
+
+std::string resource_label(const NetworkSpec& spec, int resource) {
+  const int num_links = static_cast<int>(spec.links.size());
+  if (resource < num_links) {
+    const std::string& name = spec.links[static_cast<std::size_t>(resource)].name;
+    return name.empty() ? "link#" + std::to_string(resource) : name;
+  }
+  const int m = resource - num_links;
+  const std::string& name = spec.media[static_cast<std::size_t>(m)].name;
+  return name.empty() ? "medium#" + std::to_string(m) : name;
+}
+
+/// Shortest latency from every router to `dst` (kInf when unreachable):
+/// Dijkstra over the reversed channel graph. Media edges point at the
+/// reader selected for `dst`, so the result matches the path a real packet
+/// takes.
+std::vector<int> distance_to(const ChannelGraph& g, RouterId dst) {
+  const std::size_t num_routers = g.out.size();
+  // Reversed adjacency: target router -> (source router, weight).
+  std::vector<std::vector<std::pair<RouterId, int>>> rev(num_routers);
+  for (std::size_t r = 0; r < num_routers; ++r) {
+    for (const OutEdge& edge : g.out[r]) {
+      const RouterId target = edge_target(g, edge, dst);
+      rev[static_cast<std::size_t>(target)].push_back(
+          {static_cast<RouterId>(r), edge.weight});
+    }
+  }
+  std::vector<int> dist(num_routers, kInf);
+  dist[static_cast<std::size_t>(dst)] = 0;
+  using HeapItem = std::pair<int, RouterId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  heap.push({0, dst});
+  while (!heap.empty()) {
+    const auto [d, r] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(r)]) continue;
+    for (const auto& [src, weight] : rev[static_cast<std::size_t>(r)]) {
+      if (d + weight < dist[static_cast<std::size_t>(src)]) {
+        dist[static_cast<std::size_t>(src)] = d + weight;
+        heap.push({d + weight, src});
+      }
+    }
+  }
+  return dist;
+}
+
+/// Directed graph on a small integer node space with sorted adjacency.
+struct Digraph {
+  explicit Digraph(int nodes) : adj(static_cast<std::size_t>(nodes)) {}
+  void finalize() {
+    for (auto& edges : adj) {
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+  }
+  std::vector<std::vector<int>> adj;
+};
+
+/// Finds one directed cycle (as a node sequence, first == repeated node
+/// excluded) among nodes where `alive` is true; empty when acyclic.
+/// Iterative 3-color DFS in ascending node order — deterministic.
+std::vector<int> find_cycle(const Digraph& graph,
+                            const std::vector<bool>& alive) {
+  const int n = static_cast<int>(graph.adj.size());
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 new 1 open 2 done
+  std::vector<int> stack;
+  std::vector<std::size_t> next_child;
+  for (int start = 0; start < n; ++start) {
+    if (color[static_cast<std::size_t>(start)] != 0 ||
+        !alive[static_cast<std::size_t>(start)]) {
+      continue;
+    }
+    stack.assign(1, start);
+    next_child.assign(1, 0);
+    color[static_cast<std::size_t>(start)] = 1;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      const auto& edges = graph.adj[static_cast<std::size_t>(node)];
+      bool descended = false;
+      while (next_child.back() < edges.size()) {
+        const int child = edges[next_child.back()++];
+        if (!alive[static_cast<std::size_t>(child)]) continue;
+        if (color[static_cast<std::size_t>(child)] == 1) {
+          // Back edge: the cycle is the stack suffix from `child`.
+          const auto it = std::find(stack.begin(), stack.end(), child);
+          return {it, stack.end()};
+        }
+        if (color[static_cast<std::size_t>(child)] == 0) {
+          color[static_cast<std::size_t>(child)] = 1;
+          stack.push_back(child);
+          next_child.push_back(0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[static_cast<std::size_t>(node)] = 2;
+        stack.pop_back();
+        next_child.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+/// Deterministic feedback vertex set: repeatedly find a cycle among the
+/// still-alive nodes and mark the cycle member with the highest live degree
+/// (ties: lowest node id). Small graphs, few iterations.
+std::vector<bool> feedback_set(const Digraph& graph) {
+  const std::size_t n = graph.adj.size();
+  std::vector<bool> marked(n, false);
+  std::vector<bool> alive(n, true);
+  std::vector<int> degree(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const int v : graph.adj[u]) {
+      ++degree[u];
+      ++degree[static_cast<std::size_t>(v)];
+    }
+  }
+  while (true) {
+    const std::vector<int> cycle = find_cycle(graph, alive);
+    if (cycle.empty()) break;
+    int pick = cycle.front();
+    for (const int node : cycle) {
+      if (degree[static_cast<std::size_t>(node)] >
+          degree[static_cast<std::size_t>(pick)]) {
+        pick = node;
+      }
+    }
+    marked[static_cast<std::size_t>(pick)] = true;
+    alive[static_cast<std::size_t>(pick)] = false;
+  }
+  return marked;
+}
+
+/// The resource used when leaving `r` toward `d` per `table`.
+const OutEdge& route_edge(const ChannelGraph& g,
+                          const std::vector<std::vector<RouteEntry>>& table,
+                          RouterId r, RouterId d) {
+  const RouteEntry& entry =
+      table[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)];
+  return edge_on_port(g, r, entry.out_port);
+}
+
+/// Adds the channel-dependency edges of one route table to `cdg`, whose
+/// node space is resource * num_classes + vc_class. Destinations without
+/// attached nodes carry no traffic and are skipped.
+void add_table_dependencies(const ChannelGraph& g,
+                            const std::vector<std::vector<RouteEntry>>& table,
+                            int num_classes, Digraph& cdg) {
+  const NetworkSpec& spec = *g.spec;
+  const int num_routers = spec.num_routers();
+  for (RouterId d = 0; d < num_routers; ++d) {
+    if (!g.attached[static_cast<std::size_t>(d)]) continue;
+    for (RouterId r = 0; r < num_routers; ++r) {
+      if (r == d) continue;
+      const OutEdge& e1 = route_edge(g, table, r, d);
+      const RouterId next = edge_target(g, e1, d);
+      if (next == d) continue;  // next hop ejects: no further dependency
+      const OutEdge& e2 = route_edge(g, table, next, d);
+      const int c1 =
+          table[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)]
+              .vc_class;
+      const int c2 =
+          table[static_cast<std::size_t>(next)][static_cast<std::size_t>(d)]
+              .vc_class;
+      if (c1 < 0 || c1 >= num_classes || c2 < 0 || c2 >= num_classes) {
+        throw std::runtime_error("topofile: route vc_class out of range");
+      }
+      cdg.adj[static_cast<std::size_t>(e1.resource * num_classes + c1)]
+          .push_back(e2.resource * num_classes + c2);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> nearest_reader_map(
+    const NetworkSpec& spec,
+    const std::vector<std::pair<RouterId, PortId>>& readers) {
+  const ChannelGraph g = make_channel_graph(spec);
+  const std::size_t num_routers = g.out.size();
+  // Forward router adjacency with optimistic medium edges (writer -> every
+  // reader): good enough for a reachability-aware tie-break, and well
+  // defined before any select_reader exists.
+  std::vector<std::vector<std::pair<RouterId, int>>> fwd(num_routers);
+  for (std::size_t r = 0; r < num_routers; ++r) {
+    for (const OutEdge& edge : g.out[r]) {
+      if (!edge.is_medium) {
+        fwd[r].push_back(
+            {spec.links[static_cast<std::size_t>(edge.index)].dst_router,
+             edge.weight});
+        continue;
+      }
+      const MediumSpec& medium =
+          spec.media[static_cast<std::size_t>(edge.index)];
+      for (const auto& reader : medium.readers) {
+        fwd[r].push_back({reader.first, edge.weight});
+      }
+    }
+  }
+  std::vector<int> best_reader(num_routers, 0);
+  std::vector<int> best_dist(num_routers, kInf);
+  for (int i = 0; i < static_cast<int>(readers.size()); ++i) {
+    std::vector<int> dist(num_routers, kInf);
+    const RouterId source = readers[static_cast<std::size_t>(i)].first;
+    dist[static_cast<std::size_t>(source)] = 0;
+    using HeapItem = std::pair<int, RouterId>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    heap.push({0, source});
+    while (!heap.empty()) {
+      const auto [d, r] = heap.top();
+      heap.pop();
+      if (d != dist[static_cast<std::size_t>(r)]) continue;
+      for (const auto& [target, weight] : fwd[static_cast<std::size_t>(r)]) {
+        if (d + weight < dist[static_cast<std::size_t>(target)]) {
+          dist[static_cast<std::size_t>(target)] = d + weight;
+          heap.push({d + weight, target});
+        }
+      }
+    }
+    for (std::size_t r = 0; r < num_routers; ++r) {
+      if (dist[r] < best_dist[r]) {  // strict: ties keep the lowest index
+        best_dist[r] = dist[r];
+        best_reader[r] = i;
+      }
+    }
+  }
+  return best_reader;
+}
+
+void generate_routes(NetworkSpec& spec, int max_classes) {
+  const ChannelGraph g = make_channel_graph(spec);
+  const int num_routers = spec.num_routers();
+  const int num_resources =
+      static_cast<int>(spec.links.size() + spec.media.size());
+  spec.route_table.assign(
+      static_cast<std::size_t>(num_routers),
+      std::vector<RouteEntry>(static_cast<std::size_t>(num_routers)));
+
+  // Shortest paths, one Dijkstra per destination. Tie-break: the out-edge
+  // list is port-sorted and only strictly better candidates win, so equal
+  // cost goes to the lowest out port.
+  for (RouterId d = 0; d < num_routers; ++d) {
+    const std::vector<int> dist = distance_to(g, d);
+    for (RouterId r = 0; r < num_routers; ++r) {
+      if (r == d) continue;
+      PortId best_port = kInvalidId;
+      int best_cost = kInf;
+      for (const OutEdge& edge : g.out[static_cast<std::size_t>(r)]) {
+        const RouterId target = edge_target(g, edge, d);
+        const int through = dist[static_cast<std::size_t>(target)];
+        if (through >= kInf) continue;
+        const int cost = edge.weight + through;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_port = edge.port;
+        }
+      }
+      if (best_port == kInvalidId) {
+        throw std::runtime_error(
+            "topofile: router " + std::to_string(r) + " cannot reach router " +
+            std::to_string(d) + " (disconnected topology)");
+      }
+      spec.route_table[static_cast<std::size_t>(r)]
+                      [static_cast<std::size_t>(d)] = {best_port, 0};
+    }
+  }
+
+  // Resource-level dependency graph of the generated routes. Acyclic means
+  // the whole table is deadlock-free in a single VC class.
+  Digraph resource_deps(num_resources);
+  add_table_dependencies(g, spec.route_table, 1, resource_deps);
+  resource_deps.finalize();
+  if (find_cycle(resource_deps,
+                 std::vector<bool>(static_cast<std::size_t>(num_resources),
+                                   true))
+          .empty()) {
+    spec.vc_classes = {{0, spec.num_vcs}};
+    return;
+  }
+
+  // Cyclic: break every cycle with a feedback set, then stretch each route
+  // over ascending classes — the class steps up exactly when the path
+  // crosses a marked resource. Same-class dependencies therefore only
+  // involve unmarked resources, which are acyclic by construction, and
+  // cross-class dependencies always ascend: the (resource, class) CDG is
+  // acyclic (DESIGN.md §5j).
+  const std::vector<bool> marked = feedback_set(resource_deps);
+
+  // marks_remaining[r] (per destination) = marked resources left on the
+  // path r -> d; class = (num_classes - 1) - marks_remaining.
+  std::vector<std::vector<int>> remaining(
+      static_cast<std::size_t>(num_routers),
+      std::vector<int>(static_cast<std::size_t>(num_routers), 0));
+  int max_remaining = 0;
+  std::vector<int> chain;
+  for (RouterId d = 0; d < num_routers; ++d) {
+    std::vector<int> memo(static_cast<std::size_t>(num_routers), -1);
+    memo[static_cast<std::size_t>(d)] = 0;
+    for (RouterId r = 0; r < num_routers; ++r) {
+      if (memo[static_cast<std::size_t>(r)] >= 0) continue;
+      chain.clear();
+      RouterId at = r;
+      while (memo[static_cast<std::size_t>(at)] < 0) {
+        memo[static_cast<std::size_t>(at)] = -2;  // on the current chain
+        chain.push_back(at);
+        at = edge_target(g, route_edge(g, spec.route_table, at, d), d);
+        if (memo[static_cast<std::size_t>(at)] == -2) {
+          throw std::runtime_error("topofile: generated routing loop via router " +
+                                   std::to_string(at));
+        }
+      }
+      int acc = memo[static_cast<std::size_t>(at)];
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const OutEdge& edge = route_edge(g, spec.route_table, *it, d);
+        acc += marked[static_cast<std::size_t>(edge.resource)] ? 1 : 0;
+        memo[static_cast<std::size_t>(*it)] = acc;
+      }
+    }
+    for (RouterId r = 0; r < num_routers; ++r) {
+      if (r == d) continue;
+      remaining[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)] =
+          memo[static_cast<std::size_t>(r)];
+      max_remaining = std::max(max_remaining, memo[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  const int num_classes = max_remaining + 1;
+  const int budget = std::min(max_classes, spec.num_vcs);
+  if (num_classes > budget) {
+    const std::vector<int> cycle = find_cycle(
+        resource_deps,
+        std::vector<bool>(static_cast<std::size_t>(num_resources), true));
+    std::string label;
+    for (const int resource : cycle) {
+      if (!label.empty()) label += " -> ";
+      label += resource_label(spec, resource);
+    }
+    throw std::runtime_error(
+        "topofile: breaking routing cycles needs " +
+        std::to_string(num_classes) + " VC classes but only " +
+        std::to_string(budget) + " are available; offending cycle: " + label);
+  }
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (RouterId d = 0; d < num_routers; ++d) {
+      if (r == d) continue;
+      auto& entry = spec.route_table[static_cast<std::size_t>(r)]
+                                    [static_cast<std::size_t>(d)];
+      entry.vc_class = static_cast<std::int8_t>(
+          (num_classes - 1) -
+          remaining[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)]);
+    }
+  }
+  spec.vc_classes.clear();
+  for (int c = 0; c < num_classes - 1; ++c) {
+    spec.vc_classes.push_back({c, 1});
+  }
+  spec.vc_classes.push_back(
+      {num_classes - 1, spec.num_vcs - (num_classes - 1)});
+}
+
+DeadlockReport check_deadlock(const NetworkSpec& spec) {
+  const ChannelGraph g = make_channel_graph(spec);
+  const int num_classes = static_cast<int>(spec.vc_classes.size());
+  const int num_resources =
+      static_cast<int>(spec.links.size() + spec.media.size());
+  Digraph cdg(num_resources * num_classes);
+  add_table_dependencies(g, spec.route_table, num_classes, cdg);
+  if (spec.has_alt_routing()) {
+    add_table_dependencies(g, spec.route_table_alt, num_classes, cdg);
+  }
+  cdg.finalize();
+  const std::vector<int> cycle = find_cycle(
+      cdg, std::vector<bool>(
+               static_cast<std::size_t>(num_resources * num_classes), true));
+  DeadlockReport report;
+  if (cycle.empty()) return report;
+  report.deadlock_free = false;
+  for (const int node : cycle) {
+    report.cycle.push_back(resource_label(spec, node / num_classes) + "[class " +
+                           std::to_string(node % num_classes) + "]");
+  }
+  return report;
+}
+
+void require_deadlock_free(const NetworkSpec& spec) {
+  const DeadlockReport report = check_deadlock(spec);
+  if (report.deadlock_free) return;
+  std::string label;
+  for (const std::string& hop : report.cycle) {
+    if (!label.empty()) label += " -> ";
+    label += hop;
+  }
+  throw std::runtime_error("topofile: routing is not deadlock-free in '" +
+                           spec.name + "'; channel-dependency cycle: " + label);
+}
+
+}  // namespace ownsim::topofile

@@ -1,0 +1,66 @@
+// Route-table generation and deadlock checking over a NetworkSpec.
+//
+// Both operate on the spec's channel graph: one node per router, one edge
+// per point-to-point link and per shared-medium writer. The *resource* a
+// packet holds while traversing an edge is the link (dst-side input buffer)
+// or the whole shared medium (staging + reader buffer; all readers of one
+// medium are conservatively folded into a single resource).
+//
+// `generate_routes` fills the spec's primary route table with shortest
+// paths (Dijkstra over link latency, deterministic lowest-out-port
+// tie-break — on a CMesh with ports assigned E,W,N,S this reproduces XY
+// DOR exactly) and assigns escape VC classes: routes start in one class;
+// only when the route-induced channel-dependency graph is cyclic does the
+// generator compute a deterministic feedback set and stretch the routes
+// over ascending classes so every dependency cycle is broken (DESIGN.md
+// §5j has the proof sketch). Generation fails loudly when the class budget
+// cannot cover the cycles.
+//
+// `check_deadlock` is the independent verifier: it rebuilds the
+// channel-dependency graph from the *final* tables — hand-written or
+// generated, primary and alternate — over (resource, vc_class) nodes and
+// reports any cycle by channel name. Every topology loaded from a file
+// passes through it; the hand-built topologies are regression-tested
+// against it too.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "network/spec.hpp"
+
+namespace ownsim::topofile {
+
+/// Fills `spec.route_table` and `spec.vc_classes` (see file comment).
+/// Requires routers/nodes/links/media populated and `select_reader` set on
+/// every multi-reader medium. `max_classes` caps the escape-class count
+/// (clamped to `spec.num_vcs`; each class needs at least one VC).
+/// Throws std::runtime_error when a router cannot reach another or when
+/// breaking all dependency cycles needs more than `max_classes` classes.
+void generate_routes(NetworkSpec& spec, int max_classes);
+
+struct DeadlockReport {
+  bool deadlock_free = true;
+  /// One offending cycle, innermost first, as "channel-name[class N]"
+  /// labels; empty when deadlock_free.
+  std::vector<std::string> cycle;
+};
+
+/// Channel-dependency-graph cycle detection over the spec's route tables
+/// (primary and alternate). Only traffic-carrying pairs are walked: any
+/// source router toward destinations with attached nodes.
+DeadlockReport check_deadlock(const NetworkSpec& spec);
+
+/// Throws std::runtime_error naming the cycle unless `check_deadlock`
+/// passes.
+void require_deadlock_free(const NetworkSpec& spec);
+
+/// Reader choice for a multi-reader (SWMR) medium: for every destination
+/// router, the reader whose router is nearest by shortest-path latency
+/// (ties: lowest reader index). Index by destination router id.
+std::vector<int> nearest_reader_map(
+    const NetworkSpec& spec,
+    const std::vector<std::pair<RouterId, PortId>>& readers);
+
+}  // namespace ownsim::topofile

@@ -5,6 +5,8 @@
 // 128-bit flits (4-flit, 64 B packets).
 #pragma once
 
+#include <string>
+
 namespace ownsim {
 
 struct TopologyOptions {
@@ -31,6 +33,13 @@ struct TopologyOptions {
   /// the VC set split between the two) instead of plain XY DOR. Removes
   /// DOR's pathological behavior on transpose-like permutations.
   bool cmesh_o1turn = false;
+
+  /// File topology (topology=file:PATH) only. `topofile_text` is the file
+  /// body; when empty the builder reads `topofile_path`. The driver loads
+  /// the text at config-parse time so the serve cache key and the simulated
+  /// network always come from the same bytes.
+  std::string topofile_path;
+  std::string topofile_text;
 };
 
 }  // namespace ownsim

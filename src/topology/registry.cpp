@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "topofile/topofile.hpp"
 #include "topology/cmesh.hpp"
 #include "topology/optxb.hpp"
 #include "topology/own.hpp"
@@ -23,6 +24,7 @@ TopologyKind parse_topology(const std::string& name) {
   if (s == "optxb" || s == "crossbar") return TopologyKind::kOptXB;
   if (s == "pclos" || s == "p-clos" || s == "clos") return TopologyKind::kPClos;
   if (s == "own") return TopologyKind::kOwn;
+  if (s == "file") return TopologyKind::kFile;
   throw std::invalid_argument("unknown topology: " + name);
 }
 
@@ -33,6 +35,7 @@ const char* to_string(TopologyKind kind) {
     case TopologyKind::kOptXB: return "OptXB";
     case TopologyKind::kPClos: return "p-Clos";
     case TopologyKind::kOwn: return "OWN";
+    case TopologyKind::kFile: return "file";
   }
   return "?";
 }
@@ -49,6 +52,7 @@ NetworkSpec build_topology(TopologyKind kind, const TopologyOptions& options) {
     case TopologyKind::kOptXB: return build_optxb(options);
     case TopologyKind::kPClos: return build_pclos(options);
     case TopologyKind::kOwn: return build_own(options);
+    case TopologyKind::kFile: return topofile::build_topofile(options);
   }
   throw std::invalid_argument("build_topology: bad kind");
 }

@@ -15,10 +15,11 @@ enum class TopologyKind {
   kOptXB,
   kPClos,
   kOwn,
+  kFile,  ///< declarative topology file (src/topofile/)
 };
 
-/// "cmesh", "wcmesh"/"wireless-cmesh", "optxb", "pclos"/"p-clos", "own".
-/// Throws std::invalid_argument on unknown names.
+/// "cmesh", "wcmesh"/"wireless-cmesh", "optxb", "pclos"/"p-clos", "own",
+/// "file". Throws std::invalid_argument on unknown names.
 TopologyKind parse_topology(const std::string& name);
 
 const char* to_string(TopologyKind kind);
