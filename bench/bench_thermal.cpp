@@ -5,7 +5,8 @@
 // Runs OWN-256 with the paper's corner placement and with the center-of-
 // cluster strawman under uniform traffic, attributes the measured power to
 // the floorplan, solves a thermal proxy, and reports hotspot and load
-// balance for both.
+// balance for both. Emits a schema-v2 BenchRecord so perf_compare.py tracks
+// the thermal numbers against bench/baselines/ci.json.
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -19,8 +20,15 @@
 
 int main() {
   using namespace ownsim;
+  const WallTimer timer;
   bench::print_header("antenna placement: corners vs cluster center",
                       "Section III.A");
+
+  BenchRecord record;
+  record.bench = "bench_thermal";
+  record.paper_ref = "Section III.A";
+  record.config = bench::phase_preset_name();
+  const Cycle cycles = bench_quick_mode() ? 3000 : 8000;
 
   Table table({"placement", "peak_dC", "mean_dC", "stddev_dC", "hotspot_at",
                "max/mean router W"});
@@ -34,7 +42,7 @@ int main() {
     injector_params.rate = 0.005;
     Injector injector(&network, pattern, injector_params);
     network.engine().add(&injector);
-    network.engine().run(8000);
+    network.engine().run(cycles);
 
     const ChannelEnergyModel channels(OwnConfig::kConfig4, Scenario::kIdeal);
     const std::vector<double> power =
@@ -57,11 +65,27 @@ int main() {
          '(' + Table::num(stats.peak_x.in(1.0_mm), 0) + ',' +
              Table::num(stats.peak_y.in(1.0_mm), 0) + ")mm",
          Table::num(max_power / mean_power, 2) + "x"});
+
+    const std::string key =
+        placement == AntennaPlacement::kCorners ? "corners" : "center";
+    record.metrics.push_back({"peak_dC." + key, stats.peak_c, "degC",
+                              /*deterministic=*/true, "lower"});
+    record.metrics.push_back({"mean_dC." + key, stats.mean_c, "degC",
+                              /*deterministic=*/true, "lower"});
+    record.metrics.push_back({"stddev_dC." + key, stats.stddev_c, "degC",
+                              /*deterministic=*/true, "lower"});
+    record.metrics.push_back({"power_ratio." + key, max_power / mean_power,
+                              "x", /*deterministic=*/true, "lower"});
   }
   table.print(std::cout);
   std::cout << "\nCenter placement funnels every inter-cluster packet through\n"
                "four adjacent tiles: expect a hotter peak, a larger spatial\n"
                "spread and a worse per-router load ratio — the paper's\n"
                "argument for corner isolation.\n";
+
+  record.metrics.push_back(
+      {"wall_seconds", timer.seconds(), "s", /*deterministic=*/false,
+       "lower"});
+  emit_bench_json(record);
   return 0;
 }

@@ -75,12 +75,31 @@ void print_help() {
       "  fault_flap_down   flap outage length, cycles             [200]\n"
       "  fault_horizon     random events land in [1, horizon]     [4000]\n"
       "  fault_kill        src:dst@cycle — kill the wireless channel\n"
-      "             between those clusters mid-run (OWN-256)\n"
+      "             between those clusters mid-run (OWN-256, rerouted\n"
+      "             online); or link:IDX@cycle — kill wireless link index\n"
+      "             IDX on any topology (file: included; no reroute)\n"
       "  fault_token_loss  medium@cycle:recovery — lose the token of\n"
       "             medium index at cycle; recovery is cycles until the\n"
       "             token regenerates, or 'never'\n"
       "  watchdog   no-progress window in cycles, 0 = off; a trip dumps\n"
-      "             diagnostics to stderr and exits with code 3   [0]\n";
+      "             diagnostics to stderr and exits with code 3   [0]\n"
+      "adaptive link layer (single-point mode; see DESIGN.md 5k):\n"
+      "  adapt      1: close the thermal/variation physical loop    [0]\n"
+      "  adapt_react        0: physical state only (static links)   [1]\n"
+      "  adapt_refresh      physical-state refresh period, cycles   [1000]\n"
+      "  adapt_seed         per-die variation sample seed           [1]\n"
+      "  adapt_sigma_db     transceiver gain spread, std dev dB     [0.5]\n"
+      "  adapt_ring_sigma_c ring detuning spread, degC              [1.0]\n"
+      "  adapt_snr_required_db, adapt_margin_db   operating point   [17/2.5]\n"
+      "  adapt_temp_coeff   margin lost per degC of heating         [0.05]\n"
+      "  adapt_alpha        temperature smoothing (1 = no memory)   [0.5]\n"
+      "  adapt_iterations   online thermal relaxation iterations    [400]\n"
+      "  adapt_backoff_enter/exit/gain   rate-backoff hysteresis\n"
+      "             band and dB bought per level               [1/2/3]\n"
+      "  adapt_max_backoff  deepest backoff level                   [2]\n"
+      "  adapt_sustain      refreshes before a reaction latches     [2]\n"
+      "  adapt_realloc_enter/exit   OWN-256 re-allocation band      [0/1]\n"
+      "  adapt_trim_uw      ring trimming power, uW per degC        [50]\n";
 }
 
 /// Parses "0.001:0.002:0.004" into rates; throws on junk.
@@ -158,6 +177,11 @@ int main(int argc, char** argv) {
       if (config.fault.enabled) {
         throw std::invalid_argument(
             "fault campaigns run in single-point mode, not sweep mode");
+      }
+      if (config.adapt.enabled) {
+        throw std::invalid_argument(
+            "the adaptive link layer runs in single-point mode, not sweep "
+            "mode");
       }
       SweepOptions sweep_options;
       sweep_options.rates = parse_rates(args.require_string("sweep"));
@@ -286,6 +310,26 @@ int main(int argc, char** argv) {
         summary.add_row(
             {"watchdog", result.watchdog_tripped ? "TRIPPED" : "ok"});
       }
+    }
+    if (config.adapt.enabled) {
+      if (!config.fault.enabled) {
+        summary.add_row(
+            {"crc errors", std::to_string(result.fault.crc_errors)});
+        summary.add_row(
+            {"retransmissions", std::to_string(result.fault.retransmissions)});
+      }
+      summary.add_row(
+          {"adapt refreshes", std::to_string(result.adapt.refreshes)});
+      summary.add_row(
+          {"adapt backoffs", std::to_string(result.adapt.backoffs)});
+      summary.add_row({"adapt reallocations",
+                       std::to_string(result.adapt.reallocations)});
+      summary.add_row(
+          {"peak temp rise (C)", Table::num(result.adapt.peak_temp_c, 2)});
+      summary.add_row(
+          {"min margin (dB)", Table::num(result.adapt.min_margin_db, 2)});
+      summary.add_row(
+          {"trim power (mW)", Table::num(result.adapt.trim_avg_mw, 3)});
     }
     summary.print(std::cout);
 

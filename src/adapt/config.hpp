@@ -1,0 +1,90 @@
+// Configuration of the thermal/variation-driven adaptive link layer
+// (DESIGN.md §5k).
+//
+// The adaptation loop closes the physical feedback the paper leaves open:
+// every `refresh` cycles the controller re-attributes the simulated power to
+// the floorplan, relaxes the thermal proxy (power/thermal.hpp), combines the
+// temperature field with a per-die variation sample (adapt/variation.hpp)
+// into an effective link margin per wireless/photonic channel, and feeds the
+// resulting BER into the live reliability protocol (fault/protocol.hpp).
+// With `react` set it additionally backs off the modulation rate of
+// stressed wireless channels, re-allocates OWN-256 traffic away from
+// unrecoverable channels, and charges photonic ring trimming power.
+#pragma once
+
+#include <cstdint>
+
+#include "common/quantity.hpp"
+#include "common/types.hpp"
+
+namespace ownsim::adapt {
+
+struct AdaptConfig {
+  bool enabled = false;
+  /// Run reactions (rate backoff, re-allocation, trimming). Off: the physical
+  /// state loop still drives the live BER, but nothing adapts — the
+  /// "static links under thermal stress" baseline of bench_adapt.
+  bool react = true;
+
+  Cycle refresh = 1000;  ///< physical-state refresh period, cycles (>= 1)
+
+  // ---- per-die variation sample (drawn once, adapt/variation.hpp) ---------
+  std::uint64_t variation_seed = 1;
+  double variation_sigma_db = 0.5;  ///< transceiver gain spread, std dev dB
+  double ring_sigma_c = 1.0;        ///< photonic ring detuning spread, degC
+
+  // ---- margin model -------------------------------------------------------
+  /// Effective margin of a wireless channel:
+  ///   margin_db = base_margin - temp_coeff * dT - variation
+  ///               + backoff_gain * backoff_level
+  /// and its live BER is ber_at_margin(snr_required, margin).
+  Decibels snr_required{17.0};
+  Decibels base_margin{2.5};
+  double temp_coeff_db_per_c = 0.05;  ///< margin lost per degC of heating
+  /// Exponential smoothing of the per-entity temperature samples
+  /// (1.0 = no memory, use the latest window only).
+  double thermal_alpha = 0.5;
+  /// Jacobi iterations of the online thermal relaxation (cheaper than the
+  /// offline bench preset; the loop runs every refresh).
+  int thermal_iterations = 400;
+
+  // ---- reactions (react == true) ------------------------------------------
+  /// Rate backoff: each level multiplies the wireless cycles-per-flit by
+  /// (1 + level) and buys `backoff_gain` dB of margin (slower symbols,
+  /// more energy per bit at the detector). Hysteresis: a level is entered
+  /// below `backoff_enter` and left only above `backoff_exit` (> enter),
+  /// each after `sustain` consecutive refreshes (adapt/governor.hpp).
+  double backoff_enter_db = 1.0;
+  double backoff_exit_db = 2.0;
+  double backoff_gain_db = 3.0;
+  int max_backoff = 2;
+  int sustain = 2;
+
+  /// Re-allocation (OWN-256 point-to-point wireless only): when even the
+  /// deepest backoff leaves the margin below `realloc_enter`, the channel's
+  /// cluster pair is routed around on the 2-wireless-hop degraded paths
+  /// (topology/own_fault.hpp); restored once the margin at full backoff
+  /// recovers above `realloc_exit`. Same `sustain` streak rule.
+  double realloc_enter_db = 0.0;
+  double realloc_exit_db = 1.0;
+
+  /// Photonic trimming: heater power spent keeping rings on resonance,
+  /// `trim_uw_per_c` microwatts per degC of detuning (temperature rise plus
+  /// the ring's variation offset) per photonic channel; charged into the
+  /// photonic laser/tuning bucket of the energy model.
+  double trim_uw_per_c = 50.0;
+};
+
+/// Deterministic adaptation totals, serialized with the experiment result
+/// (driver/simulate.hpp) when the loop is enabled.
+struct Totals {
+  bool enabled = false;
+  std::int64_t refreshes = 0;       ///< physical-state refreshes run
+  std::int64_t backoffs = 0;        ///< wireless rate-backoff level increases
+  std::int64_t reallocations = 0;   ///< OWN-256 cluster pairs routed around
+  double trim_avg_mw = 0.0;         ///< time-averaged photonic trimming power
+  double peak_temp_c = 0.0;         ///< hottest thermal cell seen, degC rise
+  double min_margin_db = 0.0;       ///< worst effective wireless margin seen
+};
+
+}  // namespace ownsim::adapt

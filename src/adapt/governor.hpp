@@ -1,0 +1,81 @@
+// Hysteresis governor for per-link rate backoff (DESIGN.md §5k).
+//
+// A pure state machine, one instance per adaptive wireless entity, stepped
+// once per physical-state refresh with the entity's *raw* margin (before any
+// backoff gain). It decides the backoff level — each level multiplies the
+// link's cycles-per-flit by (level + 1) and buys `gain_db` of margin — with
+// two defenses against flapping routes/rates when the temperature field
+// oscillates around a threshold:
+//
+//   1. a hysteresis band: a level is entered when the *effective* margin
+//      (raw + level * gain) falls below `enter_db`, but only released when
+//      the margin that would result after stepping down — raw with one level
+//      fewer — clears `exit_db` > `enter_db`;
+//   2. a sustain requirement: either transition needs `sustain` consecutive
+//      refreshes voting the same way; any refresh that votes otherwise
+//      resets the streak.
+//
+// Pure and deterministic: same margin sequence in, same level sequence out,
+// which is what keeps the adaptation loop bit-identical across kernels.
+#pragma once
+
+#include <algorithm>
+
+namespace ownsim::adapt {
+
+class Governor {
+ public:
+  struct Params {
+    double enter_db = 1.0;  ///< step up when effective margin below this
+    double exit_db = 2.0;   ///< step down when post-release margin above this
+    double gain_db = 3.0;   ///< margin bought per backoff level
+    int max_level = 2;      ///< deepest backoff (cpf multiplier max_level+1)
+    int sustain = 2;        ///< consecutive refreshes before a transition
+  };
+
+  Governor() = default;
+  explicit Governor(const Params& p) : p_(p) {}
+
+  /// Steps the governor with the raw (backoff-free) margin of this refresh.
+  /// Returns true when the backoff level changed.
+  bool observe(double raw_margin_db) {
+    const double effective = raw_margin_db + p_.gain_db * level_;
+    if (effective < p_.enter_db && level_ < p_.max_level) {
+      high_streak_ = 0;
+      if (++low_streak_ >= p_.sustain) {
+        ++level_;
+        low_streak_ = 0;
+        return true;
+      }
+      return false;
+    }
+    // Release only if the margin would still clear the exit threshold after
+    // dropping a level — otherwise the very next refresh would re-enter.
+    if (level_ > 0 && raw_margin_db + p_.gain_db * (level_ - 1) > p_.exit_db) {
+      low_streak_ = 0;
+      if (++high_streak_ >= p_.sustain) {
+        --level_;
+        high_streak_ = 0;
+        return true;
+      }
+      return false;
+    }
+    low_streak_ = 0;
+    high_streak_ = 0;
+    return false;
+  }
+
+  int level() const { return level_; }
+  /// Effective margin at the current level for a given raw margin.
+  double effective_db(double raw_margin_db) const {
+    return raw_margin_db + p_.gain_db * level_;
+  }
+
+ private:
+  Params p_;
+  int level_ = 0;
+  int low_streak_ = 0;
+  int high_streak_ = 0;
+};
+
+}  // namespace ownsim::adapt

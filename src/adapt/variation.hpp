@@ -1,0 +1,55 @@
+// Per-die process-variation sampling for the adaptive link layer.
+//
+// Each physical entity (wireless transceiver pair, photonic ring group) gets
+// a fixed offset drawn once per die from `variation_seed`: transceivers a
+// gain offset in dB, rings a resonance detuning in degC-equivalent. Offsets
+// are approximately Gaussian via the Irwin-Hall construction (sum of 12
+// uniforms minus 6 is N(0,1) to within ~1e-2 over ±3 sigma) — good enough
+// for a spread model and keeps the repo on the single xoshiro `Rng` scheme
+// (no std distributions, see tools/lint_determinism.py).
+//
+// Stream layout (disjoint from fault::Campaign's 7/100+i/100000+m blocks by
+// construction because the streams derive from `variation_seed`, not the
+// injector seed; the offsets below are still kept distinct so a shared seed
+// would not alias either):
+//   kStreamLinkBase + link_index     — per-link transceiver/ring sample
+//   kStreamMediumBase + medium_index — per-medium sample
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ownsim::adapt {
+
+inline constexpr std::uint64_t kStreamLinkBase = 1000;
+inline constexpr std::uint64_t kStreamMediumBase = 500000;
+
+/// Standard-normal-ish sample via Irwin-Hall: sum of 12 U(0,1) minus 6.
+inline double irwin_hall_gauss(Rng& rng) {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) sum += rng.uniform();
+  return sum - 6.0;
+}
+
+/// The fixed per-entity variation sample: a transceiver gain offset (dB,
+/// subtracted from the link margin) and a ring detuning (degC-equivalent,
+/// added to the trimming load). Drawn once at controller construction.
+struct VariationSample {
+  double gain_offset_db = 0.0;
+  double ring_detune_c = 0.0;
+};
+
+/// Draws the sample for one entity. `stream` must be unique per entity
+/// (kStreamLinkBase + i or kStreamMediumBase + m).
+inline VariationSample draw_variation(std::uint64_t variation_seed,
+                                      std::uint64_t stream, double sigma_db,
+                                      double ring_sigma_c) {
+  Rng rng(derive_seed(variation_seed, stream));
+  VariationSample s;
+  s.gain_offset_db = sigma_db * irwin_hall_gauss(rng);
+  s.ring_detune_c = ring_sigma_c * irwin_hall_gauss(rng);
+  return s;
+}
+
+}  // namespace ownsim::adapt

@@ -13,7 +13,7 @@ namespace {
 using serve::Json;
 
 /// Bump on any change to simulated results or the stored payload layout.
-constexpr char kCodeVersionTag[] = "ownsim-2026.08-serve1";
+constexpr char kCodeVersionTag[] = "ownsim-2026.08-serve2";
 
 const char* to_string(fault::EventKind kind) {
   switch (kind) {
@@ -31,17 +31,23 @@ fault::EventKind parse_event_kind(const std::string& name) {
   throw std::invalid_argument("bad fault event kind: " + name);
 }
 
-/// Parses "src:dst@cycle" into a kill event.
+/// Parses "src:dst@cycle" (OWN-256 cluster pair, rerouted online) or
+/// "link:IDX@cycle" (point-to-point link index on any topology, no reroute)
+/// into a kill event.
 fault::Event parse_kill(const std::string& s) {
   fault::Event event;
   event.kind = fault::EventKind::kKill;
   const std::size_t colon = s.find(':');
   const std::size_t at = s.find('@');
   if (colon == std::string::npos || at == std::string::npos || at < colon) {
-    throw std::invalid_argument("fault_kill: want src:dst@cycle");
+    throw std::invalid_argument("fault_kill: want src:dst@cycle or link:IDX@cycle");
   }
-  event.src_cluster = std::stoi(s.substr(0, colon));
-  event.dst_cluster = std::stoi(s.substr(colon + 1, at - colon - 1));
+  if (s.rfind("link:", 0) == 0) {
+    event.link = std::stoi(s.substr(colon + 1, at - colon - 1));
+  } else {
+    event.src_cluster = std::stoi(s.substr(0, colon));
+    event.dst_cluster = std::stoi(s.substr(colon + 1, at - colon - 1));
+  }
   event.at = std::stoll(s.substr(at + 1));
   return event;
 }
@@ -215,6 +221,34 @@ ExperimentConfig parse_experiment_config(const Config& args) {
   config.fault.watchdog = watchdog_window > 0;
   config.fault.watchdog_window =
       config.fault.watchdog ? watchdog_window : Cycle{20000};
+
+  adapt::AdaptConfig& a = config.adapt;
+  a.enabled = args.get_bool("adapt", false);
+  a.react = args.get_bool("adapt_react", a.react);
+  a.refresh = args.get_int("adapt_refresh", a.refresh);
+  a.variation_seed = static_cast<std::uint64_t>(args.get_int(
+      "adapt_seed", static_cast<std::int64_t>(a.variation_seed)));
+  a.variation_sigma_db = args.get_double("adapt_sigma_db", a.variation_sigma_db);
+  a.ring_sigma_c = args.get_double("adapt_ring_sigma_c", a.ring_sigma_c);
+  a.snr_required =
+      Decibels{args.get_double("adapt_snr_required_db", a.snr_required.db())};
+  a.base_margin =
+      Decibels{args.get_double("adapt_margin_db", a.base_margin.db())};
+  a.temp_coeff_db_per_c =
+      args.get_double("adapt_temp_coeff", a.temp_coeff_db_per_c);
+  a.thermal_alpha = args.get_double("adapt_alpha", a.thermal_alpha);
+  a.thermal_iterations = static_cast<int>(
+      args.get_int("adapt_iterations", a.thermal_iterations));
+  a.backoff_enter_db = args.get_double("adapt_backoff_enter", a.backoff_enter_db);
+  a.backoff_exit_db = args.get_double("adapt_backoff_exit", a.backoff_exit_db);
+  a.backoff_gain_db = args.get_double("adapt_backoff_gain", a.backoff_gain_db);
+  a.max_backoff =
+      static_cast<int>(args.get_int("adapt_max_backoff", a.max_backoff));
+  a.sustain = static_cast<int>(args.get_int("adapt_sustain", a.sustain));
+  a.realloc_enter_db =
+      args.get_double("adapt_realloc_enter", a.realloc_enter_db);
+  a.realloc_exit_db = args.get_double("adapt_realloc_exit", a.realloc_exit_db);
+  a.trim_uw_per_c = args.get_double("adapt_trim_uw", a.trim_uw_per_c);
   return config;
 }
 
@@ -282,6 +316,27 @@ std::string canonical_config_json(const ExperimentConfig& config) {
   o["power.legacy_wireless_pj_per_bit"] = Json(p.legacy_wireless_pj_per_bit);
   o["power.wireless_static_mw_per_channel"] =
       Json(p.wireless_static_mw_per_channel);
+
+  const adapt::AdaptConfig& a = config.adapt;
+  o["adapt.enabled"] = Json(a.enabled);
+  o["adapt.react"] = Json(a.react);
+  o["adapt.refresh"] = Json(a.refresh);
+  o["adapt.variation_seed"] = Json(static_cast<std::int64_t>(a.variation_seed));
+  o["adapt.variation_sigma_db"] = Json(a.variation_sigma_db);
+  o["adapt.ring_sigma_c"] = Json(a.ring_sigma_c);
+  o["adapt.snr_required_db"] = Json(a.snr_required.db());
+  o["adapt.base_margin_db"] = Json(a.base_margin.db());
+  o["adapt.temp_coeff_db_per_c"] = Json(a.temp_coeff_db_per_c);
+  o["adapt.thermal_alpha"] = Json(a.thermal_alpha);
+  o["adapt.thermal_iterations"] = Json(a.thermal_iterations);
+  o["adapt.backoff_enter_db"] = Json(a.backoff_enter_db);
+  o["adapt.backoff_exit_db"] = Json(a.backoff_exit_db);
+  o["adapt.backoff_gain_db"] = Json(a.backoff_gain_db);
+  o["adapt.max_backoff"] = Json(a.max_backoff);
+  o["adapt.sustain"] = Json(a.sustain);
+  o["adapt.realloc_enter_db"] = Json(a.realloc_enter_db);
+  o["adapt.realloc_exit_db"] = Json(a.realloc_exit_db);
+  o["adapt.trim_uw_per_c"] = Json(a.trim_uw_per_c);
 
   const fault::CampaignConfig& f = config.fault;
   o["fault.enabled"] = Json(f.enabled);
@@ -386,6 +441,44 @@ ExperimentConfig experiment_config_from_canonical_json(std::string_view json) {
       c.power.legacy_wireless_pj_per_bit = v.as_double();
     } else if (key == "power.wireless_static_mw_per_channel") {
       c.power.wireless_static_mw_per_channel = v.as_double();
+    } else if (key == "adapt.enabled") {
+      c.adapt.enabled = v.as_bool();
+    } else if (key == "adapt.react") {
+      c.adapt.react = v.as_bool();
+    } else if (key == "adapt.refresh") {
+      c.adapt.refresh = v.as_int();
+    } else if (key == "adapt.variation_seed") {
+      c.adapt.variation_seed = static_cast<std::uint64_t>(v.as_int());
+    } else if (key == "adapt.variation_sigma_db") {
+      c.adapt.variation_sigma_db = v.as_double();
+    } else if (key == "adapt.ring_sigma_c") {
+      c.adapt.ring_sigma_c = v.as_double();
+    } else if (key == "adapt.snr_required_db") {
+      c.adapt.snr_required = Decibels{v.as_double()};
+    } else if (key == "adapt.base_margin_db") {
+      c.adapt.base_margin = Decibels{v.as_double()};
+    } else if (key == "adapt.temp_coeff_db_per_c") {
+      c.adapt.temp_coeff_db_per_c = v.as_double();
+    } else if (key == "adapt.thermal_alpha") {
+      c.adapt.thermal_alpha = v.as_double();
+    } else if (key == "adapt.thermal_iterations") {
+      c.adapt.thermal_iterations = static_cast<int>(v.as_int());
+    } else if (key == "adapt.backoff_enter_db") {
+      c.adapt.backoff_enter_db = v.as_double();
+    } else if (key == "adapt.backoff_exit_db") {
+      c.adapt.backoff_exit_db = v.as_double();
+    } else if (key == "adapt.backoff_gain_db") {
+      c.adapt.backoff_gain_db = v.as_double();
+    } else if (key == "adapt.max_backoff") {
+      c.adapt.max_backoff = static_cast<int>(v.as_int());
+    } else if (key == "adapt.sustain") {
+      c.adapt.sustain = static_cast<int>(v.as_int());
+    } else if (key == "adapt.realloc_enter_db") {
+      c.adapt.realloc_enter_db = v.as_double();
+    } else if (key == "adapt.realloc_exit_db") {
+      c.adapt.realloc_exit_db = v.as_double();
+    } else if (key == "adapt.trim_uw_per_c") {
+      c.adapt.trim_uw_per_c = v.as_double();
     } else if (key == "fault.enabled") {
       c.fault.enabled = v.as_bool();
     } else if (key == "fault.seed") {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "adapt/controller.hpp"
 #include "common/numfmt.hpp"
 #include "exec/thread_pool.hpp"
 #include "metrics/report.hpp"
@@ -29,11 +30,8 @@ NetworkFactory make_network_factory(TopologyKind topology,
 }
 
 NetworkSpec build_experiment_spec(const ExperimentConfig& config) {
-  if (config.fault.enabled && config.topology == TopologyKind::kFile) {
-    throw std::invalid_argument(
-        "fault campaigns are not supported on file: topologies");
-  }
-  if (config.fault.enabled && config.topology == TopologyKind::kOwn &&
+  if ((config.fault.enabled || config.adapt.enabled) &&
+      config.topology == TopologyKind::kOwn &&
       config.options.num_cores == 256) {
     // Campaign-capable OWN-256: the healthy floorplan (no pre-declared
     // faults) built with the degraded 5-class route scheme, so a mid-run
@@ -77,6 +75,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   Injector injector(&network, pattern, injector_params);
   network.engine().add(&injector);
 
+  // File topologies report (and meter energy) as the topology they emulate,
+  // so an exported OWN-256 file is byte-identical to the hand-built one.
+  const TopologyKind reported =
+      config.topology == TopologyKind::kFile
+          ? topofile::topofile_reporting_kind(config.options)
+          : config.topology;
+  std::optional<ChannelEnergyModel> channel_energy = own_channel_energy(
+      reported, config.options.num_cores, config.own_config, config.scenario);
+
   std::unique_ptr<fault::FaultCampaign> campaign =
       make_campaign(network, config);
   exec::CancellationToken token = hooks.cancel;
@@ -87,6 +94,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
           {hooks.cancel, campaign->watchdog()->token()});
     }
   }
+  // The adaptation controller registers after the campaign (and after every
+  // network component): both mutate the network at cycle boundaries, and a
+  // fixed registration order is part of the bit-identity argument (§5k).
+  std::unique_ptr<adapt::AdaptController> adapt_ctl;
+  if (config.adapt.enabled) {
+    adapt_ctl = std::make_unique<adapt::AdaptController>(
+        &network, config.adapt, config.power,
+        channel_energy.has_value() ? &*channel_energy : nullptr,
+        config.options.clock_ghz);
+    adapt_ctl->attach(campaign != nullptr ? &campaign->protocol() : nullptr);
+  }
   if (hooks.before_run) hooks.before_run(network);
 
   ExperimentResult result;
@@ -96,25 +114,37 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     result.fault = campaign->totals();
     result.watchdog_tripped = campaign->watchdog_tripped();
   }
-
-  // File topologies report (and meter energy) as the topology they emulate,
-  // so an exported OWN-256 file is byte-identical to the hand-built one.
-  const TopologyKind reported =
-      config.topology == TopologyKind::kFile
-          ? topofile::topofile_reporting_kind(config.options)
-          : config.topology;
+  if (adapt_ctl != nullptr) {
+    result.adapt = adapt_ctl->totals();
+    if (campaign == nullptr) {
+      // Adapt-only runs still corrupt flits through the live-BER path; fold
+      // the link-layer totals in so the result reflects them (the campaign
+      // already does this through its own totals()).
+      for (std::size_t i = 0; i < network.num_network_channels(); ++i) {
+        const LinkFaultCounters& fc =
+            network.network_channel(i).fault_counters();
+        result.fault.crc_errors += fc.crc_errors;
+        result.fault.retransmissions += fc.retransmissions;
+      }
+      for (std::size_t m = 0; m < network.num_media(); ++m) {
+        const MediumCounters& mc = network.medium(m).counters();
+        result.fault.crc_errors += mc.crc_errors;
+        result.fault.retransmissions += mc.retransmissions;
+        result.fault.token_recoveries += mc.token_recoveries;
+      }
+    }
+  }
 
   // A run cancelled before its first slice has no elapsed cycles, and the
   // energy model (rightly) refuses a never-simulated network. Cancelled
   // results are partial either way — power stays zeroed in that case.
   if (!result.run.cancelled || result.run.cycles_simulated > 0) {
-    EnergyModel energy(config.power,
-                       own_channel_energy(reported,
-                                          config.options.num_cores,
-                                          config.own_config, config.scenario));
-    result.power = energy.compute(network, config.options.clock_ghz);
-    result.energy_per_packet_pj =
-        energy.energy_per_packet_pj(network, config.options.clock_ghz);
+    EnergyModel energy(config.power, channel_energy);
+    const double trim_w =
+        adapt_ctl != nullptr ? adapt_ctl->trim_avg_w() : 0.0;
+    result.power = energy.compute(network, config.options.clock_ghz, trim_w);
+    result.energy_per_packet_pj = energy.energy_per_packet_pj(
+        network, config.options.clock_ghz, trim_w);
   }
 
   result.counters.reserve(network.obs().size());
@@ -139,7 +169,25 @@ std::string experiment_result_json(const ExperimentResult& result) {
   // Keys in sorted order at every level (see append_run_result_canonical_json
   // for why: parse -> dump through the serve JSON layer must be a no-op).
   std::string out;
-  out += "{\"counters\":{";
+  out += "{";
+  if (result.adapt.enabled) {
+    // Emitted only when the adaptation loop ran: adapt=0 results keep
+    // today's byte layout exactly.
+    out += "\"adapt\":{\"backoffs\":";
+    out += format_int(result.adapt.backoffs);
+    out += ",\"enabled\":true,\"min_margin_db\":";
+    out += format_double(result.adapt.min_margin_db);
+    out += ",\"peak_temp_c\":";
+    out += format_double(result.adapt.peak_temp_c);
+    out += ",\"reallocations\":";
+    out += format_int(result.adapt.reallocations);
+    out += ",\"refreshes\":";
+    out += format_int(result.adapt.refreshes);
+    out += ",\"trim_avg_mw\":";
+    out += format_double(result.adapt.trim_avg_mw);
+    out += "},";
+  }
+  out += "\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : result.counters) {
     if (!first) out += ",";

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "adapt/config.hpp"
 #include "fault/campaign.hpp"
 #include "metrics/runner.hpp"
 #include "metrics/sweep.hpp"
@@ -56,6 +57,11 @@ struct ExperimentConfig {
   /// 5-class degraded route scheme, so mid-run deaths can reroute online.
   fault::CampaignConfig fault;
 
+  /// Thermal/variation-driven adaptive link layer (adapt/, DESIGN.md §5k).
+  /// Enabling it on OWN-256 also builds the campaign-capable topology so the
+  /// controller's wireless re-allocation can patch routes online.
+  adapt::AdaptConfig adapt;
+
   /// File topologies only: SHA-256 of the file body, carried so a config
   /// reconstructed from canonical JSON (options.topofile_text unavailable)
   /// still produces the same cache key as the original parse.
@@ -68,6 +74,7 @@ struct ExperimentResult {
   PowerBreakdown power;
   double energy_per_packet_pj = 0.0;
   fault::Totals fault{};           ///< zero when no campaign ran
+  adapt::Totals adapt{};           ///< zero/disabled when the loop was off
   bool watchdog_tripped = false;   ///< run was aborted by the watchdog
 
   /// Snapshot of the network's obs counter registry after the run
@@ -108,8 +115,9 @@ std::optional<ChannelEnergyModel> own_channel_energy(
 NetworkFactory make_network_factory(TopologyKind topology,
                                     TopologyOptions options);
 
-/// Spec for `config`, honoring the fault campaign (campaign-capable OWN-256
-/// build when `config.fault.enabled`; the plain topology otherwise).
+/// Spec for `config`, honoring the fault campaign and the adaptation loop
+/// (campaign-capable OWN-256 build when `config.fault.enabled` or
+/// `config.adapt.enabled`; the plain topology otherwise).
 NetworkSpec build_experiment_spec(const ExperimentConfig& config);
 
 /// Campaign for `config`, validated against `network`; null when disabled.

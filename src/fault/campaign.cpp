@@ -87,11 +87,25 @@ FaultCampaign::FaultCampaign(Network* network, CampaignConfig config)
         }
         break;
       case EventKind::kKill:
-        (void)channel_for(event.src_cluster, event.dst_cluster);
-        if (spec.vc_classes.size() != 5) {
-          throw std::invalid_argument(
-              "FaultCampaign: kill events need the degraded 5-class route "
-              "scheme (build the network with build_own256_faulted)");
+        if (event.link >= 0) {
+          // Link-index form: kills any wireless point-to-point link on any
+          // topology (file: included). No reroute — the exhausted-backoff
+          // rate is the delivered service; detection/rerouting stays an
+          // OWN-256 cluster-pair feature.
+          if (static_cast<std::size_t>(event.link) >= spec.links.size() ||
+              spec.links[static_cast<std::size_t>(event.link)].medium !=
+                  MediumType::kWireless) {
+            throw std::invalid_argument(
+                "FaultCampaign: kill link is not a wireless link");
+          }
+        } else {
+          (void)channel_for(event.src_cluster, event.dst_cluster);
+          if (spec.vc_classes.size() != 5) {
+            throw std::invalid_argument(
+                "FaultCampaign: cluster-pair kill events need the degraded "
+                "5-class route scheme (build the network with "
+                "build_own256_faulted)");
+          }
         }
         break;
       case EventKind::kTokenLoss:
@@ -209,6 +223,11 @@ void FaultCampaign::apply(const Event& event, Cycle now) {
       break;
     }
     case EventKind::kKill: {
+      if (event.link >= 0) {
+        network_->network_channel_mut(static_cast<std::size_t>(event.link))
+            .set_dying(now);
+        break;
+      }
       const std::size_t link =
           channel_for(event.src_cluster, event.dst_cluster);
       network_->network_channel_mut(link).set_dying(now);

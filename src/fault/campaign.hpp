@@ -61,9 +61,12 @@ enum class EventKind : std::uint8_t {
   kTokenLoss  ///< shared medium loses its token until `recovery`
 };
 
-/// One scheduled fault event. kFlap targets either a spec link index
-/// (`link`) or an OWN-256 cluster pair; kKill always targets a cluster pair
-/// (the detector's reroute is cluster-level); kTokenLoss targets a medium.
+/// One scheduled fault event. kFlap and kKill target either a spec link
+/// index (`link`, any wireless link on any topology — file: included) or an
+/// OWN-256 cluster pair; only the cluster-pair kill form gets the detector's
+/// online reroute (it is cluster-level, and needs the 5-class degraded
+/// scheme) — a link-index kill leaves the exhausted-backoff rate as the
+/// delivered service. kTokenLoss targets a medium.
 struct Event {
   Cycle at = 0;  ///< injection cycle (>= 1)
   EventKind kind = EventKind::kFlap;

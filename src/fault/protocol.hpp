@@ -27,6 +27,18 @@
 
 namespace ownsim::fault {
 
+/// Probability that a `bits`-bit flit fails its CRC (>= 1 bit flipped) at a
+/// given per-bit error probability. Free so a hop with a *live* BER — the
+/// thermal/variation adaptation loop overrides the protocol's static
+/// operating point per channel (adapt/controller.hpp) — shares the exact
+/// formula with the static path.
+inline double flit_error_rate(double ber, std::uint32_t bits) {
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 1.0) return 1.0;
+  // 1 - (1-ber)^bits, computed in log space for tiny BERs.
+  return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+}
+
 struct Protocol {
   double ber = 0.0;         ///< per-bit error probability on protected hops
   int ack_timeout = 8;      ///< cycles per NACK round trip (>= 2)
@@ -35,10 +47,7 @@ struct Protocol {
 
   /// Probability that a `bits`-bit flit fails its CRC (>= 1 bit flipped).
   double flit_error_rate(std::uint32_t bits) const {
-    if (ber <= 0.0) return 0.0;
-    if (ber >= 1.0) return 1.0;
-    // 1 - (1-ber)^bits, computed in log space for tiny BERs.
-    return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+    return fault::flit_error_rate(ber, bits);
   }
 
   /// Extra delivery delay charged for failed reception number `attempt`

@@ -105,6 +105,18 @@ void Channel::set_fault_model(const fault::Protocol* protocol, Rng rng,
   }
 }
 
+void Channel::set_cycles_per_flit(int cycles_per_flit) {
+  if (cycles_per_flit < 1) {
+    throw std::invalid_argument("Channel: cycles_per_flit must be >= 1");
+  }
+  cycles_per_flit_ = cycles_per_flit;
+}
+
+double Channel::flit_error_p(std::uint32_t bits) const {
+  if (live_ber_ >= 0.0) return fault::flit_error_rate(live_ber_, bits);
+  return fault_->flit_error_rate(bits);
+}
+
 void Channel::apply_fault_on_accept(Timed& timed) {
   if (dying_) {
     // Every copy on a dead channel is lost; the flit completes only after
@@ -119,7 +131,7 @@ void Channel::apply_fault_on_accept(Timed& timed) {
     obs_retransmissions_.add(fault_->max_attempts);
     return;
   }
-  if (fault_rng_.uniform() < fault_->flit_error_rate(timed.flit.size_bits)) {
+  if (fault_rng_.uniform() < flit_error_p(timed.flit.size_bits)) {
     timed.flit.crc_error = true;
     ++fault_counters_.crc_errors;
     obs_crc_errors_.inc();
@@ -260,9 +272,8 @@ void Channel::eval(Cycle now) {
       ++t.attempts;
       ++fault_counters_.retransmissions;
       obs_retransmissions_.inc();
-      t.flit.crc_error =
-          t.attempts < fault_->max_attempts &&
-          fault_rng_.uniform() < fault_->flit_error_rate(t.flit.size_bits);
+      t.flit.crc_error = t.attempts < fault_->max_attempts &&
+                         fault_rng_.uniform() < flit_error_p(t.flit.size_bits);
       if (t.flit.crc_error) {
         ++fault_counters_.crc_errors;
         obs_crc_errors_.inc();

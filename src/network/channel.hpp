@@ -134,6 +134,18 @@ class Channel final : public Clocked {
 
   const LinkFaultCounters& fault_counters() const { return fault_counters_; }
 
+  // ---- online adaptation hooks (adapt/controller.hpp) -----------------------
+  /// Overrides the armed protocol's static `ber` for this channel's
+  /// corruption draws with a live, thermally-driven value; the protocol
+  /// keeps providing the timing parameters (ack_timeout, backoff, attempt
+  /// bound). Negative restores the static operating point.
+  void set_live_ber(double ber) { live_ber_ = ber; }
+  double live_ber() const { return live_ber_; }
+
+  /// Changes the serialization constraint for future accepts (per-link rate
+  /// backoff: slower symbols, more margin). In-flight flits are unaffected.
+  void set_cycles_per_flit(int cycles_per_flit);
+
   /// One line per in-flight/staged flit and pending credit (empty channel:
   /// no output). Diagnostic aid for the watchdog dump and parity debugging.
   void dump_state(std::ostream& os) const;
@@ -197,9 +209,13 @@ class Channel final : public Clocked {
   LinkCounters counters_;
   obs::Counter obs_flits_;
 
+  /// Per-flit corruption probability honoring a live-BER override.
+  double flit_error_p(std::uint32_t bits) const;
+
   // Fault-model state (null protocol = healthy channel, zero overhead).
   const fault::Protocol* fault_ = nullptr;
   Rng fault_rng_{};
+  double live_ber_ = -1.0;  ///< < 0: use the protocol's static ber
   bool dying_ = false;
   LinkFaultCounters fault_counters_;
   obs::Counter obs_crc_errors_;

@@ -87,6 +87,14 @@ void SharedMedium::set_fault_model(const fault::Protocol* protocol, Rng rng,
   }
 }
 
+void SharedMedium::set_cycles_per_flit(int cycles_per_flit) {
+  if (cycles_per_flit < 1) {
+    throw std::invalid_argument(
+        "SharedMedium: cycles_per_flit must be >= 1");
+  }
+  params_.cycles_per_flit = cycles_per_flit;
+}
+
 void SharedMedium::lose_token(Cycle now, Cycle recover_at) {
   if (params_.arbitration != ArbitrationKind::kTokenRing) {
     throw std::logic_error("SharedMedium::lose_token: medium has no token");
@@ -269,7 +277,9 @@ void SharedMedium::eval(Cycle now) {
       // medium only costs latency, never a flit.
       Cycle retry_delay = 0;
       if (fault_ != nullptr) {
-        const double p_flit = fault_->flit_error_rate(flit.size_bits);
+        const double p_flit =
+            live_ber_ >= 0.0 ? fault::flit_error_rate(live_ber_, flit.size_bits)
+                             : fault_->flit_error_rate(flit.size_bits);
         int attempt = 0;
         while (attempt < fault_->max_attempts &&
                fault_rng_.uniform() < p_flit) {

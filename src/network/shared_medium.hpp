@@ -144,6 +144,17 @@ class SharedMedium final : public Clocked {
   void lose_token(Cycle now, Cycle recover_at);
   bool token_lost() const { return token_loss_pending_; }
 
+  // ---- online adaptation hooks (adapt/controller.hpp) -----------------------
+  /// Overrides the armed protocol's static `ber` for this medium's
+  /// corruption draws with a live, thermally-driven value; timing parameters
+  /// still come from the protocol. Negative restores the static point.
+  void set_live_ber(double ber) { live_ber_ = ber; }
+  double live_ber() const { return live_ber_; }
+
+  /// Changes the serialization constraint for future launches (rate
+  /// backoff). The active transmission keeps its already-reserved slots.
+  void set_cycles_per_flit(int cycles_per_flit);
+
  private:
   // Writers stage packets per VC class. This is load-bearing for deadlock
   // freedom: in OWN, pre-wireless (class 0) and post-wireless (class 1)
@@ -226,6 +237,7 @@ class SharedMedium final : public Clocked {
   // Fault-model state (null protocol = healthy medium, zero overhead).
   const fault::Protocol* fault_ = nullptr;
   Rng fault_rng_{};
+  double live_ber_ = -1.0;  ///< < 0: use the protocol's static ber
   bool token_loss_pending_ = false;
   Cycle token_lost_until_ = kNeverCycle;
 

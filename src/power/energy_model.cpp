@@ -23,8 +23,8 @@ EnergyModel::EnergyModel(PowerParams params,
                          std::optional<ChannelEnergyModel> own_channels)
     : params_(params), own_channels_(std::move(own_channels)) {}
 
-PowerBreakdown EnergyModel::compute(const Network& network,
-                                    double clock_ghz) const {
+PowerBreakdown EnergyModel::compute(const Network& network, double clock_ghz,
+                                    double extra_photonic_static_w) const {
   const Cycle elapsed = network.engine().now();
   if (elapsed <= 0) {
     throw std::logic_error("EnergyModel: network has not simulated yet");
@@ -146,12 +146,15 @@ PowerBreakdown EnergyModel::compute(const Network& network,
     }
   }
 
+  breakdown.photonic_laser_w += extra_photonic_static_w;
   return breakdown;
 }
 
 double EnergyModel::energy_per_packet_pj(const Network& network,
-                                         double clock_ghz) const {
-  const PowerBreakdown breakdown = compute(network, clock_ghz);
+                                         double clock_ghz,
+                                         double extra_photonic_static_w) const {
+  const PowerBreakdown breakdown =
+      compute(network, clock_ghz, extra_photonic_static_w);
   const double seconds =
       static_cast<double>(network.engine().now()) / (clock_ghz * 1e9);
   const double packets =

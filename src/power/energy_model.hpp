@@ -44,11 +44,15 @@ class EnergyModel {
 
   /// Average power over everything the network has simulated so far
   /// (elapsed = network.engine().now() cycles at `clock_ghz`).
-  PowerBreakdown compute(const Network& network, double clock_ghz = 2.0) const;
+  /// `extra_photonic_static_w` adds into the laser/tuning bucket — the
+  /// adaptive controller charges its time-averaged ring trimming power here
+  /// (zero, the default, leaves the breakdown untouched).
+  PowerBreakdown compute(const Network& network, double clock_ghz = 2.0,
+                         double extra_photonic_static_w = 0.0) const;
 
   /// Average energy per ejected packet, in pJ (Fig 8b metric).
-  double energy_per_packet_pj(const Network& network,
-                              double clock_ghz = 2.0) const;
+  double energy_per_packet_pj(const Network& network, double clock_ghz = 2.0,
+                              double extra_photonic_static_w = 0.0) const;
 
   const PowerParams& params() const { return params_; }
 

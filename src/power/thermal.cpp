@@ -8,20 +8,14 @@
 
 namespace ownsim {
 
-std::vector<double> per_router_power(const Network& network,
-                                     const PowerParams& params,
-                                     const ChannelEnergyModel* own_channels,
-                                     double clock_ghz) {
-  const Cycle elapsed = network.engine().now();
-  if (elapsed <= 0) {
-    throw std::logic_error("per_router_power: network has not simulated yet");
-  }
-  const double seconds = static_cast<double>(elapsed) / (clock_ghz * 1e9);
+std::vector<double> per_router_dynamic_pj(
+    const Network& network, const PowerParams& params,
+    const ChannelEnergyModel* own_channels) {
   const NetworkSpec& spec = network.spec();
   const int flit_bits = 128;
-  std::vector<double> power(static_cast<std::size_t>(spec.num_routers()), 0.0);
+  std::vector<double> pj(static_cast<std::size_t>(spec.num_routers()), 0.0);
 
-  // Router-local dynamic + leakage (same formulas as EnergyModel::compute).
+  // Router-local switching (same formulas as EnergyModel::compute).
   for (RouterId r = 0; r < spec.num_routers(); ++r) {
     const Router& router = network.router(r);
     const RouterCounters& c = router.counters();
@@ -35,13 +29,7 @@ std::vector<double> per_router_power(const Network& network,
                   static_cast<double>(c.crossbar_bits);
     dynamic_pj += params.alloc_pj_per_op *
                   static_cast<double>(c.vc_allocations + c.switch_allocations);
-    power[r] += dynamic_pj * units::kPico / seconds;
-    power[r] +=
-        (params.leak_mw_per_input_port * router.num_inputs() +
-         params.leak_mw_per_output_port * router.num_outputs()) *
-            units::kMilli +
-        params.leak_uw_per_crosspoint * router.num_inputs() *
-            router.num_outputs() * units::kMicro;
+    pj[r] += dynamic_pj;
   }
 
   // Link energy lands at the endpoints: TX at the source, RX at the sink;
@@ -51,15 +39,14 @@ std::vector<double> per_router_power(const Network& network,
     const LinkSpec& link = spec.links[i];
     const double bits = static_cast<double>(channel.counters().bits);
     if (channel.medium() == MediumType::kElectrical) {
-      const double w = bits * params.wire_pj_per_bit_mm *
-                       channel.distance().in(1.0_mm) * units::kPico / seconds;
-      power[link.src_router] += w / 2;
-      power[link.dst_router] += w / 2;
+      const double e = bits * params.wire_pj_per_bit_mm *
+                       channel.distance().in(1.0_mm);
+      pj[link.src_router] += e / 2;
+      pj[link.dst_router] += e / 2;
     } else if (channel.medium() == MediumType::kPhotonic) {
-      const double w = bits * params.photonic_dynamic_pj_per_bit *
-                       units::kPico / seconds;
-      power[link.src_router] += w / 2;  // modulator side
-      power[link.dst_router] += w / 2;  // detector side
+      const double e = bits * params.photonic_dynamic_pj_per_bit;
+      pj[link.src_router] += e / 2;  // modulator side
+      pj[link.dst_router] += e / 2;  // detector side
     } else {
       double tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
       double rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
@@ -67,12 +54,8 @@ std::vector<double> per_router_power(const Network& network,
         tx_epb = own_channels->tx_epb(link.wireless_channel).in(1.0_pj_per_bit);
         rx_epb = own_channels->rx_epb(link.wireless_channel).in(1.0_pj_per_bit);
       }
-      const double half_static =
-          params.wireless_static_mw_per_channel * units::kMilli / 2.0;
-      power[link.src_router] += bits * tx_epb * units::kPico / seconds +
-                                half_static;
-      power[link.dst_router] += bits * rx_epb * units::kPico / seconds +
-                                half_static;
+      pj[link.src_router] += bits * tx_epb;
+      pj[link.dst_router] += bits * rx_epb;
     }
   }
 
@@ -82,39 +65,78 @@ std::vector<double> per_router_power(const Network& network,
     const SharedMedium& medium = network.medium(i);
     const MediumSpec& ms = spec.media[i];
     const MediumCounters& c = medium.counters();
-    if (ms.medium == MediumType::kPhotonic) {
-      const double tx_w = static_cast<double>(c.tx_bits) * 0.5 *
-                          params.photonic_dynamic_pj_per_bit * units::kPico /
-                          seconds;
-      const double rx_w = static_cast<double>(c.rx_bits) * 0.5 *
-                          params.photonic_dynamic_pj_per_bit * units::kPico /
-                          seconds;
-      for (const auto& [wr, wp] : ms.writers) {
-        power[wr] += tx_w / static_cast<double>(ms.writers.size());
-      }
-      for (const auto& [rr, rp] : ms.readers) {
-        power[rr] += rx_w / static_cast<double>(ms.readers.size());
-      }
-    } else {
-      double tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
-      double rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
+    double tx_epb = 0.5 * params.photonic_dynamic_pj_per_bit;
+    double rx_epb = 0.5 * params.photonic_dynamic_pj_per_bit;
+    if (ms.medium != MediumType::kPhotonic) {
+      tx_epb = kTxEnergyShare * params.legacy_wireless_pj_per_bit;
+      rx_epb = (1.0 - kTxEnergyShare) * params.legacy_wireless_pj_per_bit;
       if (ms.wireless_channel >= 0 && own_channels != nullptr) {
         tx_epb = own_channels->tx_epb(ms.wireless_channel).in(1.0_pj_per_bit);
         rx_epb = own_channels->rx_epb(ms.wireless_channel).in(1.0_pj_per_bit);
       }
-      const double tx_w =
-          static_cast<double>(c.tx_bits) * tx_epb * units::kPico / seconds +
-          params.wireless_static_mw_per_channel * units::kMilli / 2.0;
-      const double rx_w =
-          static_cast<double>(c.rx_bits) * rx_epb * units::kPico / seconds +
-          params.wireless_static_mw_per_channel * units::kMilli / 2.0;
-      for (const auto& [wr, wp] : ms.writers) {
-        power[wr] += tx_w / static_cast<double>(ms.writers.size());
-      }
-      for (const auto& [rr, rp] : ms.readers) {
-        power[rr] += rx_w / static_cast<double>(ms.readers.size());
-      }
     }
+    const double tx_e = static_cast<double>(c.tx_bits) * tx_epb;
+    const double rx_e = static_cast<double>(c.rx_bits) * rx_epb;
+    for (const auto& [wr, wp] : ms.writers) {
+      pj[wr] += tx_e / static_cast<double>(ms.writers.size());
+    }
+    for (const auto& [rr, rp] : ms.readers) {
+      pj[rr] += rx_e / static_cast<double>(ms.readers.size());
+    }
+  }
+  return pj;
+}
+
+std::vector<double> per_router_static_w(const Network& network,
+                                        const PowerParams& params) {
+  const NetworkSpec& spec = network.spec();
+  std::vector<double> power(static_cast<std::size_t>(spec.num_routers()), 0.0);
+  for (RouterId r = 0; r < spec.num_routers(); ++r) {
+    const Router& router = network.router(r);
+    power[r] +=
+        (params.leak_mw_per_input_port * router.num_inputs() +
+         params.leak_mw_per_output_port * router.num_outputs()) *
+            units::kMilli +
+        params.leak_uw_per_crosspoint * router.num_inputs() *
+            router.num_outputs() * units::kMicro;
+  }
+  const double half_static =
+      params.wireless_static_mw_per_channel * units::kMilli / 2.0;
+  for (std::size_t i = 0; i < network.num_network_channels(); ++i) {
+    const Channel& channel = network.network_channel(i);
+    if (channel.medium() != MediumType::kElectrical &&
+        channel.medium() != MediumType::kPhotonic) {
+      power[spec.links[i].src_router] += half_static;
+      power[spec.links[i].dst_router] += half_static;
+    }
+  }
+  for (std::size_t i = 0; i < network.num_media(); ++i) {
+    const MediumSpec& ms = spec.media[i];
+    if (ms.medium == MediumType::kPhotonic) continue;
+    for (const auto& [wr, wp] : ms.writers) {
+      power[wr] += half_static / static_cast<double>(ms.writers.size());
+    }
+    for (const auto& [rr, rp] : ms.readers) {
+      power[rr] += half_static / static_cast<double>(ms.readers.size());
+    }
+  }
+  return power;
+}
+
+std::vector<double> per_router_power(const Network& network,
+                                     const PowerParams& params,
+                                     const ChannelEnergyModel* own_channels,
+                                     double clock_ghz) {
+  const Cycle elapsed = network.engine().now();
+  if (elapsed <= 0) {
+    throw std::logic_error("per_router_power: network has not simulated yet");
+  }
+  const double seconds = static_cast<double>(elapsed) / (clock_ghz * 1e9);
+  std::vector<double> power =
+      per_router_dynamic_pj(network, params, own_channels);
+  const std::vector<double> static_w = per_router_static_w(network, params);
+  for (std::size_t r = 0; r < power.size(); ++r) {
+    power[r] = power[r] * units::kPico / seconds + static_w[r];
   }
   return power;
 }
@@ -144,6 +166,21 @@ void ThermalMap::deposit(const NetworkSpec& spec,
     const int cy = std::clamp(static_cast<int>(y / cell), 0, params_.grid - 1);
     source_w_[static_cast<std::size_t>(cy) * params_.grid + cx] += power_w[r];
   }
+}
+
+void ThermalMap::clear() {
+  std::fill(source_w_.begin(), source_w_.end(), 0.0);
+}
+
+double ThermalMap::value_at(const std::vector<double>& field, Length x,
+                            Length y) const {
+  if (field.size() != source_w_.size()) {
+    throw std::invalid_argument("ThermalMap::value_at: wrong field size");
+  }
+  const Length cell = params_.die / static_cast<double>(params_.grid);
+  const int cx = std::clamp(static_cast<int>(x / cell), 0, params_.grid - 1);
+  const int cy = std::clamp(static_cast<int>(y / cell), 0, params_.grid - 1);
+  return field[static_cast<std::size_t>(cy) * params_.grid + cx];
 }
 
 std::vector<double> ThermalMap::field() const {

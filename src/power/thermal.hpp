@@ -27,7 +27,23 @@
 
 namespace ownsim {
 
-/// Watts attributed to each router (same model/params as EnergyModel).
+/// Cumulative dynamic energy (pJ) attributed to each router since cycle 0:
+/// router-local switching at the router itself, link TX at the source and RX
+/// at the sink, shared-medium modulation/detection split across participants
+/// (laser power is off-chip and excluded). Differencing two snapshots gives
+/// the dynamic energy of a window — the adaptive physical-state loop
+/// (adapt/controller.hpp) uses exactly that.
+std::vector<double> per_router_dynamic_pj(const Network& network,
+                                          const PowerParams& params,
+                                          const ChannelEnergyModel* own_channels);
+
+/// Static (time-independent) watts attributed to each router: router leakage
+/// plus the wireless transceiver static power halved across link endpoints.
+std::vector<double> per_router_static_w(const Network& network,
+                                        const PowerParams& params);
+
+/// Watts attributed to each router (same model/params as EnergyModel):
+/// dynamic_pj / elapsed + static_w.
 std::vector<double> per_router_power(const Network& network,
                                      const PowerParams& params,
                                      const ChannelEnergyModel* own_channels,
@@ -65,6 +81,14 @@ class ThermalMap {
 
   /// Raw temperature field after solve (row-major, grid x grid), for dumps.
   std::vector<double> field() const;
+
+  /// Re-zeroes the deposited sources so the map can be reused for the next
+  /// power window without reconstructing it.
+  void clear();
+
+  /// Samples a field returned by `field()` at die position (x, y), clamped
+  /// to the grid (same cell mapping as deposit).
+  double value_at(const std::vector<double>& field, Length x, Length y) const;
 
   const Params& params() const { return params_; }
 

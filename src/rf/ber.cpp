@@ -1,5 +1,6 @@
 #include "rf/ber.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,7 +13,13 @@ double q_function(double x) {
 }
 
 double ook_ber(Decibels snr) {
-  return q_function(std::sqrt(units::to_ratio(snr)));
+  // Guard the extremes: a degenerate operating point (-inf dB ratio
+  // underflowing to 0, or a NaN from upstream arithmetic) must still land in
+  // the probability range, and huge SNRs must underflow cleanly to 0 —
+  // callers feed the result straight into flit-error draws.
+  const double ratio = units::to_ratio(snr);
+  if (!(ratio > 0.0)) return 0.5;
+  return std::clamp(q_function(std::sqrt(ratio)), 0.0, 0.5);
 }
 
 Decibels required_snr(double target_ber) {

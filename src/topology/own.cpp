@@ -66,6 +66,8 @@ std::array<int, 4> placement_tiles(AntennaPlacement placement, int cluster) {
   }
 }
 
+}  // namespace
+
 // Die coordinates: 2x2 clusters of 25 mm; tiles on a 4x4 grid per cluster.
 void fill_own_positions(NetworkSpec& spec, int groups) {
   const Length cluster_edge = 25.0_mm;
@@ -98,6 +100,8 @@ void fill_own_positions(NetworkSpec& spec, int groups) {
     spec.router_xy[r] = {x, y};
   }
 }
+
+namespace {
 
 NetworkSpec build_own256_impl(const TopologyOptions& options,
                               AntennaPlacement placement) {

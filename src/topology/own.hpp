@@ -60,6 +60,10 @@ inline PortId own_writer_port(int src_tile, int dst_tile) {
   return dst_tile < src_tile ? dst_tile : dst_tile - 1;
 }
 
+/// Fills `spec.router_xy` with the OWN die floorplan (2x2 clusters of 25 mm,
+/// tiles on a 4x4 grid per cluster; `groups` > 1 tiles the group quadrants).
+void fill_own_positions(NetworkSpec& spec, int groups);
+
 /// True if `tile` hosts a wireless transceiver in OWN-256 (corners A, B, C).
 bool own256_is_gateway_tile(int tile);
 

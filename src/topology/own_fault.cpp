@@ -119,6 +119,7 @@ NetworkSpec build_own256_faulted(const TopologyOptions& options,
   for (NodeId n = 0; n < options.num_cores; ++n) {
     spec.nodes[n].router = n / options.concentration;
   }
+  fill_own_positions(spec, /*groups=*/1);
 
   // Gateway ports exist only for alive channel directions.
   for (const OwnChannel& ch : own256_channels()) {

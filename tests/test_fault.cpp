@@ -332,6 +332,82 @@ TEST(FaultCampaign, RejectsInvalidEvents) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Campaigns on file topologies (topology=file:). Transient BER and the
+// link-index event forms work on any topology with wireless links; only the
+// cluster-pair kill (which needs the online reroute) stays OWN-256-only.
+
+/// OWN-256 loaded back from the checked-in export, campaign armed.
+ExperimentConfig file_own256_experiment() {
+  ExperimentConfig config;
+  config.topology = TopologyKind::kFile;
+  config.options.num_cores = 256;
+  config.options.topofile_path =
+      std::string(OWNSIM_SOURCE_DIR) + "/configs/topologies/own256.topo.json";
+  config.rate = 0.004;
+  config.phases.warmup = 300;
+  config.phases.measure = 1500;
+  config.phases.drain_limit = 20000;
+  config.fault.enabled = true;
+  return config;
+}
+
+TEST(FaultCampaign, FileTopologyTransientBerDelivers) {
+  ExperimentConfig config = file_own256_experiment();
+  config.fault.margin = Decibels{-8.0};
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_TRUE(result.run.drained);
+  EXPECT_GT(result.fault.crc_errors, 0);
+  EXPECT_GE(result.fault.retransmissions, result.fault.crc_errors);
+  EXPECT_EQ(result.fault.flows_degraded, 0);
+}
+
+TEST(FaultCampaign, FileTopologyLinkIndexKillDrains) {
+  ExperimentConfig config = file_own256_experiment();
+  config.rate = 0.002;
+  config.phases.measure = 600;
+  config.phases.drain_limit = 300000;
+  config.fault.ber = 0.0;  // isolate the kill path
+
+  // Kill the first wireless link of the loaded spec mid-measure. No reroute
+  // exists in the link-index form: every flit routed over the dead link pays
+  // the exhausted backoff — slow, but nothing may be lost.
+  const NetworkSpec spec = build_topology(TopologyKind::kFile, config.options);
+  int victim = -1;
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    if (spec.links[i].medium == MediumType::kWireless) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  fault::Event kill;
+  kill.kind = fault::EventKind::kKill;
+  kill.at = 600;
+  kill.link = victim;
+  config.fault.events.push_back(kill);
+
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_TRUE(result.run.drained);
+  // Copies stranded on the dead link retransmit to exhaustion; no detector
+  // runs, so no flow is rerouted.
+  EXPECT_GT(result.fault.retransmissions, 0);
+  EXPECT_EQ(result.fault.flows_degraded, 0);
+}
+
+TEST(FaultCampaign, FileTopologyClusterKillStillRejected) {
+  // The cluster-pair kill needs the 5-class degraded route scheme, which
+  // only build_own256_faulted produces — a loaded file cannot reroute.
+  ExperimentConfig config = file_own256_experiment();
+  fault::Event kill;
+  kill.kind = fault::EventKind::kKill;
+  kill.at = 600;
+  kill.src_cluster = 0;
+  kill.dst_cluster = 2;
+  config.fault.events.push_back(kill);
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+}
+
 TEST(FaultBuild, OverloadStillMakesProgress) {
   FaultSet faults;
   faults.fail(1, 3);
